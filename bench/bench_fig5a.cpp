@@ -1,0 +1,74 @@
+// Fig. 5(a) — LPQ convergence under different objectives: MSE,
+// KL-divergence, global contrastive, and the paper's global-local
+// contrastive loss.  For each objective the search runs with identical
+// budgets and seeds; the quantized model's top-1 is evaluated at every
+// population update.
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lp;
+  using namespace lp::bench;
+
+  print_banner(std::cout, "Fig. 5(a) — LPQ convergence vs loss function");
+
+  WorkbenchOptions wopts;
+  wopts.target_fp_accuracy = 0.7108;  // ResNet18 baseline
+  Workbench wb = make_workbench("resnet18", wopts);
+  std::cout << "FP top-1: " << Table::num(100 * wb.fp_accuracy, 2) << "%\n";
+
+  struct SeriesSpec {
+    const char* name;
+    lpq::FitnessKind kind;
+  };
+  const SeriesSpec specs[] = {
+      {"MSE", lpq::FitnessKind::kMse},
+      {"KL-Divergence", lpq::FitnessKind::kKlDivergence},
+      {"Global Contrastive", lpq::FitnessKind::kGlobalContrastive},
+      {"Global-Local (ours)", lpq::FitnessKind::kGlobalLocalContrastive},
+  };
+
+  std::vector<std::vector<double>> curves;
+  std::vector<std::vector<double>> bits;
+  for (const auto& sp : specs) {
+    auto params = bench_lpq_params(false, false);
+    params.passes = 2;
+    params.fitness.kind = sp.kind;
+    params.seed = 99;
+    lpq::LpqEngine engine(wb.model, wb.dataset.calibration, params);
+    std::vector<double> curve;
+    std::vector<double> curve_bits;
+    (void)engine.run([&](const lpq::IterationStat& st,
+                         const lpq::Candidate& best) {
+      const auto spec = engine.make_spec(best);
+      curve.push_back(evaluate_spec(wb, spec.spec));
+      curve_bits.push_back(st.best_avg_weight_bits);
+    });
+    curves.push_back(std::move(curve));
+    bits.push_back(std::move(curve_bits));
+  }
+
+  Table t({"iteration", specs[0].name, specs[1].name, specs[2].name,
+           specs[3].name});
+  const std::size_t iters = curves[0].size();
+  for (std::size_t i = 0; i < iters; ++i) {
+    t.add_row({std::to_string(i + 1), Table::num(curves[0][i], 2),
+               Table::num(curves[1][i], 2), Table::num(curves[2][i], 2),
+               Table::num(curves[3][i], 2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nfinal avg weight bits: ";
+  for (std::size_t k = 0; k < 4; ++k) {
+    std::cout << specs[k].name << "=" << Table::num(bits[k].back(), 2)
+              << (k + 1 < 4 ? ", " : "\n");
+  }
+  std::cout <<
+      "\nshape check (paper Fig. 5(a)): the global-local contrastive\n"
+      "objective should end at the highest accuracy for comparable\n"
+      "compression; MSE/KL plateau earlier (they overfit the calibration\n"
+      "set), and global-only contrastive trails as more layers quantize.\n";
+  return 0;
+}

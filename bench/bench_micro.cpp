@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark): LP codec throughput, code-table
+// construction, the bit-level PE datapath, the LPA functional GEMM, and a
+// full quantized forward pass.  These quantify the emulation costs that
+// gate how large an LPQ search budget is practical.
+#include <benchmark/benchmark.h>
+
+#include "core/lp_codec.h"
+#include "core/lp_format.h"
+#include "lpa/datapath.h"
+#include "lpa/systolic.h"
+#include "nn/zoo.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace lp;
+
+void BM_DecodeValue(benchmark::State& state) {
+  const LPConfig cfg{8, 2, 5, 0.5};
+  std::uint32_t code = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_value(code, cfg));
+    code = (code + 37) & 0xFF;
+  }
+}
+BENCHMARK(BM_DecodeValue);
+
+void BM_CodeTableBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const LPConfig cfg{n, n >= 4 ? 1 : 0, std::max(1, n / 2), 0.25};
+  for (auto _ : state) {
+    CodeTable table(cfg);
+    benchmark::DoNotOptimize(table.values().size());
+  }
+}
+BENCHMARK(BM_CodeTableBuild)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_QuantizeTensor(benchmark::State& state) {
+  const LPFormat fmt(LPConfig{8, 1, 4, 3.0});
+  Rng rng(1);
+  std::vector<float> data(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : data) x = static_cast<float>(rng.gaussian(0.0, 0.1));
+  for (auto _ : state) {
+    std::vector<float> copy = data;
+    benchmark::DoNotOptimize(quantize_span(copy, fmt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeTensor)->Arg(1024)->Arg(65536);
+
+void BM_PeMacDatapath(benchmark::State& state) {
+  const LPConfig wcfg{4, 1, 2, 2.0};
+  const LPConfig acfg{8, 2, 2, 0.0};
+  const lpa::DecoderConfig wdc = lpa::DecoderConfig::from(wcfg);
+  const lpa::DecoderConfig adc = lpa::DecoderConfig::from(acfg);
+  const CodeTable wtab(wcfg), atab(acfg);
+  const auto w = lpa::decode_lane(wtab.quantize_code(0.31), wdc);
+  const auto a = lpa::decode_lane(atab.quantize_code(-1.7), adc);
+  lpa::PartialSum psum;
+  for (auto _ : state) {
+    lpa::accumulate(psum, lpa::multiply(w, a));
+    benchmark::DoNotOptimize(psum.mantissa);
+  }
+}
+BENCHMARK(BM_PeMacDatapath);
+
+void BM_LpaGemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  Tensor w({n, n}), x({n, n});
+  for (float& v : w.data()) v = static_cast<float>(rng.gaussian(0.0, 0.1));
+  for (float& v : x.data()) v = static_cast<float>(rng.gaussian());
+  const LPConfig wcfg{4, 1, 2, 3.0};
+  const LPConfig acfg{8, 2, 2, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lpa::lpa_gemm(w, x, wcfg, acfg));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_LpaGemm)->Arg(16)->Arg(32);
+
+void BM_QuantizedForward(benchmark::State& state) {
+  nn::ZooOptions o;
+  o.input_size = 16;
+  o.classes = 8;
+  const nn::Model m = nn::build_tiny_cnn(o);
+  nn::QuantSpec spec;
+  spec.resize(m.num_slots());
+  const LPFormat fmt(LPConfig{4, 1, 2, 4.0});
+  for (auto& f : spec.weight_fmt) f = &fmt;
+  Tensor x({4, 3, 16, 16});
+  Rng rng(3);
+  for (float& v : x.data()) v = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.forward_quantized(x, spec).logits.numel());
+  }
+}
+BENCHMARK(BM_QuantizedForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

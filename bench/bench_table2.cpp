@@ -1,0 +1,75 @@
+// Table 2 — PTQ accuracy on Vision Transformers (ViT-B, DeiT-S, Swin-T):
+// baseline FP plus Evol-Q / FQ-ViT stand-ins and LPQ.  LPQ's search blocks
+// are whole attention blocks (paper Section 6).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+namespace {
+
+struct PaperRow {
+  const char* method;
+  const char* wa;
+  double top1;
+};
+
+void run_model(const std::string& name, double paper_baseline,
+               const std::vector<PaperRow>& paper_rows) {
+  using namespace lp;
+  using namespace lp::bench;
+
+  print_banner(std::cout, "Table 2 — " + name);
+  WorkbenchOptions wopts;
+  wopts.input_size = 16;  // 4x4 patches -> compact token grids
+  wopts.n_eval = 192;
+  wopts.target_fp_accuracy = paper_baseline / 100.0;
+  Workbench wb = make_workbench(name, wopts);
+
+  Table measured({"Method", "W/A", "Size(MB)", "Top-1(%)", "vs FP"});
+  auto add = [&](const MethodResult& r) {
+    auto row = to_row(r);
+    row.push_back(Table::num(r.top1 - 100.0 * wb.fp_accuracy, 2));
+    measured.add_row(std::move(row));
+  };
+
+  MethodResult base;
+  base.method = "Baseline (FP32)";
+  base.wa = "32/32";
+  base.size_mb = static_cast<double>(wb.model.weight_param_count()) * 4 / 1e6;
+  base.top1 = 100.0 * wb.fp_accuracy;
+  add(base);
+  add(run_evolq_style(wb, "Evol-Q*"));
+  add(run_uniform_int(wb, "FQ-ViT*", 4, 8));
+  add(run_lpq(wb, /*transformer=*/true, /*hardware_preset=*/false));
+  measured.print(std::cout);
+
+  Table paper({"Method (paper)", "W/A", "Top-1(%)"});
+  for (const auto& pr : paper_rows) {
+    paper.add_row({pr.method, pr.wa, lp::Table::num(pr.top1, 2)});
+  }
+  std::cout << "\npaper reference (ImageNet, full-size models):\n";
+  paper.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  run_model("vit_b", 84.53,
+            {{"Baseline", "32/32", 84.53},
+             {"Evol-Q", "4/8", 79.50},
+             {"FQ-ViT", "4/8", 78.73},
+             {"LPQ (ours)", "MP4.7/MP6.3", 80.14}});
+  run_model("deit_s", 79.80,
+            {{"Baseline", "32/32", 79.80},
+             {"Evol-Q", "4/8", 77.06},
+             {"FQ-ViT", "4/8", 76.93},
+             {"LPQ (ours)", "MP3.9/MP5.5", 78.01}});
+  run_model("swin_t", 81.20,
+            {{"Baseline", "32/32", 81.20},
+             {"Evol-Q", "4/8", 80.43},
+             {"FQ-ViT", "4/8", 80.73},
+             {"LPQ (ours)", "MP4.5/MP6.2", 80.98}});
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "bench/workloads.h"
+
+#include <algorithm>
+#include <string>
+
+namespace lp::bench {
+namespace {
+
+struct Builder {
+  std::vector<nn::LayerWorkload> list;
+  int next_slot = 0;
+
+  void gemm(const std::string& name, std::int64_t m, std::int64_t k,
+            std::int64_t n, bool weighted = true) {
+    nn::LayerWorkload wl;
+    wl.name = name;
+    wl.m = m;
+    wl.k = k;
+    wl.n = n;
+    wl.weight_slot = weighted ? next_slot++ : -1;
+    list.push_back(wl);
+  }
+};
+
+}  // namespace
+
+std::vector<nn::LayerWorkload> resnet50_imagenet_workloads() {
+  Builder b;
+  // Stem: 7x7/2 conv, 3->64, output 112x112.
+  b.gemm("conv1", 64, 3 * 49, 112 * 112);
+
+  struct Stage {
+    int blocks;
+    int mid;
+    int out;
+    int spatial_in;   // input H=W of the stage (after any previous stride)
+    int spatial_out;  // output H=W
+  };
+  // After the stem's maxpool the grid is 56x56.
+  const Stage stages[] = {{3, 64, 256, 56, 56},
+                          {4, 128, 512, 56, 28},
+                          {6, 256, 1024, 28, 14},
+                          {3, 512, 2048, 14, 7}};
+  int cin = 64;
+  for (int s = 0; s < 4; ++s) {
+    const auto& st = stages[s];
+    for (int blk = 0; blk < st.blocks; ++blk) {
+      const bool first = blk == 0;
+      const int n_in = first ? st.spatial_in * st.spatial_in
+                             : st.spatial_out * st.spatial_out;
+      const int n_out = st.spatial_out * st.spatial_out;
+      const std::string nm = "s" + std::to_string(s) + ".b" + std::to_string(blk);
+      b.gemm(nm + ".conv1", st.mid, cin, n_in);              // 1x1
+      b.gemm(nm + ".conv2", st.mid, st.mid * 9, n_out);      // 3x3 (stride here)
+      b.gemm(nm + ".conv3", st.out, st.mid, n_out);          // 1x1
+      if (first) b.gemm(nm + ".down", st.out, cin, n_out);   // 1x1 shortcut
+      cin = st.out;
+    }
+  }
+  b.gemm("fc", 1000, 2048, 1);
+  return b.list;
+}
+
+std::vector<nn::LayerWorkload> vit_b_imagenet_workloads() {
+  Builder b;
+  constexpr int kDim = 768;
+  constexpr int kMlp = 3072;
+  constexpr int kTokens = 197;  // 14x14 patches + CLS
+  constexpr int kHeads = 12;
+  constexpr int kHeadDim = kDim / kHeads;
+  b.gemm("patch_embed", kDim, 3 * 16 * 16, 14 * 14);
+  for (int blk = 0; blk < 12; ++blk) {
+    const std::string nm = "blk" + std::to_string(blk);
+    for (const char* proj : {".q", ".k", ".v"}) {
+      b.gemm(nm + proj, kDim, kDim, kTokens);
+    }
+    b.gemm(nm + ".qk", kTokens, kHeadDim, kTokens * kHeads, /*weighted=*/false);
+    b.gemm(nm + ".av", kTokens, kTokens, kHeadDim * kHeads, /*weighted=*/false);
+    b.gemm(nm + ".o", kDim, kDim, kTokens);
+    b.gemm(nm + ".mlp1", kMlp, kDim, kTokens);
+    b.gemm(nm + ".mlp2", kDim, kMlp, kTokens);
+  }
+  b.gemm("head", 1000, kDim, 1);
+  return b.list;
+}
+
+std::size_t workload_slot_count(const std::vector<nn::LayerWorkload>& wl) {
+  int max_slot = -1;
+  for (const auto& w : wl) max_slot = std::max(max_slot, w.weight_slot);
+  return static_cast<std::size_t>(max_slot + 1);
+}
+
+std::vector<int> imagenet_allocation(std::size_t slots, ImageNetAlloc kind) {
+  std::vector<int> bits(slots, 4);
+  switch (kind) {
+    case ImageNetAlloc::kLpaMixed:
+      for (std::size_t i = 0; i < slots; ++i) {
+        const double rank = static_cast<double>(i) / static_cast<double>(slots);
+        bits[i] = rank < 0.1 ? 8 : (rank < 0.4 ? 4 : 2);
+      }
+      break;
+    case ImageNetAlloc::kFourEight:
+      for (std::size_t i = 0; i < slots / 5; ++i) bits[i] = 8;
+      break;
+    case ImageNetAlloc::kEightBit:
+      bits.assign(slots, 8);
+      break;
+  }
+  return bits;
+}
+
+}  // namespace lp::bench

@@ -1,0 +1,35 @@
+// Full-scale (ImageNet) GEMM workload generators for the hardware benches.
+//
+// The accuracy experiments run on width-scaled models, but accelerator
+// behaviour (packing utilization, tiling) depends on the real layer
+// dimensions: a 2-bit LPA PE column holds 4 weights, which only pays off
+// when output channels >> array width.  These generators emit the exact
+// GEMM dimensions of ResNet50 (224x224) and ViT-B/16 (224x224, 197
+// tokens), with sequential weight-slot ids.
+#pragma once
+
+#include <vector>
+
+#include "nn/node.h"
+
+namespace lp::bench {
+
+/// ResNet50 v1.5 at 224x224: 54 weighted GEMMs (53 convs + fc).
+[[nodiscard]] std::vector<nn::LayerWorkload> resnet50_imagenet_workloads();
+
+/// ViT-B/16 at 224x224: patch embed + 12 blocks (attention + MLP) + head.
+/// Attention score/value matmuls carry weight_slot = -1.
+[[nodiscard]] std::vector<nn::LayerWorkload> vit_b_imagenet_workloads();
+
+/// Number of weight slots referenced by a workload list.
+[[nodiscard]] std::size_t workload_slot_count(
+    const std::vector<nn::LayerWorkload>& wl);
+
+/// Positional paper-style bit allocation (early layers are the sensitive
+/// ones): kLpaMixed = first 10% at 8b, next 30% at 4b, rest 2b (~2.8 avg);
+/// kAnt/kIntMixed = first 20% at 8b, rest 4b; kEightBit = all 8b.
+enum class ImageNetAlloc { kLpaMixed, kFourEight, kEightBit };
+[[nodiscard]] std::vector<int> imagenet_allocation(std::size_t slots,
+                                                   ImageNetAlloc kind);
+
+}  // namespace lp::bench

@@ -1,0 +1,71 @@
+// Example: compare number formats on real weight distributions.
+//
+// Loads a zoo model, takes a few of its layers, and quantizes each layer's
+// weights with every format in the study (LP, posit, AdaptivFloat, INT,
+// LNS, FP8, flint) at the same bit width, printing per-layer RMSE — a
+// miniature of the paper's Fig. 5(b).
+//
+// Usage: format_explorer [model] [bits]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lp_format.h"
+#include "formats/adaptivfloat.h"
+#include "formats/flint.h"
+#include "formats/lns.h"
+#include "formats/minifloat.h"
+#include "formats/posit.h"
+#include "formats/uniform_int.h"
+#include "nn/zoo.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace lp;
+  const std::string name = argc > 1 ? argv[1] : "resnet18";
+  const int bits = argc > 2 ? std::atoi(argv[2]) : 6;
+
+  nn::ZooOptions zopts;
+  zopts.input_size = 32;
+  zopts.classes = 16;
+  const nn::Model model = nn::build_model(name, zopts);
+  const auto& slots = model.slot_list();
+
+  std::printf("%s, %d-bit quantization RMSE per layer (lower is better):\n\n",
+              model.name().c_str(), bits);
+  std::printf("%-18s %9s %9s %9s %9s %9s %9s\n", "layer", "LP", "Posit",
+              "AdaptFlt", "INT", "LNS", "Flint");
+
+  double sums[6] = {};
+  int count = 0;
+  for (std::size_t s = 0; s < slots.size(); s += 2) {  // every other layer
+    const auto w = slots[s]->weight.data();
+    // LP: adapt sf to the layer (rs mid-range, es 1).
+    LPConfig cfg{bits, std::min(1, std::max(0, bits - 3)),
+                 std::max(1, bits / 2), -std::log2(mean_abs(w))};
+    const LPFormat lp_fmt(cfg);
+    const PositFormat posit_fmt(bits, 1);
+    const auto af_fmt = AdaptivFloatFormat::calibrated(
+        bits, std::min(4, bits - 2), w);
+    const auto int_fmt = UniformIntFormat::calibrated(bits, w);
+    const auto lns_fmt = LnsFormat::calibrated(bits, std::max(0, bits - 4), w);
+    const auto flint_fmt = FlintFormat::calibrated(bits, w);
+
+    const NumberFormat* fmts[6] = {&lp_fmt, &posit_fmt, &af_fmt,
+                                   &int_fmt, &lns_fmt, &flint_fmt};
+    std::printf("%-18s", slots[s]->name.c_str());
+    for (int i = 0; i < 6; ++i) {
+      const double e = quantization_rmse(w, *fmts[i]);
+      sums[i] += e;
+      std::printf(" %9.5f", e);
+    }
+    std::printf("\n");
+    ++count;
+  }
+  std::printf("%-18s", "mean");
+  for (double s : sums) std::printf(" %9.5f", s / count);
+  std::printf("\n\nLP adapts <n,es,rs,sf> per layer; the others adapt only "
+              "range (scale/bias) or nothing.\n");
+  return 0;
+}

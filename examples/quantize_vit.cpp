@@ -1,0 +1,64 @@
+// Example: LPQ on a Vision Transformer.
+//
+// Shows the transformer-specific pieces: block-wise search where one block
+// is one attention block (paper Section 6), the activation parameter rule,
+// and a comparison of the hardware {2,4,8} preset against the free search
+// space.
+//
+// Usage: quantize_vit [model: deit_s|vit_b|swin_t|tiny_vit]
+#include <cstdio>
+#include <string>
+
+#include "data/dataset.h"
+#include "lpq/lpq.h"
+#include "nn/zoo.h"
+
+int main(int argc, char** argv) {
+  using namespace lp;
+  const std::string name = argc > 1 ? argv[1] : "tiny_vit";
+
+  nn::ZooOptions zopts;
+  zopts.input_size = 32;
+  zopts.classes = 16;
+  zopts.seed = 11;
+  nn::Model model = nn::build_model(name, zopts);
+  std::printf("model: %s, %lld params, %zu weight slots\n",
+              model.name().c_str(),
+              static_cast<long long>(model.weight_param_count()),
+              model.num_slots());
+
+  data::DatasetOptions dopts;
+  dopts.classes = zopts.classes;
+  dopts.n_calibration = 16;
+  dopts.n_eval = 192;
+  dopts.target_fp_accuracy = 0.80;
+  const auto ds = data::make_dataset(model, 3, zopts.input_size, dopts);
+  const double fp_acc = data::evaluate_fp(model, ds);
+  std::printf("FP top-1: %.2f%% (noise %.3f)\n", 100 * fp_acc, ds.noise);
+
+  auto run = [&](bool hw_preset) {
+    lpq::LpqParams params;
+    params.population = 8;
+    params.passes = 1;
+    params.cycles = 2;
+    // One search block = one attention block (paper: "Block Size is one
+    // attention block for Transformer-based models").
+    params.block_mode = lpq::LpqParams::BlockMode::kByBlockId;
+    params.space.power_of_two_n = hw_preset;
+    params.seed = 31;
+    lpq::LpqEngine engine(model, ds.calibration, params);
+    const auto result = engine.run();
+    const auto stats = lpq::candidate_stats(model, result.best);
+    const auto spec = engine.make_spec(result.best);
+    const double q_acc = data::evaluate_quantized(model, spec.spec, ds);
+    std::printf("%-22s W%.1f/A%.1f  size %.3f MB  top-1 %.2f%% (drop %+.2f%%)\n",
+                hw_preset ? "hardware preset {2,4,8}" : "free search [2..8]",
+                stats.avg_weight_bits, stats.avg_act_bits, stats.size_mb,
+                100 * q_acc, 100 * (fp_acc - q_acc));
+  };
+
+  std::printf("\nLPQ (blocks = attention blocks):\n");
+  run(/*hw_preset=*/false);
+  run(/*hw_preset=*/true);
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "core/accuracy_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lp {
+
+std::vector<AccuracyPoint> accuracy_profile(const NumberFormat& fmt) {
+  const std::vector<double> all = fmt.all_values();
+  std::vector<double> pos;
+  for (double v : all) {
+    if (v > 0.0 && std::isfinite(v)) pos.push_back(v);
+  }
+  std::vector<AccuracyPoint> out;
+  if (pos.size() < 3) return out;
+  out.reserve(pos.size() - 2);
+  for (std::size_t i = 1; i + 1 < pos.size(); ++i) {
+    const double gap = std::max(pos[i] - pos[i - 1], pos[i + 1] - pos[i]);
+    const double rel = gap / (2.0 * pos[i]);
+    AccuracyPoint p;
+    p.value = pos[i];
+    p.log2_value = std::log2(pos[i]);
+    p.decimal_accuracy = (rel > 0.0) ? -std::log10(rel) : 16.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double decimal_accuracy_at(const NumberFormat& fmt, double x) {
+  LP_CHECK(x > 0.0);
+  static constexpr double kOffsets[] = {-0.45, -0.30, -0.15, 0.0,
+                                        0.15,  0.30,  0.45};
+  double worst_rel = 0.0;
+  for (double u : kOffsets) {
+    const double v = x * std::exp2(u * 0.5);
+    const double q = fmt.quantize(v);
+    const double rel = std::fabs(q - v) / v;
+    worst_rel = std::max(worst_rel, rel);
+  }
+  if (worst_rel <= 0.0) return 16.0;  // exactly representable neighbourhood
+  return -std::log10(worst_rel);
+}
+
+std::vector<AccuracyPoint> sample_profile(const std::vector<AccuracyPoint>& profile,
+                                          double lo, double hi, int bins) {
+  LP_CHECK(bins >= 2);
+  LP_CHECK(lo > 0.0 && hi > lo);
+  std::vector<AccuracyPoint> out;
+  if (profile.empty()) return out;
+  out.reserve(static_cast<std::size_t>(bins));
+  const double l0 = std::log2(lo);
+  const double l1 = std::log2(hi);
+  for (int i = 0; i < bins; ++i) {
+    const double lx = l0 + (l1 - l0) * i / (bins - 1);
+    // Nearest profile point on the log axis.
+    const auto it = std::lower_bound(
+        profile.begin(), profile.end(), lx,
+        [](const AccuracyPoint& p, double key) { return p.log2_value < key; });
+    const AccuracyPoint* best;
+    if (it == profile.begin()) {
+      best = &*it;
+    } else if (it == profile.end()) {
+      best = &profile.back();
+    } else {
+      const AccuracyPoint* hi_p = &*it;
+      const AccuracyPoint* lo_p = &*(it - 1);
+      best = (lx - lo_p->log2_value) <= (hi_p->log2_value - lx) ? lo_p : hi_p;
+    }
+    AccuracyPoint p = *best;
+    p.log2_value = lx;  // report at the sample position
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace lp

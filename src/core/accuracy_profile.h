@@ -1,0 +1,40 @@
+// Relative-accuracy profile of a number format (paper Fig. 1(b)).
+//
+// For each positive representable value v_i, the worst relative error of
+// rounding any real in its rounding interval is approximately
+// max(v_i - v_{i-1}, v_{i+1} - v_i) / (2 v_i); the "decimal accuracy" is
+// -log10 of that bound (Gustafson's decimal-digits-of-accuracy measure).
+// LP's tapered regime makes the profile peak near 2^(-sf) and decay
+// gracefully, whereas float-family formats are flat across their range.
+#pragma once
+
+#include <vector>
+
+#include "core/number_format.h"
+
+namespace lp {
+
+struct AccuracyPoint {
+  double value = 0.0;           ///< representable magnitude
+  double log2_value = 0.0;      ///< its position on the log2 axis
+  double decimal_accuracy = 0.0;///< -log10(worst relative rounding error)
+};
+
+/// Positive-magnitude accuracy profile of a format, sorted by value.
+/// Formats with fewer than three positive values yield an empty profile.
+[[nodiscard]] std::vector<AccuracyPoint> accuracy_profile(const NumberFormat& fmt);
+
+/// Sample the profile at `bins` log-spaced magnitudes in [lo, hi]
+/// (nearest-point lookup); handy for plotting aligned series.
+/// Note: lookups beyond the format's covered range return the edge point;
+/// use decimal_accuracy_at for saturation-aware sampling.
+[[nodiscard]] std::vector<AccuracyPoint> sample_profile(
+    const std::vector<AccuracyPoint>& profile, double lo, double hi, int bins);
+
+/// Worst-case decimal accuracy of quantizing magnitudes near `x` (probes a
+/// small log-neighbourhood, measures |quantize(v) - v| / v).  Unlike the
+/// profile, this reflects saturation: magnitudes outside the representable
+/// range score near (or below) zero digits.
+[[nodiscard]] double decimal_accuracy_at(const NumberFormat& fmt, double x);
+
+}  // namespace lp

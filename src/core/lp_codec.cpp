@@ -1,0 +1,197 @@
+#include "core/lp_codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lp {
+
+LPFields decode_fields(std::uint32_t code, const LPConfig& cfg) {
+  cfg.validate();
+  const std::uint32_t mask = (cfg.n >= 32) ? 0xFFFFFFFFU : ((1U << cfg.n) - 1U);
+  code &= mask;
+
+  LPFields f;
+  if (code == 0) {
+    f.is_zero = true;
+    return f;
+  }
+  if (code == nar_code(cfg)) {
+    f.is_nar = true;
+    return f;
+  }
+
+  f.sign = static_cast<int>((code >> (cfg.n - 1)) & 1U);
+  std::uint32_t mag = code;
+  if (f.sign != 0) mag = (~code + 1U) & mask;  // two's complement magnitude
+
+  const int body = cfg.n - 1;  // bits after the sign
+  // Scan the regime: run of identical bits, capped at min(rs, body).
+  const int cap = cfg.max_run();
+  const int first = static_cast<int>((mag >> (body - 1)) & 1U);
+  int m = 1;
+  while (m < cap && m < body &&
+         static_cast<int>((mag >> (body - 1 - m)) & 1U) == first) {
+    ++m;
+  }
+  f.run = m;
+  f.k = (first == 1) ? m - 1 : -m;
+  // A terminator bit follows iff the run stopped before both the cap and
+  // the end of the word.
+  f.regime_consumed = (m < cap && m < body) ? m + 1 : m;
+
+  f.tail_len = body - f.regime_consumed;
+  f.tail_bits = (f.tail_len > 0)
+                    ? (mag & ((1U << f.tail_len) - 1U))
+                    : 0U;
+  // ulfx = B * 2^(es - tail_len): es-bit exponent MSB-aligned, remaining
+  // bits are the log-domain fraction.
+  f.ulfx = std::ldexp(static_cast<double>(f.tail_bits), cfg.es - f.tail_len);
+  f.scale = std::ldexp(static_cast<double>(f.k), cfg.es) + f.ulfx - cfg.sf;
+  return f;
+}
+
+double decode_value(std::uint32_t code, const LPConfig& cfg) {
+  const LPFields f = decode_fields(code, cfg);
+  if (f.is_zero) return 0.0;
+  if (f.is_nar) return std::numeric_limits<double>::quiet_NaN();
+  const double mag = std::exp2(f.scale);
+  return f.sign != 0 ? -mag : mag;
+}
+
+std::uint32_t encode_log_rounded(double v, const LPConfig& cfg) {
+  cfg.validate();
+  if (v == 0.0) return 0U;
+  if (!std::isfinite(v)) return nar_code(cfg);
+
+  const std::uint32_t mask = (1U << cfg.n) - 1U;
+  const int body = cfg.n - 1;
+  const bool neg = v < 0.0;
+  // Target total exponent (before regime/ulfx split).
+  const double t = std::log2(std::fabs(v)) + cfg.sf;
+  const double step = std::exp2(cfg.es);  // exponent span per regime step
+
+  int k = static_cast<int>(std::floor(t / step));
+  double ulfx = t - static_cast<double>(k) * step;  // in [0, step)
+
+  const int kmin = cfg.min_k();
+  const int kmax = cfg.max_k();
+
+  auto tail_len_for = [&](int kk) {
+    const int m = (kk >= 0) ? kk + 1 : -kk;
+    const int cap = cfg.max_run();
+    const int consumed = (m < cap && m < body) ? m + 1 : m;
+    return body - consumed;
+  };
+
+  // Saturate out-of-range exponents at the largest/smallest magnitude.
+  if (k < kmin || (k == kmin && ulfx == 0.0 && t < kmin * step)) {
+    // below minimum positive: round to min positive (posit convention:
+    // no underflow to zero for nonzero input)
+    k = kmin;
+    ulfx = 0.0;
+  }
+  if (k > kmax) {
+    k = kmax;
+    ulfx = step;  // will clamp to the largest tail below
+  }
+
+  // Round ulfx at the granularity available in this regime.
+  std::uint32_t tail = 0;
+  for (;;) {
+    const int tl = tail_len_for(k);
+    // B = round(ulfx * 2^(tl - es)); max B is 2^tl - 1.
+    const double scaled = std::ldexp(ulfx, tl - cfg.es);
+    double rounded = std::nearbyint(scaled);
+    if (rounded < 0.0) rounded = 0.0;
+    const double limit = std::ldexp(1.0, tl);  // 2^tl
+    if (rounded >= limit) {
+      if (k < kmax) {
+        ++k;          // carry into the next regime
+        ulfx = 0.0;
+        continue;
+      }
+      rounded = limit - 1.0;  // saturate at max magnitude
+    }
+    tail = static_cast<std::uint32_t>(rounded);
+    break;
+  }
+
+  // Assemble: regime run + optional terminator + tail.
+  const int m = (k >= 0) ? k + 1 : -k;
+  const int cap = cfg.max_run();
+  const int first = (k >= 0) ? 1 : 0;
+  const bool has_term = (m < cap && m < body);
+  const int consumed = has_term ? m + 1 : m;
+  const int tl = body - consumed;
+
+  std::uint32_t mag = 0;
+  if (first == 1) mag = ((1U << m) - 1U);  // run of ones
+  // run of zeros contributes nothing
+  if (has_term) {
+    mag = (mag << 1) | static_cast<std::uint32_t>(first == 1 ? 0 : 1);
+  }
+  mag = (mag << tl) | (tail & ((tl > 0) ? ((1U << tl) - 1U) : 0U));
+  LP_ASSERT(mag < (1U << body) || body == 0);
+  // mag == 0 would collide with the zero code; the smallest magnitude has
+  // at least the regime pattern, which is nonzero for first==1 or has a
+  // terminator for first==0 unless the run fills the body.  A full-body
+  // run of zeros *is* pattern 0 — bump it to the smallest nonzero code.
+  if (mag == 0) mag = 1;
+
+  std::uint32_t code = mag;
+  if (neg) code = (~code + 1U) & mask;
+  return code & mask;
+}
+
+CodeTable::CodeTable(const LPConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  const std::uint32_t count = cfg_.code_count();
+  std::vector<std::pair<double, std::uint32_t>> entries;
+  entries.reserve(count - 1);
+  for (std::uint32_t c = 0; c < count; ++c) {
+    if (c == nar_code(cfg_)) continue;
+    entries.emplace_back(decode_value(c, cfg_), c);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  values_.reserve(entries.size());
+  codes_.reserve(entries.size());
+  for (const auto& [v, c] : entries) {
+    values_.push_back(v);
+    codes_.push_back(c);
+  }
+}
+
+double CodeTable::min_positive() const {
+  const auto it = std::upper_bound(values_.begin(), values_.end(), 0.0);
+  LP_ASSERT(it != values_.end());
+  return *it;
+}
+
+std::size_t CodeTable::nearest_index(double v) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  if (it == values_.begin()) return 0;
+  if (it == values_.end()) return values_.size() - 1;
+  const std::size_t hi = static_cast<std::size_t>(it - values_.begin());
+  const std::size_t lo = hi - 1;
+  const double dlo = v - values_[lo];
+  const double dhi = values_[hi] - v;
+  if (dlo < dhi) return lo;
+  if (dhi < dlo) return hi;
+  // Tie: prefer the smaller magnitude (toward zero).
+  return std::fabs(values_[lo]) <= std::fabs(values_[hi]) ? lo : hi;
+}
+
+double CodeTable::quantize(double v) const {
+  if (!std::isfinite(v)) return std::numeric_limits<double>::quiet_NaN();
+  if (v == 0.0) return 0.0;
+  return values_[nearest_index(v)];
+}
+
+std::uint32_t CodeTable::quantize_code(double v) const {
+  if (!std::isfinite(v)) return nar_code(cfg_);
+  if (v == 0.0) return 0U;
+  return codes_[nearest_index(v)];
+}
+
+}  // namespace lp

@@ -1,0 +1,83 @@
+// Bit-level codec for the Logarithmic Posit data type.
+//
+// decode_fields/decode_value implement the reference semantics of an LP bit
+// pattern; CodeTable enumerates every representable value of a config and
+// provides nearest-value quantization (the ground truth LPQ uses).
+// encode_log_rounded mirrors what the LPA hardware encoder does (rounding
+// in the log domain); it can differ from nearest-value rounding by one code
+// near code boundaries, which the tests quantify.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/lp_config.h"
+
+namespace lp {
+
+/// All fields of a decoded LP bit pattern.  `tail_bits` is the raw
+/// exponent+fraction payload B of width `tail_len`; the unified
+/// log-fraction-and-exponent is ulfx = B * 2^(es - tail_len).
+struct LPFields {
+  bool is_zero = false;
+  bool is_nar = false;
+  int sign = 0;           ///< 0 positive, 1 negative
+  int run = 0;            ///< regime run length m
+  int k = 0;              ///< regime value
+  int regime_consumed = 0;///< bits consumed by regime incl. terminator
+  std::uint32_t tail_bits = 0;
+  int tail_len = 0;
+  double ulfx = 0.0;      ///< e + log2(1.f) in [0, 2^es)
+  double scale = 0.0;     ///< total exponent 2^es*k + ulfx - sf
+};
+
+/// Decode an n-bit LP code (low n bits of `code`) into its fields.
+[[nodiscard]] LPFields decode_fields(std::uint32_t code, const LPConfig& cfg);
+
+/// Decode an LP code to its real value (0.0 for the zero code, quiet NaN
+/// for NaR).
+[[nodiscard]] double decode_value(std::uint32_t code, const LPConfig& cfg);
+
+/// The NaR bit pattern (1 followed by zeros).
+[[nodiscard]] constexpr std::uint32_t nar_code(const LPConfig& cfg) {
+  return 1U << (cfg.n - 1);
+}
+
+/// Encode by rounding in the log domain, as the hardware encoder does:
+/// round ulfx to the fraction granularity of the landing regime, carrying
+/// into k on overflow, saturating at the config's extremes.  v == 0 maps to
+/// the zero code; non-finite v maps to NaR.
+[[nodiscard]] std::uint32_t encode_log_rounded(double v, const LPConfig& cfg);
+
+/// Enumerated, sorted table of every representable value of one config.
+/// Build cost is O(2^n log 2^n); lookup is O(log 2^n).
+class CodeTable {
+ public:
+  explicit CodeTable(const LPConfig& cfg);
+
+  /// Nearest representable value (ties toward smaller magnitude);
+  /// out-of-range inputs saturate, non-finite inputs return NaN.
+  [[nodiscard]] double quantize(double v) const;
+
+  /// Code of the nearest representable value.
+  [[nodiscard]] std::uint32_t quantize_code(double v) const;
+
+  /// Sorted representable values (excludes NaR, includes 0).
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  /// Codes aligned with values().
+  [[nodiscard]] const std::vector<std::uint32_t>& codes() const { return codes_; }
+
+  [[nodiscard]] const LPConfig& config() const { return cfg_; }
+  [[nodiscard]] double max_value() const { return values_.back(); }
+  [[nodiscard]] double min_positive() const;
+
+ private:
+  [[nodiscard]] std::size_t nearest_index(double v) const;
+
+  LPConfig cfg_;
+  std::vector<double> values_;
+  std::vector<std::uint32_t> codes_;
+};
+
+}  // namespace lp

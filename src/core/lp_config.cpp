@@ -1,0 +1,15 @@
+#include "core/lp_config.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace lp {
+
+std::string LPConfig::to_string() const {
+  std::ostringstream os;
+  os << "<n=" << n << ", es=" << es << ", rs=" << rs << ", sf="
+     << std::setprecision(4) << sf << '>';
+  return os.str();
+}
+
+}  // namespace lp

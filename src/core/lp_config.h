@@ -1,0 +1,93 @@
+// LPConfig — the four parameterized bit fields of a Logarithmic Posit
+// (paper Section 3):
+//
+//   x<n, es, rs, sf> = (-1)^sign * 2^(2^es * k - sf) * 2^ulfx
+//
+//   n  — total width in bits (mixed precision, 2..16 here; paper uses 2..8)
+//   es — exponent field size; each increment doubles the dynamic range
+//   rs — regime-size cap; controls the degree of tapering (shape)
+//   sf — continuous scale-factor bias; shifts the region of maximum
+//        accuracy away from magnitude 1 (standard posits fix sf = 0)
+//
+// Encoding layout after the sign bit: a run of m identical bits
+// (1 <= m <= min(rs, n-1)), terminated by the opposite bit when the run is
+// shorter than both the cap and the remaining width; then es exponent bits
+// (MSB-aligned, absent low bits read as 0); remaining bits are the
+// log-domain fraction f' = log2(1.f).  k = -m for a run of 0s, m-1 for 1s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.h"
+
+namespace lp {
+
+struct LPConfig {
+  int n = 8;       ///< total bits, including sign
+  int es = 2;      ///< exponent field size
+  int rs = 7;      ///< regime run-length cap
+  double sf = 0.0; ///< scale-factor bias (continuous)
+
+  /// Throws std::invalid_argument unless the config is representable.
+  void validate() const {
+    LP_CHECK_MSG(n >= 2 && n <= 16, "LP width n=" << n << " out of [2,16]");
+    LP_CHECK_MSG(es >= 0 && es <= 5, "LP es=" << es << " out of [0,5]");
+    LP_CHECK_MSG(es <= (n >= 3 ? n - 3 : 0),
+                 "LP es=" << es << " too large for n=" << n);
+    LP_CHECK_MSG(rs >= 1 && rs <= n - 1,
+                 "LP rs=" << rs << " out of [1, n-1] for n=" << n);
+  }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return n >= 2 && n <= 16 && es >= 0 && es <= 5 &&
+           es <= (n >= 3 ? n - 3 : 0) && rs >= 1 && rs <= n - 1;
+  }
+
+  /// Largest regime run length this config can encode.
+  [[nodiscard]] int max_run() const { return rs < n - 1 ? rs : n - 1; }
+
+  /// Regime value range: k in [min_k(), max_k()].
+  [[nodiscard]] int min_k() const { return -max_run(); }
+  [[nodiscard]] int max_k() const { return max_run() - 1; }
+
+  /// Number of distinct bit patterns (including 0 and NaR).
+  [[nodiscard]] std::uint32_t code_count() const { return 1U << n; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const LPConfig& a, const LPConfig& b) {
+    return a.n == b.n && a.es == b.es && a.rs == b.rs && a.sf == b.sf;
+  }
+};
+
+/// Standard posit<n, es> expressed as an LPConfig: regime may run the full
+/// word and there is no scale bias.  (The *values* differ from a true posit
+/// because LP stores the fraction in the log domain; see formats/posit.h
+/// for the genuine posit used in comparisons.)
+[[nodiscard]] inline LPConfig lp_like_standard_posit(int n, int es) {
+  LPConfig c;
+  c.n = n;
+  c.es = es;
+  c.rs = n - 1;
+  c.sf = 0.0;
+  c.validate();
+  return c;
+}
+
+/// Paper Section 4 ("Quantization for Activation"): derive the activation
+/// config of a layer from its weight config and the previous layer's
+/// activation scale factor.
+[[nodiscard]] inline LPConfig activation_config(const LPConfig& w,
+                                                double prev_act_sf) {
+  LPConfig a;
+  a.n = w.n * 2 < 8 ? w.n * 2 : 8;
+  a.es = w.es * 2 < 5 ? w.es * 2 : 5;
+  if (a.es > a.n - 3) a.es = a.n >= 3 ? a.n - 3 : 0;
+  a.rs = w.rs <= a.n - 1 ? w.rs : a.n - 1;
+  a.sf = prev_act_sf + w.sf;
+  a.validate();
+  return a;
+}
+
+}  // namespace lp

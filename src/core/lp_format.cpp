@@ -1,0 +1,16 @@
+#include "core/lp_format.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace lp {
+
+std::string LPFormat::name() const {
+  const LPConfig& c = table_.config();
+  std::ostringstream os;
+  os << "LP<" << c.n << ',' << c.es << ',' << c.rs << ",sf=" << std::setprecision(3)
+     << c.sf << '>';
+  return os.str();
+}
+
+}  // namespace lp

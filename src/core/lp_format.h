@@ -1,0 +1,35 @@
+// LP as a NumberFormat — the adapter used by the quantization framework
+// and the format-comparison benches.
+#pragma once
+
+#include <string>
+
+#include "core/lp_codec.h"
+#include "core/number_format.h"
+
+namespace lp {
+
+class LPFormat final : public NumberFormat {
+ public:
+  explicit LPFormat(const LPConfig& cfg) : table_(cfg) {}
+
+  [[nodiscard]] double quantize(double v) const override {
+    return table_.quantize(v);
+  }
+
+  [[nodiscard]] std::vector<double> all_values() const override {
+    return table_.values();
+  }
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int bits() const override { return table_.config().n; }
+
+  [[nodiscard]] const LPConfig& config() const { return table_.config(); }
+  [[nodiscard]] const CodeTable& table() const { return table_; }
+
+ private:
+  CodeTable table_;
+};
+
+}  // namespace lp

@@ -1,0 +1,52 @@
+#include "core/number_format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace lp {
+
+void EnumeratedFormat::set_values(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  LP_CHECK_MSG(!values.empty(), "format has no representable values");
+  values_ = std::move(values);
+}
+
+double EnumeratedFormat::quantize(double v) const {
+  if (!std::isfinite(v)) return std::numeric_limits<double>::quiet_NaN();
+  const auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  if (it == values_.begin()) return values_.front();
+  if (it == values_.end()) return values_.back();
+  const double hi = *it;
+  const double lo = *(it - 1);
+  const double dlo = v - lo;
+  const double dhi = hi - v;
+  if (dlo < dhi) return lo;
+  if (dhi < dlo) return hi;
+  return std::fabs(lo) <= std::fabs(hi) ? lo : hi;
+}
+
+double quantize_span(std::span<float> xs, const NumberFormat& fmt) {
+  double se = 0.0;
+  for (float& x : xs) {
+    const double q = fmt.quantize(x);
+    const double d = static_cast<double>(x) - q;
+    se += d * d;
+    x = static_cast<float>(q);
+  }
+  return xs.empty() ? 0.0 : std::sqrt(se / static_cast<double>(xs.size()));
+}
+
+double quantization_rmse(std::span<const float> xs, const NumberFormat& fmt) {
+  double se = 0.0;
+  for (float x : xs) {
+    const double d = static_cast<double>(x) - fmt.quantize(x);
+    se += d * d;
+  }
+  return xs.empty() ? 0.0 : std::sqrt(se / static_cast<double>(xs.size()));
+}
+
+}  // namespace lp

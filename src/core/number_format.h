@@ -1,0 +1,57 @@
+// NumberFormat — the common interface every data type in the comparison
+// study implements (LP, standard posit, AdaptivFloat, uniform INT, LNS,
+// IEEE-style minifloat, ANT's flint).  Fig. 1(b) and Fig. 5(b) sweep this
+// interface; LPQ's competitors reuse it through the same quantizer.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lp {
+
+class NumberFormat {
+ public:
+  virtual ~NumberFormat() = default;
+
+  /// Nearest representable value to v (saturating at the extremes).
+  [[nodiscard]] virtual double quantize(double v) const = 0;
+
+  /// Every finite representable value, sorted ascending.  Used by the
+  /// accuracy-profile benches; may be large for wide formats.
+  [[nodiscard]] virtual std::vector<double> all_values() const = 0;
+
+  /// Human-readable name, e.g. "LP<4,1,2,sf=0.31>".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Storage width in bits.
+  [[nodiscard]] virtual int bits() const = 0;
+};
+
+/// Convenience base for formats defined by an explicit finite value set:
+/// keeps the sorted table and implements nearest-value quantization with
+/// ties toward zero.
+class EnumeratedFormat : public NumberFormat {
+ public:
+  [[nodiscard]] double quantize(double v) const final;
+  [[nodiscard]] std::vector<double> all_values() const final { return values_; }
+
+ protected:
+  /// Derived constructors call this with the (unsorted, possibly
+  /// duplicated) representable values.
+  void set_values(std::vector<double> values);
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Quantize every element of a buffer in place; returns the RMSE between
+/// the original and quantized contents.
+double quantize_span(std::span<float> xs, const NumberFormat& fmt);
+
+/// RMSE of quantizing (without mutating) a buffer.
+[[nodiscard]] double quantization_rmse(std::span<const float> xs,
+                                       const NumberFormat& fmt);
+
+}  // namespace lp

@@ -1,0 +1,193 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace lp::data {
+namespace {
+
+/// Smoothed Gaussian field: N(0,1) pixels blurred twice with a 3x3 box
+/// filter, then renormalized to unit std — gives prototypes spatial
+/// structure so convolutions see correlated inputs.
+Tensor make_prototype(int channels, int size, Rng& rng) {
+  Tensor img({1, channels, size, size});
+  for (float& v : img.data()) v = static_cast<float>(rng.gaussian());
+  Tensor tmp = img;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int c = 0; c < channels; ++c) {
+      for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+          float s = 0.0F;
+          int cnt = 0;
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const int yy = y + dy;
+              const int xx = x + dx;
+              if (yy < 0 || yy >= size || xx < 0 || xx >= size) continue;
+              s += img.at4(0, c, yy, xx);
+              ++cnt;
+            }
+          }
+          tmp.at4(0, c, y, x) = s / static_cast<float>(cnt);
+        }
+      }
+    }
+    img = tmp;
+  }
+  // Renormalize to unit std.
+  double var = 0.0;
+  for (float v : img.data()) var += static_cast<double>(v) * v;
+  var /= static_cast<double>(img.numel());
+  const auto inv = static_cast<float>(1.0 / std::sqrt(var + 1e-12));
+  for (float& v : img.data()) v *= inv;
+  return img;
+}
+
+/// Stack per-class prototypes into [classes, C, H, W].
+Tensor stack_prototypes(int classes, int channels, int size, Rng& rng) {
+  Tensor protos({classes, channels, size, size});
+  for (int c = 0; c < classes; ++c) {
+    const Tensor p = make_prototype(channels, size, rng);
+    std::copy_n(p.raw(), p.numel(), protos.raw() + c * p.numel());
+  }
+  return protos;
+}
+
+/// Sample `count` noisy views: inputs[i] = proto[class_i] + noise*N(0,1).
+Tensor sample_views(const Tensor& protos, const std::vector<std::int64_t>& cls,
+                    double noise, Rng& rng) {
+  const std::int64_t per = protos.numel() / protos.dim(0);
+  Tensor out({static_cast<std::int64_t>(cls.size()), protos.dim(1),
+              protos.dim(2), protos.dim(3)});
+  for (std::size_t i = 0; i < cls.size(); ++i) {
+    const float* src = protos.raw() + cls[i] * per;
+    float* dst = out.raw() + static_cast<std::int64_t>(i) * per;
+    for (std::int64_t j = 0; j < per; ++j) {
+      dst[j] = src[j] + static_cast<float>(noise * rng.gaussian());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void align_head_with_prototypes(nn::Model& model, const Tensor& prototypes) {
+  LP_CHECK(prototypes.rank() == 4);
+  const std::size_t head_node = model.node_count() - 1;
+  nn::WeightSlot* head = model.slot_list().back();
+  LP_CHECK_MSG(head->weight.rank() == 2,
+               "final node must be a linear classifier head");
+  const std::int64_t classes = head->weight.dim(0);
+  const std::int64_t dim = head->weight.dim(1);
+  LP_CHECK_MSG(prototypes.dim(0) == classes,
+               "need one prototype per class: " << prototypes.dim(0) << " vs "
+                                                << classes);
+  // Penultimate features of each prototype.
+  const int feat_node = model.node(head_node).inputs()[0];
+  const Tensor feats = model.forward_node_output(
+      prototypes, static_cast<std::size_t>(feat_node));
+  LP_CHECK(feats.rank() == 2 && feats.dim(1) == dim);
+  // Random feature extractors produce a large input-independent "base"
+  // component shared by every input (channel activation means); left in
+  // place it collapses all class directions onto one axis.  Center the
+  // prototype features and fold the base into the bias so logits depend
+  // on the input-specific component only.
+  std::vector<double> base(static_cast<std::size_t>(dim), 0.0);
+  for (std::int64_t c = 0; c < classes; ++c) {
+    for (std::int64_t j = 0; j < dim; ++j) {
+      base[static_cast<std::size_t>(j)] += feats.at2(c, j);
+    }
+  }
+  for (auto& b : base) b /= static_cast<double>(classes);
+  for (std::int64_t c = 0; c < classes; ++c) {
+    double nrm = 0.0;
+    for (std::int64_t j = 0; j < dim; ++j) {
+      const double v = feats.at2(c, j) - base[static_cast<std::size_t>(j)];
+      nrm += v * v;
+    }
+    nrm = std::sqrt(nrm) + 1e-12;
+    double bias_c = 0.0;
+    for (std::int64_t j = 0; j < dim; ++j) {
+      const double w =
+          (feats.at2(c, j) - base[static_cast<std::size_t>(j)]) / nrm;
+      head->weight.at2(c, j) = static_cast<float>(w);
+      bias_c -= w * base[static_cast<std::size_t>(j)];
+    }
+    head->bias[c] = static_cast<float>(bias_c);
+  }
+}
+
+Dataset make_dataset(nn::Model& model, int in_channels, int input_size,
+                     const DatasetOptions& opts) {
+  LP_CHECK(opts.classes >= 2);
+  LP_CHECK(opts.n_calibration >= 1 && opts.n_eval >= 1);
+  Rng rng(opts.seed);
+  const Tensor protos = stack_prototypes(opts.classes, in_channels, input_size, rng);
+
+  if (opts.align_head) align_head_with_prototypes(model, protos);
+
+  // Ground-truth labels: FP prediction on the clean prototype.
+  const Tensor proto_logits = model.forward(protos).logits;
+  const std::vector<std::int64_t> proto_labels = argmax_rows(proto_logits);
+
+  Dataset ds;
+  ds.classes = opts.classes;
+  ds.noise = opts.noise;
+
+  std::vector<std::int64_t> cal_cls(static_cast<std::size_t>(opts.n_calibration));
+  for (auto& c : cal_cls) c = rng.uniform_int(0, opts.classes - 1);
+  ds.calibration = sample_views(protos, cal_cls, opts.noise, rng);
+
+  std::vector<std::int64_t> eval_cls(static_cast<std::size_t>(opts.n_eval));
+  for (auto& c : eval_cls) c = rng.uniform_int(0, opts.classes - 1);
+  ds.eval_inputs = sample_views(protos, eval_cls, opts.noise, rng);
+  ds.eval_labels.resize(eval_cls.size());
+  for (std::size_t i = 0; i < eval_cls.size(); ++i) {
+    ds.eval_labels[i] = proto_labels[static_cast<std::size_t>(eval_cls[i])];
+  }
+
+  if (opts.target_fp_accuracy > 0.0) {
+    // Corrupt a label fraction so the FP baseline lands near the target.
+    // Corruption hits FP and quantized models identically, leaving the
+    // accuracy deltas the tables compare untouched.
+    const Tensor logits = model.forward(ds.eval_inputs).logits;
+    const double clean_acc = top1_accuracy(logits, ds.eval_labels);
+    if (clean_acc > opts.target_fp_accuracy) {
+      const double flip = (clean_acc - opts.target_fp_accuracy) / clean_acc;
+      Rng corrupt_rng = rng.fork(13);
+      for (auto& label : ds.eval_labels) {
+        if (!corrupt_rng.coin(flip)) continue;
+        std::int64_t wrong = corrupt_rng.uniform_int(0, opts.classes - 1);
+        if (wrong == label) wrong = (wrong + 1) % opts.classes;
+        label = wrong;
+      }
+    }
+  }
+  return ds;
+}
+
+double top1_accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  LP_CHECK(static_cast<std::size_t>(logits.dim(0)) == labels.size());
+  const auto preds = argmax_rows(logits);
+  int hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++hits;
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+double evaluate_fp(const nn::Model& model, const Dataset& ds) {
+  return top1_accuracy(model.forward(ds.eval_inputs).logits, ds.eval_labels);
+}
+
+double evaluate_quantized(const nn::Model& model, const nn::QuantSpec& spec,
+                          const Dataset& ds) {
+  return top1_accuracy(model.forward_quantized(ds.eval_inputs, spec).logits,
+                       ds.eval_labels);
+}
+
+}  // namespace lp::data

@@ -1,0 +1,57 @@
+#include "formats/adaptivfloat.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace lp {
+
+AdaptivFloatFormat::AdaptivFloatFormat(int n, int exp_bits, int exp_bias)
+    : n_(n), exp_bits_(exp_bits), bias_(exp_bias) {
+  LP_CHECK_MSG(n >= 3 && n <= 16, "AdaptivFloat n out of range");
+  LP_CHECK_MSG(exp_bits >= 1 && exp_bits <= n - 2,
+               "AdaptivFloat exp_bits out of range");
+  const int mant_bits = n - 1 - exp_bits;
+  const int exp_count = 1 << exp_bits;
+  std::vector<double> vals;
+  vals.reserve(static_cast<std::size_t>(exp_count) * (1U << mant_bits) * 2 + 1);
+  vals.push_back(0.0);
+  // AdaptivFloat has normalized values only; the all-zero mantissa at the
+  // lowest exponent is sacrificed for zero (per the AFP paper), all other
+  // codes are (1 + m/2^mb) * 2^(e - bias).
+  for (int e = 0; e < exp_count; ++e) {
+    for (int m = 0; m < (1 << mant_bits); ++m) {
+      if (e == 0 && m == 0) continue;  // reserved for zero
+      const double mag =
+          std::ldexp(1.0 + std::ldexp(static_cast<double>(m), -mant_bits),
+                     e - bias_);
+      vals.push_back(mag);
+      vals.push_back(-mag);
+    }
+  }
+  set_values(std::move(vals));
+}
+
+AdaptivFloatFormat AdaptivFloatFormat::calibrated(int n, int exp_bits,
+                                                  std::span<const float> data) {
+  LP_CHECK(!data.empty());
+  double max_abs = 0.0;
+  for (float x : data) max_abs = std::max(max_abs, std::fabs(static_cast<double>(x)));
+  if (max_abs <= 0.0) max_abs = 1.0;
+  // Want the top exponent (2^exp_bits - 1 - bias) to reach max_abs:
+  // bias = (2^exp_bits - 1) - floor(log2(max_abs)).
+  const int top = (1 << exp_bits) - 1;
+  const int bias = top - static_cast<int>(std::floor(std::log2(max_abs)));
+  return AdaptivFloatFormat(n, exp_bits, bias);
+}
+
+std::string AdaptivFloatFormat::name() const {
+  std::ostringstream os;
+  os << "AdaptivFloat<" << n_ << ",e" << exp_bits_ << ",b" << bias_ << '>';
+  return os.str();
+}
+
+}  // namespace lp

@@ -1,0 +1,36 @@
+// AdaptivFloat (Tambe et al., DAC 2020) — an n-bit float whose exponent
+// bias is chosen per tensor so the representable range covers the tensor's
+// dynamic range.  It adapts *range* but not *shape*: accuracy is flat
+// across the covered range, which is the property Fig. 1(b) contrasts
+// against LP's tapering.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/number_format.h"
+
+namespace lp {
+
+class AdaptivFloatFormat final : public EnumeratedFormat {
+ public:
+  /// n total bits: 1 sign, `exp_bits` exponent, rest mantissa.
+  /// `exp_bias` positions the range: max magnitude ~= 2^(2^exp_bits-1-exp_bias)*2.
+  AdaptivFloatFormat(int n, int exp_bits, int exp_bias);
+
+  /// Choose the bias from data so the largest magnitude is representable
+  /// (the AdaptivFloat calibration rule).
+  [[nodiscard]] static AdaptivFloatFormat calibrated(int n, int exp_bits,
+                                                     std::span<const float> data);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int bits() const override { return n_; }
+  [[nodiscard]] int exp_bias() const { return bias_; }
+
+ private:
+  int n_;
+  int exp_bits_;
+  int bias_;
+};
+
+}  // namespace lp

@@ -1,0 +1,45 @@
+#include "formats/flint.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "formats/posit.h"
+#include "util/check.h"
+
+namespace lp {
+
+FlintFormat::FlintFormat(int n, double scale) : n_(n), scale_(scale) {
+  LP_CHECK_MSG(n >= 3 && n <= 16, "Flint n out of range");
+  LP_CHECK_MSG(scale > 0.0, "Flint scale must be positive");
+  // Flint's lattice is a unary leading-ones exponent followed by an integer
+  // mantissa — structurally a posit<n, es=0> with a linear fraction.  We
+  // enumerate that lattice and apply the per-tensor scale.
+  const std::uint32_t count = 1U << n;
+  const std::uint32_t nar = 1U << (n - 1);
+  std::vector<double> vals;
+  vals.reserve(count - 1);
+  for (std::uint32_t c = 0; c < count; ++c) {
+    if (c == nar) continue;
+    vals.push_back(scale * PositFormat::decode(c, n, /*es=*/0));
+  }
+  set_values(std::move(vals));
+}
+
+FlintFormat FlintFormat::calibrated(int n, std::span<const float> data) {
+  LP_CHECK(!data.empty());
+  double max_abs = 0.0;
+  for (float x : data) max_abs = std::max(max_abs, std::fabs(static_cast<double>(x)));
+  if (max_abs <= 0.0) max_abs = 1.0;
+  // posit<n,0> maxpos is 2^(n-2); align it with max_abs.
+  const double maxpos = std::ldexp(1.0, n - 2);
+  return FlintFormat(n, max_abs / maxpos);
+}
+
+std::string FlintFormat::name() const {
+  std::ostringstream os;
+  os << "Flint<" << n_ << '>';
+  return os.str();
+}
+
+}  // namespace lp

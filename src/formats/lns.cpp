@@ -1,0 +1,51 @@
+#include "formats/lns.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lp {
+
+LnsFormat::LnsFormat(int n, int frac_bits, double bias)
+    : n_(n), frac_bits_(frac_bits), bias_(bias) {
+  LP_CHECK_MSG(n >= 3 && n <= 16, "LNS n out of range");
+  LP_CHECK_MSG(frac_bits >= 0 && frac_bits <= n - 2, "LNS frac_bits out of range");
+  const int ebits = n - 1;
+  const int count = 1 << ebits;
+  std::vector<double> vals;
+  vals.reserve(static_cast<std::size_t>(count) * 2 + 1);
+  vals.push_back(0.0);
+  // Two's-complement exponent in [-2^(ebits-1), 2^(ebits-1)-1]; the most
+  // negative code is reserved for zero (standard LNS convention).
+  for (int e = -(count / 2) + 1; e <= count / 2 - 1; ++e) {
+    const double mag = std::exp2(std::ldexp(static_cast<double>(e), -frac_bits) + bias_);
+    vals.push_back(mag);
+    vals.push_back(-mag);
+  }
+  set_values(std::move(vals));
+}
+
+LnsFormat LnsFormat::calibrated(int n, int frac_bits, std::span<const float> data) {
+  LP_CHECK(!data.empty());
+  double sum = 0.0;
+  std::size_t cnt = 0;
+  for (float x : data) {
+    const double a = std::fabs(static_cast<double>(x));
+    if (a > 0.0) {
+      sum += std::log2(a);
+      ++cnt;
+    }
+  }
+  const double bias = (cnt > 0) ? sum / static_cast<double>(cnt) : 0.0;
+  return LnsFormat(n, frac_bits, bias);
+}
+
+std::string LnsFormat::name() const {
+  std::ostringstream os;
+  os << "LNS<" << n_ << ",f" << frac_bits_ << '>';
+  return os.str();
+}
+
+}  // namespace lp

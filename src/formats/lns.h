@@ -1,0 +1,33 @@
+// Base-2 logarithmic number system (LNS): 1 sign bit plus an (n-1)-bit
+// two's-complement fixed-point exponent with `frac_bits` fractional bits:
+// value = +/- 2^(E). One code is reserved for zero.  LNS is the
+// "computational efficiency" primitive of LP — multiplications become
+// additions — but on its own it has a rigid, non-tapered accuracy profile.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/number_format.h"
+
+namespace lp {
+
+class LnsFormat final : public EnumeratedFormat {
+ public:
+  /// `bias` shifts the exponent range (like LP's sf, but static).
+  LnsFormat(int n, int frac_bits, double bias = 0.0);
+
+  /// Center the exponent range on the data's mean log-magnitude.
+  [[nodiscard]] static LnsFormat calibrated(int n, int frac_bits,
+                                            std::span<const float> data);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int bits() const override { return n_; }
+
+ private:
+  int n_;
+  int frac_bits_;
+  double bias_;
+};
+
+}  // namespace lp

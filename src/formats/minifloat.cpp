@@ -1,0 +1,41 @@
+#include "formats/minifloat.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lp {
+
+MiniFloatFormat::MiniFloatFormat(int n, int exp_bits) : n_(n), exp_bits_(exp_bits) {
+  LP_CHECK_MSG(n >= 3 && n <= 16, "MiniFloat n out of range");
+  LP_CHECK_MSG(exp_bits >= 2 && exp_bits <= n - 1, "MiniFloat exp_bits out of range");
+  const int mant_bits = n - 1 - exp_bits;
+  const int bias = (1 << (exp_bits - 1)) - 1;
+  std::vector<double> vals;
+  vals.push_back(0.0);
+  for (int e = 0; e < (1 << exp_bits); ++e) {
+    for (int m = 0; m < (1 << mant_bits); ++m) {
+      double mag;
+      if (e == 0) {
+        if (m == 0) continue;  // zero already added
+        mag = std::ldexp(static_cast<double>(m), 1 - bias - mant_bits);  // subnormal
+      } else {
+        mag = std::ldexp(1.0 + std::ldexp(static_cast<double>(m), -mant_bits),
+                         e - bias);
+      }
+      vals.push_back(mag);
+      vals.push_back(-mag);
+    }
+  }
+  set_values(std::move(vals));
+}
+
+std::string MiniFloatFormat::name() const {
+  std::ostringstream os;
+  os << "FP" << n_ << "-E" << exp_bits_ << 'M' << (n_ - 1 - exp_bits_);
+  return os.str();
+}
+
+}  // namespace lp

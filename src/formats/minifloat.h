@@ -1,0 +1,28 @@
+// IEEE-style minifloat (e.g. FP8 E4M3 / E5M2): 1 sign, `exp_bits` exponent
+// with IEEE bias, subnormals, no infinities/NaN codes included in the value
+// set (OCP FP8 style saturating arithmetic).  The non-adaptive float
+// baseline in the format comparison.
+#pragma once
+
+#include <string>
+
+#include "core/number_format.h"
+
+namespace lp {
+
+class MiniFloatFormat final : public EnumeratedFormat {
+ public:
+  MiniFloatFormat(int n, int exp_bits);
+
+  [[nodiscard]] static MiniFloatFormat e4m3() { return {8, 4}; }
+  [[nodiscard]] static MiniFloatFormat e5m2() { return {8, 5}; }
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int bits() const override { return n_; }
+
+ private:
+  int n_;
+  int exp_bits_;
+};
+
+}  // namespace lp

@@ -1,0 +1,66 @@
+#include "formats/posit.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lp {
+
+PositFormat::PositFormat(int n, int es) : n_(n), es_(es) {
+  LP_CHECK_MSG(n >= 2 && n <= 16, "posit n out of range");
+  LP_CHECK_MSG(es >= 0 && es <= 5, "posit es out of range");
+  std::vector<double> vals;
+  const std::uint32_t count = 1U << n;
+  const std::uint32_t nar = 1U << (n - 1);
+  vals.reserve(count - 1);
+  for (std::uint32_t c = 0; c < count; ++c) {
+    if (c == nar) continue;
+    vals.push_back(decode(c, n, es));
+  }
+  set_values(std::move(vals));
+}
+
+double PositFormat::decode(std::uint32_t code, int n, int es) {
+  const std::uint32_t mask = (1U << n) - 1U;
+  code &= mask;
+  if (code == 0) return 0.0;
+  if (code == (1U << (n - 1))) return std::numeric_limits<double>::quiet_NaN();
+
+  const int sign = static_cast<int>((code >> (n - 1)) & 1U);
+  std::uint32_t mag = code;
+  if (sign != 0) mag = (~code + 1U) & mask;
+
+  const int body = n - 1;
+  const int first = static_cast<int>((mag >> (body - 1)) & 1U);
+  int m = 1;
+  while (m < body && static_cast<int>((mag >> (body - 1 - m)) & 1U) == first) ++m;
+  const int k = (first == 1) ? m - 1 : -m;
+  const int consumed = (m < body) ? m + 1 : m;  // terminator unless run fills word
+
+  const int tail_len = body - consumed;
+  const std::uint32_t tail =
+      (tail_len > 0) ? (mag & ((1U << tail_len) - 1U)) : 0U;
+
+  // Exponent: es bits MSB-aligned within the tail; fraction is the rest.
+  const int ebits = tail_len < es ? tail_len : es;
+  const int fbits = tail_len - ebits;
+  const std::uint32_t echunk = (tail_len > 0) ? (tail >> fbits) : 0U;
+  const int e = static_cast<int>(echunk) << (es - ebits);
+  const std::uint32_t f = (fbits > 0) ? (tail & ((1U << fbits) - 1U)) : 0U;
+  const double frac = 1.0 + std::ldexp(static_cast<double>(f), -fbits);
+
+  const double val =
+      std::ldexp(frac, (k << es) + e);
+  return sign != 0 ? -val : val;
+}
+
+std::string PositFormat::name() const {
+  std::ostringstream os;
+  os << "Posit<" << n_ << ',' << es_ << '>';
+  return os.str();
+}
+
+}  // namespace lp

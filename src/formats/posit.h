@@ -1,0 +1,29 @@
+// Standard posit<n, es> (Gustafson & Yonemoto 2017) with a *linear-domain*
+// fraction — the genuine posit used as an LP primitive/baseline in the
+// paper's comparisons.  The regime is unbounded (may fill the word) and
+// there is no scale-factor bias; that is exactly what LP generalizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/number_format.h"
+
+namespace lp {
+
+class PositFormat final : public EnumeratedFormat {
+ public:
+  PositFormat(int n, int es);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int bits() const override { return n_; }
+
+  /// Reference decode of one posit code (low n bits).  Exposed for tests.
+  [[nodiscard]] static double decode(std::uint32_t code, int n, int es);
+
+ private:
+  int n_;
+  int es_;
+};
+
+}  // namespace lp

@@ -1,0 +1,41 @@
+#include "formats/uniform_int.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace lp {
+
+UniformIntFormat::UniformIntFormat(int n, double scale) : n_(n), scale_(scale) {
+  LP_CHECK_MSG(n >= 2 && n <= 16, "UniformInt n out of range");
+  LP_CHECK_MSG(scale > 0.0, "UniformInt scale must be positive");
+  const int top = (1 << (n - 1)) - 1;
+  std::vector<double> vals;
+  vals.reserve(static_cast<std::size_t>(2 * top + 1));
+  for (int i = -top; i <= top; ++i) vals.push_back(scale * i);
+  set_values(std::move(vals));
+}
+
+UniformIntFormat UniformIntFormat::calibrated(int n, std::span<const float> data,
+                                              double clip_quantile) {
+  LP_CHECK(!data.empty());
+  LP_CHECK(clip_quantile > 0.0 && clip_quantile <= 1.0);
+  std::vector<float> mags(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) mags[i] = std::fabs(data[i]);
+  const float clip = (clip_quantile >= 1.0) ? max_value(mags)
+                                            : quantile(mags, clip_quantile);
+  const int top = (1 << (n - 1)) - 1;
+  const double scale = (clip > 0.0F) ? static_cast<double>(clip) / top : 1.0 / top;
+  return UniformIntFormat(n, scale);
+}
+
+std::string UniformIntFormat::name() const {
+  std::ostringstream os;
+  os << "INT" << n_;
+  return os.str();
+}
+
+}  // namespace lp

@@ -1,0 +1,32 @@
+// Symmetric uniform integer quantization (the INT/fixed-point baseline):
+// values are scale * i for i in [-(2^(n-1)-1), 2^(n-1)-1].  Calibration
+// picks the scale from the data's max magnitude or a percentile (the
+// standard PTQ clipping rule).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/number_format.h"
+
+namespace lp {
+
+class UniformIntFormat final : public EnumeratedFormat {
+ public:
+  UniformIntFormat(int n, double scale);
+
+  /// Scale so that `max_abs` (or the p-quantile of |x|) maps to the top code.
+  [[nodiscard]] static UniformIntFormat calibrated(int n,
+                                                   std::span<const float> data,
+                                                   double clip_quantile = 1.0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int bits() const override { return n_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  int n_;
+  double scale_;
+};
+
+}  // namespace lp

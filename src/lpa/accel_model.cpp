@@ -1,0 +1,143 @@
+#include "lpa/accel_model.h"
+
+#include <algorithm>
+
+namespace lp::lpa {
+
+bool AcceleratorModel::supports(int w_bits) const {
+  return std::find(widths.begin(), widths.end(), w_bits) != widths.end();
+}
+
+int AcceleratorModel::packing(int w_bits) const {
+  LP_CHECK_MSG(supports(w_bits), name << " does not support " << w_bits
+                                      << "-bit weights");
+  if (kind == AccelKind::kLPA || kind == AccelKind::kPositPE) {
+    return 8 / w_bits;  // MODE-A/B/C multi-weight mapping
+  }
+  return 1;
+}
+
+int AcceleratorModel::fusion(int w_bits) const {
+  LP_CHECK_MSG(supports(w_bits), name << " does not support " << w_bits
+                                      << "-bit weights");
+  switch (kind) {
+    case AccelKind::kANT:
+      return w_bits <= 4 ? 1 : 2;  // 4-bit native; pairs for 8-bit
+    case AccelKind::kBitFusion:
+      return std::max(1, w_bits / 2);  // 2-bit bricks
+    default:
+      return 1;
+  }
+}
+
+int AcceleratorModel::macs_per_cycle(int w_bits) const {
+  return rows * cols * packing(w_bits) / fusion(w_bits);
+}
+
+double AcceleratorModel::mac_energy(int w_bits) const {
+  // Fused designs burn one PE energy per ganged PE; packing designs pay the
+  // same lane energy regardless of how many weights share the PE (each lane
+  // is a distinct adder), so per-MAC energy is flat.
+  return mac_energy_pj * fusion(w_bits);
+}
+
+double AcceleratorModel::compute_area_um2() const {
+  // Encoders are physically part of the post-processing unit; the paper's
+  // Table 3 compute-area totals count PEs and decoders only.
+  return rows * cols * pe_area_um2 + decoder_units * decoder_area_um2;
+}
+
+double AcceleratorModel::peak_gops(int w_bits) const {
+  return 2.0 * macs_per_cycle(w_bits) * freq_ghz;
+}
+
+AcceleratorModel make_lpa() {
+  AcceleratorModel m;
+  m.name = "LPA";
+  m.kind = AccelKind::kLPA;
+  // Table 3: 2/4/8-bit LP PE 187.43 um^2, decoder 5.2 um^2 (8 weight-side +
+  // 8 activation-side), encoder 9.4 um^2 (counted with the PPU in the
+  // paper's compute-area total, kept here for energy accounting).
+  m.pe_area_um2 = 187.43;
+  m.decoder_area_um2 = 5.2;
+  m.decoder_units = 16;
+  m.encoder_area_um2 = 9.4;
+  m.encoder_units = 8;
+  // Log-domain MAC: two 4-bit adds are cheap, but the log->linear
+  // converter and the wider unified-format alignment push the per-lane
+  // energy above ANT's plain INT4 MAC (the paper's "modest increase in
+  // energy ... attributed to native mixed-precision support and
+  // conversion logic").
+  m.mac_energy_pj = 0.44;
+  m.decode_energy_pj = 0.05;
+  m.encode_energy_pj = 0.09;
+  m.widths = {2, 4, 8};
+  return m;
+}
+
+AcceleratorModel make_ant() {
+  AcceleratorModel m;
+  m.name = "ANT";
+  m.kind = AccelKind::kANT;
+  // Table 3: 4/8-bit INT PE 79.57 um^2, decoder 4.9 um^2 (one per side).
+  m.pe_area_um2 = 79.57;
+  m.decoder_area_um2 = 4.9;
+  m.decoder_units = 2;
+  m.encoder_area_um2 = 0.0;
+  m.encoder_units = 0;
+  // 4-bit integer multiply-accumulate.
+  m.mac_energy_pj = 0.26;
+  m.decode_energy_pj = 0.04;
+  m.widths = {4, 8};
+  return m;
+}
+
+AcceleratorModel make_bitfusion() {
+  AcceleratorModel m;
+  m.name = "BitFusion";
+  m.kind = AccelKind::kBitFusion;
+  // Table 3: fusible 2/4/8-bit PE array, 5093.75 um^2 total -> 79.59 per PE.
+  m.pe_area_um2 = 79.59;
+  m.mac_energy_pj = 0.14;  // 2-bit brick
+  m.widths = {2, 4, 8};
+  return m;
+}
+
+AcceleratorModel make_adaptivfloat() {
+  AcceleratorModel m;
+  m.name = "AdaptivFloat";
+  m.kind = AccelKind::kAdaptivFloat;
+  // Table 3: 23357.14 um^2 / 64 PEs = 364.96 um^2 per 8-bit hybrid-float PE.
+  m.pe_area_um2 = 364.955;
+  // 8-bit float MAC: multiplier + exponent path.
+  m.mac_energy_pj = 1.10;
+  m.widths = {8};
+  return m;
+}
+
+AcceleratorModel make_posit_pe() {
+  AcceleratorModel m;
+  m.name = "Posit-2/4/8";
+  m.kind = AccelKind::kPositPE;
+  // Table 4: compute density 3.15 TOPS/mm^2 vs LPA's 16.84 at the same
+  // throughput behaviour -> PE ~5.3x larger (linear-domain posit multiplier
+  // and wide decode).
+  m.pe_area_um2 = 1002.0;
+  m.decoder_area_um2 = 5.2;
+  m.decoder_units = 16;
+  m.encoder_area_um2 = 9.4;
+  m.encoder_units = 8;
+  m.mac_energy_pj = 0.95;
+  m.decode_energy_pj = 0.05;
+  m.encode_energy_pj = 0.09;
+  m.widths = {2, 4, 8};
+  return m;
+}
+
+double scale_area_um2(double area_um2, double from_nm, double to_nm) {
+  LP_CHECK(from_nm > 0.0 && to_nm > 0.0);
+  const double ratio = to_nm / from_nm;
+  return area_um2 * ratio * ratio;
+}
+
+}  // namespace lp::lpa

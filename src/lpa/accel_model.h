@@ -1,0 +1,89 @@
+// Area / energy / capability models of LPA and the baseline accelerators
+// (ANT, BitFusion, AdaptivFloat, plus the mixed-precision posit PE of
+// Table 4), calibrated at TSMC 28 nm with the component areas the paper
+// reports in Table 3.  All designs share an 8x8 weight-stationary systolic
+// array and a 512 kB on-chip buffer (4.2 mm^2).
+//
+// Capability semantics:
+//  * packing(w)  — weights sharing one PE (LPA/posit multi-weight mapping);
+//                  multiplies effective output columns.
+//  * fusion(w)   — PEs ganged to form one higher-precision MAC
+//                  (ANT/BitFusion); divides effective output columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lp::lpa {
+
+enum class AccelKind { kLPA, kANT, kBitFusion, kAdaptivFloat, kPositPE };
+
+struct AcceleratorModel {
+  std::string name;
+  AccelKind kind = AccelKind::kLPA;
+  int rows = 8;
+  int cols = 8;
+  double freq_ghz = 1.0;
+
+  // --- area (um^2 unless noted), 28 nm ---
+  double pe_area_um2 = 0.0;
+  double decoder_area_um2 = 0.0;
+  int decoder_units = 0;
+  double encoder_area_um2 = 0.0;
+  int encoder_units = 0;
+  double buffer_mm2 = 4.2;  ///< 512 kB on-chip buffer
+
+  // --- energy (pJ) ---
+  double mac_energy_pj = 0.0;      ///< per native-precision PE operation
+  double decode_energy_pj = 0.0;   ///< per decoded value
+  double encode_energy_pj = 0.0;   ///< per encoded output
+  double sram_pj_per_byte = 1.0;
+  double dram_pj_per_byte = 16.0;
+
+  // --- supported weight widths ---
+  std::vector<int> widths;
+
+  [[nodiscard]] bool supports(int w_bits) const;
+
+  /// Weights mapped per PE at this precision (>= 1; 1 for non-packing PEs).
+  [[nodiscard]] int packing(int w_bits) const;
+
+  /// PEs ganged per effective MAC at this precision (>= 1).
+  [[nodiscard]] int fusion(int w_bits) const;
+
+  /// Effective MACs per cycle at this precision.
+  [[nodiscard]] int macs_per_cycle(int w_bits) const;
+
+  /// Energy of one effective MAC at this precision (scales with ganged
+  /// PEs for fused designs and is amortized across packed weights for
+  /// packing designs).
+  [[nodiscard]] double mac_energy(int w_bits) const;
+
+  [[nodiscard]] double compute_area_um2() const;
+  [[nodiscard]] double compute_area_mm2() const { return compute_area_um2() / 1e6; }
+  [[nodiscard]] double total_area_mm2() const {
+    return buffer_mm2 + compute_area_mm2();
+  }
+  /// Peak throughput in GOPS (2 ops per MAC) at a given weight width.
+  [[nodiscard]] double peak_gops(int w_bits) const;
+};
+
+/// The proposed design: 2/4/8-bit LP PEs with MODE packing.
+[[nodiscard]] AcceleratorModel make_lpa();
+/// ANT (MICRO'22): 4-bit flint/int PEs, pairs fused for 8-bit.
+[[nodiscard]] AcceleratorModel make_ant();
+/// BitFusion (ISCA'18): 2-bit bricks, 2/4 ganged for 4/8-bit.
+[[nodiscard]] AcceleratorModel make_bitfusion();
+/// AdaptivFloat (DAC'20): fixed 8-bit hybrid-float PEs.
+[[nodiscard]] AcceleratorModel make_adaptivfloat();
+/// Mixed-precision posit PE (Table 4 ablation): packing like LPA but a
+/// linear-domain posit MAC (larger, slower per area).
+[[nodiscard]] AcceleratorModel make_posit_pe();
+
+/// DeepScale-style technology scaling of area between nodes (ISCAS'21):
+/// area scales roughly with the square of the feature-size ratio.
+[[nodiscard]] double scale_area_um2(double area_um2, double from_nm, double to_nm);
+
+}  // namespace lp::lpa

@@ -1,0 +1,49 @@
+#include "lpa/bitops.h"
+
+namespace lp::lpa {
+
+std::uint8_t extract_lane(std::uint8_t x, Mode mode, int lane) {
+  const int w = weight_bits(mode);
+  LP_CHECK(lane >= 0 && lane < lanes(mode));
+  const int shift = 8 - (lane + 1) * w;
+  const std::uint8_t mask = static_cast<std::uint8_t>((1U << w) - 1U);
+  return static_cast<std::uint8_t>((x >> shift) & mask);
+}
+
+std::uint8_t insert_lane(std::uint8_t x, Mode mode, int lane, std::uint8_t value) {
+  const int w = weight_bits(mode);
+  LP_CHECK(lane >= 0 && lane < lanes(mode));
+  const int shift = 8 - (lane + 1) * w;
+  const std::uint8_t mask = static_cast<std::uint8_t>((1U << w) - 1U);
+  x = static_cast<std::uint8_t>(x & ~(mask << shift));
+  return static_cast<std::uint8_t>(x | ((value & mask) << shift));
+}
+
+std::uint8_t twos_complement_multi(std::uint8_t x, Mode mode) {
+  std::uint8_t out = 0;
+  const int w = weight_bits(mode);
+  const std::uint8_t mask = static_cast<std::uint8_t>((1U << w) - 1U);
+  for (int l = 0; l < lanes(mode); ++l) {
+    const std::uint8_t sub = extract_lane(x, mode, l);
+    const auto neg = static_cast<std::uint8_t>((~sub + 1U) & mask);
+    out = insert_lane(out, mode, l, neg);
+  }
+  return out;
+}
+
+std::array<int, 4> leading_zeros_multi(std::uint8_t x, Mode mode) {
+  std::array<int, 4> out{0, 0, 0, 0};
+  const int w = weight_bits(mode);
+  for (int l = 0; l < lanes(mode); ++l) {
+    const std::uint8_t sub = extract_lane(x, mode, l);
+    int count = 0;
+    for (int b = w - 1; b >= 0; --b) {
+      if ((sub >> b) & 1U) break;
+      ++count;
+    }
+    out[static_cast<std::size_t>(l)] = count;
+  }
+  return out;
+}
+
+}  // namespace lp::lpa

@@ -1,0 +1,30 @@
+// Multi-precision bit primitives of the unified LP decoder (paper Fig. 4):
+// a two's complementer and a leading-zero detector that operate on one
+// 8-bit word interpreted as 4x2 / 2x4 / 1x8 sub-words depending on MODE.
+// These are functional models of the mux-chained hardware blocks; tests
+// check them against per-sub-word reference computations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "lpa/modes.h"
+
+namespace lp::lpa {
+
+/// Two's complement of each sub-word of `x` (Fig. 4(a)).
+[[nodiscard]] std::uint8_t twos_complement_multi(std::uint8_t x, Mode mode);
+
+/// Leading-zero count of each sub-word, MSB lane first (Fig. 4(b)).
+/// Lane i of the result covers bits [8 - (i+1)*w, 8 - i*w) of the input.
+/// Inactive lanes are 0.
+[[nodiscard]] std::array<int, 4> leading_zeros_multi(std::uint8_t x, Mode mode);
+
+/// Extract sub-word `lane` (0 = most significant lane).
+[[nodiscard]] std::uint8_t extract_lane(std::uint8_t x, Mode mode, int lane);
+
+/// Replace sub-word `lane` of `x`.
+[[nodiscard]] std::uint8_t insert_lane(std::uint8_t x, Mode mode, int lane,
+                                       std::uint8_t value);
+
+}  // namespace lp::lpa

@@ -1,0 +1,45 @@
+#include "lpa/converters.h"
+
+#include <array>
+#include <cmath>
+
+namespace lp::lpa {
+namespace {
+
+std::array<std::uint8_t, 256> build_log_to_linear() {
+  std::array<std::uint8_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    const double f = i / 256.0;
+    const double lin = std::exp2(f) - 1.0;              // in [0, 1)
+    const int q = static_cast<int>(std::lround(lin * 256.0));
+    t[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(q > 255 ? 255 : q);
+  }
+  return t;
+}
+
+std::array<std::uint8_t, 256> build_linear_to_log() {
+  std::array<std::uint8_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    const double f = i / 256.0;
+    const double lg = std::log2(1.0 + f);               // in [0, 1)
+    const int q = static_cast<int>(std::lround(lg * 256.0));
+    t[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(q > 255 ? 255 : q);
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t log_to_linear(std::uint8_t lnf) {
+  static const auto table = build_log_to_linear();
+  return table[lnf];
+}
+
+std::uint8_t linear_to_log(std::uint8_t lf) {
+  static const auto table = build_linear_to_log();
+  return table[lf];
+}
+
+}  // namespace lp::lpa

@@ -1,0 +1,25 @@
+// Gate-level-equivalent log/linear fraction converters (paper Section 5.2).
+//
+// The hardware derives an 8-bit combinational function from a Karnaugh map
+// over the full conversion truth table; the functional equivalent is the
+// exact 256-entry rounded table:
+//   log->linear:  f' in [0,1) as Q0.8  ->  (2^f' - 1) in [0,1) as Q0.8
+//   linear->log:  f  in [0,1) as Q0.8  ->  log2(1+f)   in [0,1) as Q0.8
+// Both are monotone and inverse to each other within 1 LSB (tested).
+#pragma once
+
+#include <cstdint>
+
+namespace lp::lpa {
+
+/// lnf (Q0.8 log-domain fraction) -> lf (Q0.8 linear fraction of 1.f).
+[[nodiscard]] std::uint8_t log_to_linear(std::uint8_t lnf);
+
+/// lf (Q0.8 linear fraction of 1.f) -> lnf (Q0.8 log-domain fraction).
+[[nodiscard]] std::uint8_t linear_to_log(std::uint8_t lf);
+
+/// Number of fractional bits in the unified fixed-point formats.
+inline constexpr int kFracBits = 8;
+inline constexpr int kFracOne = 1 << kFracBits;  // 256
+
+}  // namespace lp::lpa

@@ -1,0 +1,199 @@
+#include "lpa/datapath.h"
+
+#include <bit>
+#include <cmath>
+
+#include "lpa/bitops.h"
+
+namespace lp::lpa {
+
+DecodedLane decode_lane(std::uint32_t code, const DecoderConfig& dc) {
+  const LPFields f = decode_fields(code, dc.cfg);
+  DecodedLane lane;
+  if (f.is_zero || f.is_nar) return lane;  // zero contribution
+  lane.zero = false;
+  lane.sign = f.sign;
+  // regime_q = k * 2^(es+8) - sf_q  (exact in Q.8)
+  lane.regime_q = (static_cast<std::int32_t>(f.k) << (dc.cfg.es + kFracBits)) -
+                  dc.sf_q;
+  // ulfx_q = B * 2^(8 + es - tail_len); the shift is non-negative for all
+  // n <= 8 configurations (tail_len <= n-2 <= 6 <= 8 + es).
+  const int shift = kFracBits + dc.cfg.es - f.tail_len;
+  LP_ASSERT(shift >= 0);
+  lane.ulfx_q = static_cast<std::int32_t>(f.tail_bits) << shift;
+  return lane;
+}
+
+std::array<DecodedLane, 4> decode_weight_word(std::uint8_t word, Mode mode,
+                                              const DecoderConfig& dc) {
+  LP_CHECK_MSG(dc.cfg.n == weight_bits(mode),
+               "decoder config width " << dc.cfg.n << " does not match "
+                                       << mode_name(mode));
+  std::array<DecodedLane, 4> out;
+  for (int l = 0; l < lanes(mode); ++l) {
+    out[static_cast<std::size_t>(l)] =
+        decode_lane(extract_lane(word, mode, l), dc);
+  }
+  return out;
+}
+
+Product multiply(const DecodedLane& w, const DecodedLane& a) {
+  Product p;
+  if (w.zero || a.zero) return p;
+  p.zero = false;
+  p.sign = w.sign ^ a.sign;
+  p.scale_q = (w.regime_q + w.ulfx_q) + (a.regime_q + a.ulfx_q);
+  return p;
+}
+
+double PartialSum::to_double() const {
+  return std::ldexp(static_cast<double>(mantissa), exponent - kAccFracBits);
+}
+
+namespace {
+
+/// Renormalize so |mantissa| stays within 2^(kAccFracBits+8); keeps the
+/// model's precision close to the RTL's bounded accumulator width.
+void renormalize(PartialSum& s) {
+  if (s.mantissa == 0) {
+    s.exponent = 0;
+    return;
+  }
+  std::uint64_t mag = static_cast<std::uint64_t>(
+      s.mantissa < 0 ? -s.mantissa : s.mantissa);
+  while (mag >= (1ULL << (kAccFracBits + 9))) {
+    s.mantissa >>= 1;
+    mag >>= 1;
+    ++s.exponent;
+  }
+}
+
+}  // namespace
+
+void accumulate(PartialSum& psum, const Product& p) {
+  if (p.zero) return;
+  // Split the Q.8 scale into integer exponent and log fraction, convert
+  // the fraction to the linear domain: contribution = (1.lf) * 2^exp.
+  const std::int32_t e = p.scale_q >> kFracBits;          // floor
+  const auto frac = static_cast<std::uint8_t>(p.scale_q & (kFracOne - 1));
+  const std::int64_t lf = kFracOne + log_to_linear(frac); // Q.8 in [256,512)
+  std::int64_t man = lf << (kAccFracBits - kFracBits);    // Q.16
+  if (p.sign != 0) man = -man;
+
+  if (psum.mantissa == 0) {
+    psum.mantissa = man;
+    psum.exponent = e;
+    renormalize(psum);
+    return;
+  }
+  // Align the smaller-exponent operand; beyond 48 bits it vanishes.
+  int d = e - psum.exponent;
+  if (d > 48) {
+    psum.mantissa = man;
+    psum.exponent = e;
+  } else if (d >= 0) {
+    psum.mantissa = (psum.mantissa >> d) + man;
+    psum.exponent = e;
+  } else {
+    d = -d;
+    if (d > 48) {
+      // incoming term too small to register
+    } else {
+      psum.mantissa += (man >> d);
+    }
+  }
+  renormalize(psum);
+}
+
+std::uint32_t encode_psum(const PartialSum& psum, const DecoderConfig& out) {
+  if (psum.mantissa == 0) return 0U;
+  const bool neg = psum.mantissa < 0;
+  const auto mag = static_cast<std::uint64_t>(neg ? -psum.mantissa : psum.mantissa);
+  // Normalize: mag = 1.f * 2^p with p = MSB index.
+  const int p = 63 - std::countl_zero(mag);
+  // Extract the 8 fraction bits below the MSB (round toward zero; the
+  // linear->log table then rounds to the nearest Q.8 log value).
+  std::uint8_t frac8;
+  if (p >= kFracBits) {
+    frac8 = static_cast<std::uint8_t>((mag >> (p - kFracBits)) & (kFracOne - 1));
+  } else {
+    frac8 = static_cast<std::uint8_t>((mag << (kFracBits - p)) & (kFracOne - 1));
+  }
+  const std::uint8_t lnf = linear_to_log(frac8);
+  // Total target exponent in Q.8, with the output scale factor applied:
+  // t = log2|v| + sf = (exponent - 16 + p) + lnf/256 + sf.
+  const std::int64_t t_q =
+      (static_cast<std::int64_t>(psum.exponent - kAccFracBits + p) << kFracBits) +
+      lnf + out.sf_q;
+
+  const LPConfig& cfg = out.cfg;
+  const int body = cfg.n - 1;
+  const std::int64_t step_q = static_cast<std::int64_t>(kFracOne) << cfg.es;
+
+  // k = floor(t / step), remainder r in [0, step).
+  std::int64_t k = t_q >= 0 ? t_q / step_q : -((-t_q + step_q - 1) / step_q);
+  std::int64_t r = t_q - k * step_q;
+  LP_ASSERT(r >= 0 && r < step_q);
+
+  const int kmin = cfg.min_k();
+  const int kmax = cfg.max_k();
+  if (k < kmin) {
+    k = kmin;
+    r = 0;
+  }
+  bool saturate_high = false;
+  if (k > kmax) {
+    k = kmax;
+    saturate_high = true;
+  }
+
+  auto tail_len_for = [&](std::int64_t kk) {
+    const int m = (kk >= 0) ? static_cast<int>(kk) + 1 : -static_cast<int>(kk);
+    const int cap = cfg.max_run();
+    const int consumed = (m < cap && m < body) ? m + 1 : m;
+    return body - consumed;
+  };
+
+  std::uint32_t tail = 0;
+  for (;;) {
+    const int tl = tail_len_for(k);
+    const int shift = kFracBits + cfg.es - tl;
+    LP_ASSERT(shift >= 0);
+    std::int64_t b = saturate_high
+                         ? (static_cast<std::int64_t>(1) << tl) - 1
+                         : ((r + (shift > 0 ? (static_cast<std::int64_t>(1)
+                                               << (shift - 1))
+                                            : 0)) >>
+                            shift);
+    if (b >= (static_cast<std::int64_t>(1) << tl)) {
+      if (k < kmax) {
+        ++k;
+        r = 0;
+        continue;
+      }
+      b = (static_cast<std::int64_t>(1) << tl) - 1;
+    }
+    tail = static_cast<std::uint32_t>(b);
+    break;
+  }
+
+  // Assemble regime + terminator + tail (same walk as the reference codec).
+  const int m = (k >= 0) ? static_cast<int>(k) + 1 : -static_cast<int>(k);
+  const int cap = cfg.max_run();
+  const int first = (k >= 0) ? 1 : 0;
+  const bool has_term = (m < cap && m < body);
+  const int tl = body - (has_term ? m + 1 : m);
+
+  std::uint32_t magbits = 0;
+  if (first == 1) magbits = (1U << m) - 1U;
+  if (has_term) magbits = (magbits << 1) | static_cast<std::uint32_t>(first ^ 1);
+  magbits = (magbits << tl) | (tl > 0 ? (tail & ((1U << tl) - 1U)) : 0U);
+  if (magbits == 0) magbits = 1;  // avoid the zero code for nonzero sums
+
+  const std::uint32_t mask = (1U << cfg.n) - 1U;
+  std::uint32_t code = magbits;
+  if (neg) code = (~code + 1U) & mask;
+  return code & mask;
+}
+
+}  // namespace lp::lpa

@@ -1,0 +1,92 @@
+// LPA PE datapath (paper Fig. 3): unified LP decoder, log-domain MUL stage,
+// linear-domain ACC stage, unified LP encoder.
+//
+// Number representation inside the array (functional model of the RTL):
+//  * decoded lane: sign, regime value (2^es*k - sf) and ulfx (e + f') as
+//    Q.8 fixed point — the "16-bit regime / 16-bit ulfx" unified format.
+//  * product: the lane-wise sum of weight and activation regime/ulfx
+//    (multiplication in LP is addition of log-domain components).
+//  * partial sum: sign-magnitude float-like {mantissa Q.16, exponent},
+//    produced by the 8-bit log->linear converter and aligned addition.
+//
+// The encoder performs the inverse walk (linear->log converter, regime
+// reassembly, rounding with carry, saturation), matching
+// core/lp_codec's encode_log_rounded up to the converters' 8-bit
+// quantization (tests bound the difference).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "core/lp_codec.h"
+#include "lpa/converters.h"
+#include "lpa/modes.h"
+
+namespace lp::lpa {
+
+/// One decoded LP value in the unified fixed-point format.
+struct DecodedLane {
+  bool zero = true;
+  int sign = 0;             ///< 0 positive, 1 negative
+  std::int32_t regime_q = 0;///< (2^es * k - sf) * 256
+  std::int32_t ulfx_q = 0;  ///< (e + f') * 256
+};
+
+/// Decoder configuration: the tensor's LP parameters with the scale factor
+/// pre-quantized to Q.8 (what the controller programs).
+struct DecoderConfig {
+  LPConfig cfg;
+  std::int32_t sf_q = 0;
+
+  static DecoderConfig from(const LPConfig& c) {
+    DecoderConfig d;
+    d.cfg = c;
+    d.sf_q = static_cast<std::int32_t>(std::lround(c.sf * kFracOne));
+    return d;
+  }
+};
+
+/// Decode one LP code of width cfg.n (NaR decodes as zero: weights and
+/// activations in a DNN are never NaR; the accelerator treats the pattern
+/// as a null contribution).
+[[nodiscard]] DecodedLane decode_lane(std::uint32_t code, const DecoderConfig& dc);
+
+/// Unified weight decoder: splits an 8-bit word into MODE lanes and decodes
+/// each (paper Fig. 3, "Unified LP Decoder").
+[[nodiscard]] std::array<DecodedLane, 4> decode_weight_word(
+    std::uint8_t word, Mode mode, const DecoderConfig& dc);
+
+/// Log-domain product of a weight lane and an activation lane (MUL stage):
+/// regimes add, ulfx add, signs XOR.
+struct Product {
+  bool zero = true;
+  int sign = 0;
+  std::int32_t scale_q = 0;  ///< total exponent (regime + ulfx sums), Q.8
+};
+
+[[nodiscard]] Product multiply(const DecodedLane& w, const DecodedLane& a);
+
+/// Linear-domain partial sum: value = mantissa * 2^(exponent - 16).
+/// mantissa is signed; zero is {0, 0}.
+struct PartialSum {
+  std::int64_t mantissa = 0;
+  int exponent = 0;
+
+  [[nodiscard]] double to_double() const;
+};
+
+/// ACC stage: convert the product to the linear domain through the 8-bit
+/// log->linear converter and add it to the running partial sum with
+/// exponent alignment and renormalization.
+void accumulate(PartialSum& psum, const Product& p);
+
+/// Unified LP encoder: quantize a partial sum to an LP code of the output
+/// configuration (linear->log converter + regime assembly + rounding).
+[[nodiscard]] std::uint32_t encode_psum(const PartialSum& psum,
+                                        const DecoderConfig& out);
+
+/// Number of fractional bits in the partial-sum mantissa.
+inline constexpr int kAccFracBits = 16;
+
+}  // namespace lp::lpa

@@ -1,0 +1,57 @@
+// LPA precision modes (paper Section 5.1): each PE processes one 8-bit
+// weight word that packs 4 / 2 / 1 weights depending on the mode.
+#pragma once
+
+#include <string>
+
+#include "util/check.h"
+
+namespace lp::lpa {
+
+enum class Mode {
+  kA,  ///< four 2-bit weights per word
+  kB,  ///< two 4-bit weights per word
+  kC,  ///< one 8-bit weight per word
+};
+
+/// Weights packed in one 8-bit word.
+[[nodiscard]] constexpr int lanes(Mode m) {
+  switch (m) {
+    case Mode::kA: return 4;
+    case Mode::kB: return 2;
+    case Mode::kC: return 1;
+  }
+  return 1;
+}
+
+/// Weight width in bits.
+[[nodiscard]] constexpr int weight_bits(Mode m) {
+  switch (m) {
+    case Mode::kA: return 2;
+    case Mode::kB: return 4;
+    case Mode::kC: return 8;
+  }
+  return 8;
+}
+
+/// Mode for a weight bit-width (hardware preset widths only).
+[[nodiscard]] inline Mode mode_for_bits(int bits) {
+  switch (bits) {
+    case 2: return Mode::kA;
+    case 4: return Mode::kB;
+    case 8: return Mode::kC;
+    default:
+      LP_CHECK_MSG(false, "LPA supports 2/4/8-bit weights, got " << bits);
+  }
+}
+
+[[nodiscard]] inline std::string mode_name(Mode m) {
+  switch (m) {
+    case Mode::kA: return "MODE-A(4x2b)";
+    case Mode::kB: return "MODE-B(2x4b)";
+    case Mode::kC: return "MODE-C(1x8b)";
+  }
+  return "?";
+}
+
+}  // namespace lp::lpa

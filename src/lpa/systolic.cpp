@@ -1,0 +1,79 @@
+#include "lpa/systolic.h"
+
+#include <vector>
+
+namespace lp::lpa {
+
+Tensor lpa_gemm(const Tensor& w, const Tensor& x, const LPConfig& wcfg,
+                const LPConfig& acfg, GemmStats* stats) {
+  LP_CHECK(w.rank() == 2 && x.rank() == 2);
+  LP_CHECK(w.dim(1) == x.dim(0));
+  const std::int64_t m = w.dim(0);
+  const std::int64_t k = w.dim(1);
+  const std::int64_t n = x.dim(1);
+
+  const CodeTable wtab(wcfg);
+  const CodeTable atab(acfg);
+  const DecoderConfig wdc = DecoderConfig::from(wcfg);
+  const DecoderConfig adc = DecoderConfig::from(acfg);
+
+  // Quantize + decode both operands once (the on-chip decoders sit at the
+  // array boundary and each element is decoded a single time per tile).
+  std::vector<DecodedLane> wd(static_cast<std::size_t>(m * k));
+  for (std::int64_t i = 0; i < m * k; ++i) {
+    wd[static_cast<std::size_t>(i)] = decode_lane(wtab.quantize_code(w[i]), wdc);
+  }
+  std::vector<DecodedLane> xd(static_cast<std::size_t>(k * n));
+  for (std::int64_t i = 0; i < k * n; ++i) {
+    xd[static_cast<std::size_t>(i)] = decode_lane(atab.quantize_code(x[i]), adc);
+  }
+
+  Tensor out({m, n});
+  GemmStats st;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      PartialSum psum;
+      for (std::int64_t p = 0; p < k; ++p) {
+        ++st.total_macs;
+        const Product prod = multiply(wd[static_cast<std::size_t>(i * k + p)],
+                                      xd[static_cast<std::size_t>(p * n + j)]);
+        if (prod.zero) {
+          ++st.zero_skipped;
+          continue;
+        }
+        accumulate(psum, prod);
+      }
+      out.at2(i, j) = static_cast<float>(psum.to_double());
+    }
+  }
+  if (stats != nullptr) *stats = st;
+  return out;
+}
+
+Tensor lpa_gemm_reference(const Tensor& w, const Tensor& x, const LPConfig& wcfg,
+                          const LPConfig& acfg) {
+  LP_CHECK(w.rank() == 2 && x.rank() == 2);
+  LP_CHECK(w.dim(1) == x.dim(0));
+  const CodeTable wtab(wcfg);
+  const CodeTable atab(acfg);
+  Tensor wq = w;
+  for (float& v : wq.data()) v = static_cast<float>(wtab.quantize(v));
+  Tensor xq = x;
+  for (float& v : xq.data()) v = static_cast<float>(atab.quantize(v));
+  const std::int64_t m = w.dim(0);
+  const std::int64_t k = w.dim(1);
+  const std::int64_t n = x.dim(1);
+  Tensor out({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        s += static_cast<double>(wq.at2(i, p)) * xq.at2(p, j);
+      }
+      out.at2(i, j) = static_cast<float>(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace lp::lpa

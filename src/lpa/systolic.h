@@ -1,0 +1,33 @@
+// Functional model of the LPA systolic array: a GEMM computed element-wise
+// through the bit-level PE datapath (decode -> log-domain multiply ->
+// linear-domain accumulate).  Used to validate the datapath end-to-end
+// against a floating-point reference; the *performance* model lives in
+// src/sim (this function is exact but slow).
+#pragma once
+
+#include "core/lp_config.h"
+#include "lpa/datapath.h"
+#include "tensor/tensor.h"
+
+namespace lp::lpa {
+
+struct GemmStats {
+  std::int64_t total_macs = 0;
+  std::int64_t zero_skipped = 0;  ///< products skipped because a lane was 0
+};
+
+/// out[M,N] = Wq[M,K] * Xq[K,N] where Wq/Xq are the inputs quantized to the
+/// given LP configs and the arithmetic is the PE datapath (log-domain
+/// multiply, 8-bit converters, aligned linear accumulate).
+[[nodiscard]] Tensor lpa_gemm(const Tensor& w, const Tensor& x,
+                              const LPConfig& wcfg, const LPConfig& acfg,
+                              GemmStats* stats = nullptr);
+
+/// Reference: quantize both operands with the same code tables, then GEMM
+/// in double precision.  The datapath result must match this within the
+/// 8-bit converter tolerance.
+[[nodiscard]] Tensor lpa_gemm_reference(const Tensor& w, const Tensor& x,
+                                        const LPConfig& wcfg,
+                                        const LPConfig& acfg);
+
+}  // namespace lp::lpa

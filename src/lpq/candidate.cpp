@@ -1,0 +1,111 @@
+#include "lpq/candidate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/lp_format.h"
+#include "util/stats.h"
+
+namespace lp::lpq {
+namespace {
+
+/// Snap to the nearest of {2, 4, 8}.
+int snap_pow2(int n) {
+  if (n <= 2) return 2;
+  if (n <= 5) return 4;
+  return 8;
+}
+
+}  // namespace
+
+LPConfig SearchSpace::clamp(LPConfig c) const {
+  c.n = std::clamp(c.n, n_min, n_max);
+  if (power_of_two_n) c.n = snap_pow2(c.n);
+  const int es_cap = c.n >= 3 ? c.n - 3 : 0;
+  c.es = std::clamp(c.es, 0, es_cap);
+  const int rs_lo = std::min(2, c.n - 1);
+  c.rs = posit_like ? c.n - 1 : std::clamp(c.rs, rs_lo, c.n - 1);
+  LP_ASSERT(c.valid());
+  return c;
+}
+
+LPConfig SearchSpace::sample(Rng& rng, double sf_center) const {
+  LPConfig c;
+  c.n = rng.uniform_int(n_min, n_max);
+  if (power_of_two_n) c.n = snap_pow2(c.n);
+  const int es_cap = c.n >= 3 ? c.n - 3 : 0;
+  c.es = rng.uniform_int(0, es_cap);
+  const int rs_lo = std::min(2, c.n - 1);
+  c.rs = rng.uniform_int(rs_lo, c.n - 1);
+  c.sf = sf_center + rng.uniform(sf_init_lo, sf_init_hi);
+  return clamp(c);
+}
+
+std::vector<double> sf_centers(const nn::Model& model) {
+  std::vector<double> centers;
+  centers.reserve(model.num_slots());
+  for (const auto* slot : model.slot_list()) {
+    const double m = mean_abs(slot->weight.data());
+    centers.push_back(m > 0.0 ? -std::log2(m) : 0.0);
+  }
+  return centers;
+}
+
+LPConfig regenerate_layer(const LPConfig& p1, const LPConfig& p2,
+                          const SearchSpace& space, Rng& rng) {
+  LPConfig c;
+  c.n = rng.uniform_int(std::min(p1.n, p2.n) - 1, std::max(p1.n, p2.n) + 1);
+  c.es = rng.uniform_int(std::min(p1.es, p2.es) - 1, std::max(p1.es, p2.es) + 1);
+  const int rs_hi =
+      static_cast<int>(std::ceil(0.5 * (p1.rs + p2.rs))) + 1;
+  c.rs = rng.uniform_int(0, rs_hi);
+  c.sf = 0.5 * (p1.sf + p2.sf) + rng.uniform(-space.sf_radius, space.sf_radius);
+  return space.clamp(c);
+}
+
+LPConfig rmse_optimal_config(std::span<const float> weights, int n,
+                             const SearchSpace& space) {
+  const double ma = mean_abs(weights);
+  const double center = ma > 0.0 ? -std::log2(ma) : 0.0;
+  LPConfig best = space.clamp(LPConfig{n, 1, std::max(1, n / 2), center});
+  double best_err = 1e300;
+  const int es_hi = n >= 3 ? std::min(2, n - 3) : 0;
+  for (int es = 0; es <= es_hi; ++es) {
+    for (const int rs : {2, n / 2, n - 1}) {
+      for (const double dsf : {-2.0, -1.5, -1.0, -0.5, 0.0}) {
+        const LPConfig cfg =
+            space.clamp(LPConfig{n, es, std::max(1, rs), center + dsf});
+        const LPFormat fmt(cfg);
+        const double err = quantization_rmse(weights, fmt);
+        if (err < best_err) {
+          best_err = err;
+          best = cfg;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+double avg_weight_bits(const nn::Model& model, const Candidate& cand) {
+  LP_CHECK(cand.layers.size() == model.num_slots());
+  double bits = 0.0;
+  double params = 0.0;
+  for (std::size_t s = 0; s < cand.layers.size(); ++s) {
+    const auto p = static_cast<double>(model.slot_param_count(s));
+    bits += p * cand.layers[s].n;
+    params += p;
+  }
+  return params > 0.0 ? bits / params : 0.0;
+}
+
+std::int64_t total_weight_bits(const nn::Model& model, const Candidate& cand) {
+  LP_CHECK(cand.layers.size() == model.num_slots());
+  std::int64_t bits = 0;
+  for (std::size_t s = 0; s < cand.layers.size(); ++s) {
+    bits += model.slot_param_count(s) * cand.layers[s].n;
+  }
+  return bits;
+}
+
+}  // namespace lp::lpq

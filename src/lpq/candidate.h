@@ -1,0 +1,75 @@
+// LPQ candidate encoding (paper Section 4, Step 1): a quantization
+// solution is a vector of per-layer LP parameter tuples
+// Delta[l] = <n_l, es_l, rs_l, sf_l>, one per weight slot.
+#pragma once
+
+#include <vector>
+
+#include "core/lp_config.h"
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace lp::lpq {
+
+/// Search-space constraints (paper: n in [2,8], es in [0,n-3],
+/// rs in [2,n-1], sf in a ball around the layer's magnitude center).
+struct SearchSpace {
+  int n_min = 2;
+  int n_max = 8;
+  /// Hardware preset: restrict n to {2,4,8} so LPA's MODE-A/B/C bit
+  /// packing applies (paper Section 5.1).
+  bool power_of_two_n = false;
+  /// Mutation radius for sf (Eq. 5's eta), in log2 units.  The paper's
+  /// printed radius (1e-3) contains a typo (its own Eq. 5 uses +1e3 as the
+  /// upper bound); 0.25 gives meaningful exploration.
+  double sf_radius = 0.25;
+  /// Initial-sampling window for sf relative to the layer center
+  /// -log2(mean|w|).  Asymmetric: the RMSE-optimal peak position sits
+  /// between the mean magnitude and the largest weights (lower sf), so
+  /// initialization skews that way.
+  double sf_init_lo = -2.5;
+  double sf_init_hi = 0.5;
+  /// Standard-posit ablation (Table 4, "Posit-2/4/8"): fixed tapering,
+  /// i.e. the regime may always run the full word (rs forced to n-1).
+  bool posit_like = false;
+
+  /// Clamp a config into the space (n first, dependent fields after).
+  [[nodiscard]] LPConfig clamp(LPConfig c) const;
+
+  /// Uniformly sample a config; `sf_center` is the layer's magnitude
+  /// center -log2(mean |w|).
+  [[nodiscard]] LPConfig sample(Rng& rng, double sf_center) const;
+};
+
+struct Candidate {
+  std::vector<LPConfig> layers;
+  double fitness = 0.0;
+  bool evaluated = false;
+};
+
+/// Per-layer sf centers: -log2(mean |w_l|) so the tapered region sits on
+/// the layer's typical magnitude.
+[[nodiscard]] std::vector<double> sf_centers(const nn::Model& model);
+
+/// Paper Eqs. (2)-(5): regenerate one layer's parameters from two parents.
+/// min/max +-1 for range-like fields (n, es), mean-based for shape (rs)
+/// and position (sf).
+[[nodiscard]] LPConfig regenerate_layer(const LPConfig& p1, const LPConfig& p2,
+                                        const SearchSpace& space, Rng& rng);
+
+/// RMSE-optimal LP parameters for one weight tensor at width `n`: a small
+/// grid search over es, rs and the scale-factor offset.  Used to seed the
+/// GA population with strong per-layer starting points (PTQ frameworks
+/// conventionally initialize from the MSE-optimal quantizer).
+[[nodiscard]] LPConfig rmse_optimal_config(std::span<const float> weights,
+                                           int n, const SearchSpace& space);
+
+/// Parameter-weighted average weight bit-width of a candidate.
+[[nodiscard]] double avg_weight_bits(const nn::Model& model,
+                                     const Candidate& cand);
+
+/// Total weight storage in bits under the candidate's precisions.
+[[nodiscard]] std::int64_t total_weight_bits(const nn::Model& model,
+                                             const Candidate& cand);
+
+}  // namespace lp::lpq

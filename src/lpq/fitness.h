@@ -1,0 +1,82 @@
+// LPQ fitness functions (paper Section 4.1).
+//
+// The paper's objective is LF = LCO * LCR^lambda where LCO is a
+// global-local contrastive loss over Kurtosis-3-pooled intermediate
+// representations (Eq. 6) and LCR penalizes total weight bits.  The three
+// alternative objectives (MSE, KL divergence, global-only contrastive) are
+// implemented for the Fig. 5(a) convergence comparison.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/lp_format.h"
+#include "lpq/candidate.h"
+#include "nn/model.h"
+
+namespace lp::lpq {
+
+enum class FitnessKind {
+  kGlobalLocalContrastive,  ///< paper default (Eq. 6 over all layers)
+  kGlobalContrastive,       ///< Evol-Q style: final output only
+  kMse,                     ///< MSE between quantized and FP logits
+  kKlDivergence,            ///< KL(softmax_fp || softmax_q), per sample
+};
+
+/// How activation scale factors are derived (see DESIGN.md):
+/// kCalibrated measures -log2(mean|act|) on calibration data (what the
+/// PPU computes at runtime); kChained follows the paper's static rule
+/// sf_act^l = sf_act^{l-1} + sf_w^l.
+enum class ActSfMode { kCalibrated, kChained };
+
+/// A QuantSpec plus the format objects it points into.
+struct OwnedQuantSpec {
+  nn::QuantSpec spec;
+  std::vector<std::unique_ptr<NumberFormat>> storage;
+};
+
+/// Build weight+activation formats for a candidate.  `act_scale_centers`
+/// holds -log2(mean|act|) per weighted node (from
+/// Model::measure_act_scales), used when mode == kCalibrated.
+[[nodiscard]] OwnedQuantSpec build_quant_spec(
+    const nn::Model& model, const Candidate& cand, ActSfMode mode,
+    const std::vector<double>& act_scale_centers);
+
+/// FP reference statistics computed once per LPQ run.
+struct FpReference {
+  Tensor logits;                              ///< [B, classes]
+  std::vector<std::vector<float>> pooled;     ///< [node][sample]
+  std::vector<double> act_scale_centers;      ///< per weighted node
+  std::int64_t fp_weight_bits = 0;            ///< 32 * params
+};
+
+[[nodiscard]] FpReference compute_fp_reference(const nn::Model& model,
+                                               const Tensor& calibration);
+
+struct FitnessOptions {
+  FitnessKind kind = FitnessKind::kGlobalLocalContrastive;
+  ActSfMode act_sf = ActSfMode::kCalibrated;
+  double lambda = 0.4;  ///< compression exponent in LF = L * LCR^lambda
+  double tau = 0.1;     ///< contrastive temperature
+};
+
+/// Representation loss L (before the compression term) between a quantized
+/// run and the FP reference.
+[[nodiscard]] double representation_loss(
+    const nn::ForwardResult& quantized, const FpReference& ref,
+    const FitnessOptions& opts);
+
+/// Compression ratio LCR in (0, 1]: candidate weight bits / FP weight bits.
+[[nodiscard]] double compression_ratio(const nn::Model& model,
+                                       const Candidate& cand,
+                                       const FpReference& ref);
+
+/// Full fitness LF = L * LCR^lambda (lower is better).  Runs the quantized
+/// forward on `calibration`.
+[[nodiscard]] double evaluate_fitness(const nn::Model& model,
+                                      const Candidate& cand,
+                                      const Tensor& calibration,
+                                      const FpReference& ref,
+                                      const FitnessOptions& opts);
+
+}  // namespace lp::lpq

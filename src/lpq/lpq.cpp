@@ -1,0 +1,210 @@
+#include "lpq/lpq.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace lp::lpq {
+namespace {
+
+std::vector<std::vector<std::size_t>> make_blocks(const nn::Model& model,
+                                                  const LpqParams& params) {
+  std::vector<std::vector<std::size_t>> blocks;
+  const std::size_t n = model.num_slots();
+  if (params.block_mode == LpqParams::BlockMode::kByBlockId) {
+    // Group consecutive slots sharing a block_id (attention blocks).
+    int current_id = -1;
+    for (std::size_t s = 0; s < n; ++s) {
+      const int id = model.slot_list()[s]->block_id;
+      if (blocks.empty() || id != current_id) {
+        blocks.emplace_back();
+        current_id = id;
+      }
+      blocks.back().push_back(s);
+    }
+  } else {
+    LP_CHECK(params.block_size >= 1);
+    for (std::size_t s = 0; s < n; s += static_cast<std::size_t>(params.block_size)) {
+      std::vector<std::size_t> blk;
+      for (std::size_t j = s;
+           j < std::min(n, s + static_cast<std::size_t>(params.block_size)); ++j) {
+        blk.push_back(j);
+      }
+      blocks.push_back(std::move(blk));
+    }
+  }
+  LP_ASSERT(!blocks.empty());
+  return blocks;
+}
+
+}  // namespace
+
+LpqEngine::LpqEngine(const nn::Model& model, Tensor calibration, LpqParams params)
+    : model_(model), calibration_(std::move(calibration)), params_(params),
+      ref_(compute_fp_reference(model, calibration_)),
+      sf_centers_(sf_centers(model)), blocks_(make_blocks(model, params)),
+      rng_(params.seed) {
+  LP_CHECK_MSG(params_.population >= 4, "population must be at least 4");
+  LP_CHECK_MSG(calibration_.dim(0) >= 2,
+               "contrastive fitness needs at least 2 calibration samples");
+}
+
+Candidate LpqEngine::random_candidate(Rng& rng) const {
+  Candidate c;
+  c.layers.reserve(model_.num_slots());
+  for (std::size_t s = 0; s < model_.num_slots(); ++s) {
+    c.layers.push_back(params_.space.sample(rng, sf_centers_[s]));
+  }
+  return c;
+}
+
+OwnedQuantSpec LpqEngine::make_spec(const Candidate& cand) const {
+  return build_quant_spec(model_, cand, params_.fitness.act_sf,
+                          ref_.act_scale_centers);
+}
+
+void LpqEngine::evaluate_batch(std::vector<Candidate*>& todo) {
+  // Drop already-evaluated candidates (fitness caching, paper Step 1).
+  std::vector<Candidate*> work;
+  for (auto* c : todo) {
+    if (!c->evaluated) work.push_back(c);
+  }
+  if (work.empty()) return;
+  int threads = params_.threads > 0
+                    ? params_.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::max(1, std::min<int>(threads, static_cast<int>(work.size())));
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= work.size()) return;
+      work[i]->fitness = evaluate_fitness(model_, *work[i], calibration_, ref_,
+                                          params_.fitness);
+      work[i]->evaluated = true;
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+}
+
+void LpqEngine::sort_population() {
+  std::sort(population_.begin(), population_.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.fitness < b.fitness;
+            });
+}
+
+LpqResult LpqEngine::run(const Callback& callback) {
+  LpqResult result;
+
+  // Step 1: candidate initialization.
+  population_.clear();
+  population_.reserve(static_cast<std::size_t>(params_.population));
+  if (params_.seed_anchors) {
+    for (const int n : {8, 6, 4}) {
+      if (static_cast<int>(population_.size()) + 3 > params_.population) break;
+      Candidate anchor;
+      anchor.layers.reserve(model_.num_slots());
+      for (std::size_t s = 0; s < model_.num_slots(); ++s) {
+        anchor.layers.push_back(rmse_optimal_config(
+            model_.slot_list()[s]->weight.data(), n, params_.space));
+      }
+      population_.push_back(std::move(anchor));
+    }
+  }
+  while (static_cast<int>(population_.size()) < params_.population) {
+    population_.push_back(random_candidate(rng_));
+  }
+  {
+    std::vector<Candidate*> todo;
+    for (auto& c : population_) todo.push_back(&c);
+    evaluate_batch(todo);
+  }
+  sort_population();
+
+  int iteration = 0;
+  for (int pass = 0; pass < params_.passes; ++pass) {
+    for (const auto& block : blocks_) {
+      for (int cycle = 0; cycle < params_.cycles; ++cycle) {
+        // Step 2: re-generation from the two fittest candidates.
+        const Candidate& p1 = population_[0];
+        const Candidate& p2 = population_[1];
+        Candidate child;
+        child.layers = p1.layers;  // non-block layers copy the best parent
+        for (std::size_t l : block) {
+          child.layers[l] =
+              regenerate_layer(p1.layers[l], p2.layers[l], params_.space, rng_);
+        }
+
+        // Step 3: diversity-promoting children from fresh random parents.
+        std::vector<Candidate> diverse;
+        diverse.reserve(static_cast<std::size_t>(params_.diversity_children));
+        for (int d = 0; d < params_.diversity_children; ++d) {
+          const Candidate rp = random_candidate(rng_);
+          Candidate dc;
+          dc.layers = child.layers;
+          for (std::size_t l : block) {
+            dc.layers[l] =
+                regenerate_layer(child.layers[l], rp.layers[l], params_.space,
+                                 rng_);
+          }
+          diverse.push_back(std::move(dc));
+        }
+
+        // Step 4: evaluate all generated children, update the population.
+        std::vector<Candidate*> todo{&child};
+        for (auto& dc : diverse) todo.push_back(&dc);
+        evaluate_batch(todo);
+
+        population_.push_back(std::move(child));
+        if (!diverse.empty()) {
+          auto best_diverse = std::min_element(
+              diverse.begin(), diverse.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.fitness < b.fitness;
+              });
+          population_.push_back(std::move(*best_diverse));
+        }
+        sort_population();
+        population_.resize(static_cast<std::size_t>(params_.population));
+
+        ++iteration;
+        IterationStat stat;
+        stat.iteration = iteration;
+        stat.best_fitness = population_[0].fitness;
+        stat.best_avg_weight_bits = avg_weight_bits(model_, population_[0]);
+        result.history.push_back(stat);
+        if (callback) callback(stat, population_[0]);
+      }
+    }
+  }
+
+  result.best = population_[0];
+  return result;
+}
+
+QuantStats candidate_stats(const nn::Model& model, const Candidate& cand) {
+  QuantStats st;
+  st.avg_weight_bits = avg_weight_bits(model, cand);
+  double act_bits = 0.0;
+  for (const auto& w : cand.layers) {
+    act_bits += activation_config(w, 0.0).n;
+  }
+  st.avg_act_bits = cand.layers.empty()
+                        ? 0.0
+                        : act_bits / static_cast<double>(cand.layers.size());
+  const auto params = static_cast<double>(model.weight_param_count());
+  st.size_mb = static_cast<double>(total_weight_bits(model, cand)) / 8.0 / 1e6;
+  st.fp_size_mb = params * 4.0 / 1e6;
+  st.compression = st.size_mb > 0.0 ? st.fp_size_mb / st.size_mb : 0.0;
+  return st;
+}
+
+}  // namespace lp::lpq

@@ -1,0 +1,44 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace lp::nn {
+
+std::int64_t fan_in(const Tensor& weight) {
+  LP_CHECK(weight.rank() == 2 || weight.rank() == 4);
+  std::int64_t f = weight.dim(1);
+  if (weight.rank() == 4) f *= weight.dim(2) * weight.dim(3);
+  return f;
+}
+
+void init_weights(Model& model, Rng& rng, const InitOptions& opts) {
+  for (WeightSlot* slot : model.slot_list()) {
+    Tensor& w = slot->weight;
+    const double sigma = std::sqrt(2.0 / static_cast<double>(fan_in(w)));
+    const double layer_gain = std::pow(
+        10.0, rng.uniform(-opts.layer_scale_spread, opts.layer_scale_spread));
+    const std::int64_t out_ch = w.dim(0);
+    const std::int64_t per_ch = w.numel() / out_ch;
+    for (std::int64_t oc = 0; oc < out_ch; ++oc) {
+      const double ch_gain = std::exp2(
+          rng.uniform(-opts.channel_scale_spread, opts.channel_scale_spread));
+      float* dst = w.raw() + oc * per_ch;
+      for (std::int64_t i = 0; i < per_ch; ++i) {
+        double v;
+        if (rng.coin(opts.tail_fraction)) {
+          v = rng.laplace(opts.tail_scale * sigma);
+        } else {
+          v = rng.gaussian(0.0, sigma);
+        }
+        dst[i] = static_cast<float>(v * layer_gain * ch_gain);
+      }
+    }
+    if (!slot->bias.empty()) {
+      for (float& b : slot->bias.data()) {
+        b = static_cast<float>(rng.gaussian(0.0, 0.02));
+      }
+    }
+  }
+}
+
+}  // namespace lp::nn

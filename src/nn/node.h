@@ -1,0 +1,138 @@
+// Graph node interface for the DNN substrate.
+//
+// A Model is a topologically ordered list of nodes; each node consumes the
+// outputs of earlier nodes and produces one tensor.  Nodes that own weights
+// (conv, linear, attention projections, patch embed/merge) expose them as
+// WeightSlots — the unit of quantization LPQ searches over.  Execution is
+// parameterized by RunCtx, which optionally
+//   * substitutes quantized weight copies per slot,
+//   * quantizes the activations a slot produces,
+//   * captures Kurtosis-3-pooled intermediate representations, and
+//   * records the GEMM workloads for the accelerator simulator.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/number_format.h"
+#include "tensor/tensor.h"
+
+namespace lp::nn {
+
+/// One quantizable weight tensor.  Biases stay full precision (the paper
+/// quantizes weights and activations only).
+struct WeightSlot {
+  std::string name;
+  Tensor weight;
+  Tensor bias;        ///< may be empty
+  int block_id = 0;   ///< LPQ block grouping (attention block for ViTs)
+};
+
+/// A GEMM an accelerator must execute: out[M,N] += W[M,K] * X[K,N].
+/// `weight_slot` is -1 for activation-activation matmuls (attention scores)
+/// whose both operands use activation precision.
+struct LayerWorkload {
+  std::string name;
+  std::int64_t m = 0;
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  int weight_slot = -1;
+  [[nodiscard]] std::int64_t macs() const { return m * k * n; }
+};
+
+/// Per-slot quantization assignment for a run.  Entries may be null
+/// (keep full precision).  Lifetime of the formats must cover the run.
+struct QuantSpec {
+  std::vector<const NumberFormat*> weight_fmt;
+  std::vector<const NumberFormat*> act_fmt;
+
+  void resize(std::size_t slots) {
+    weight_fmt.assign(slots, nullptr);
+    act_fmt.assign(slots, nullptr);
+  }
+};
+
+/// Execution context threaded through every node.
+struct RunCtx {
+  /// Quantized weight copies, indexed by slot; empty = use FP weights.
+  const std::vector<Tensor>* weight_override = nullptr;
+  /// Activation formats per slot; null entries = no activation quant.
+  const QuantSpec* quant = nullptr;
+  /// When non-null, weighted nodes append per-sample Kurtosis-3 pooled
+  /// representations of their output (one row per weighted node).
+  std::vector<std::vector<float>>* pooled_capture = nullptr;
+  /// When non-null, weighted nodes append the mean |activation| of their
+  /// output (one value per weighted node) — used to calibrate activation
+  /// scale factors, mirroring the PPU's runtime scale computation.
+  std::vector<float>* act_scale_capture = nullptr;
+  /// When non-null, weighted nodes append the max |activation| of their
+  /// output — the clipping statistic INT/float-style quantizers calibrate
+  /// against.
+  std::vector<float>* act_max_capture = nullptr;
+  /// When non-null, nodes append their GEMM workloads.
+  std::vector<LayerWorkload>* workloads = nullptr;
+
+  /// Resolve the weight tensor for a slot.
+  [[nodiscard]] const Tensor& weight(int slot, const Tensor& fp) const {
+    if (weight_override != nullptr && slot >= 0 &&
+        static_cast<std::size_t>(slot) < weight_override->size() &&
+        !(*weight_override)[static_cast<std::size_t>(slot)].empty()) {
+      return (*weight_override)[static_cast<std::size_t>(slot)];
+    }
+    return fp;
+  }
+
+  [[nodiscard]] const NumberFormat* act_format(int slot) const {
+    if (quant == nullptr || slot < 0 ||
+        static_cast<std::size_t>(slot) >= quant->act_fmt.size()) {
+      return nullptr;
+    }
+    return quant->act_fmt[static_cast<std::size_t>(slot)];
+  }
+};
+
+class Node {
+ public:
+  explicit Node(std::vector<int> inputs, std::string name)
+      : inputs_(std::move(inputs)), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Produce this node's output from its input tensors.
+  [[nodiscard]] virtual Tensor run(std::span<const Tensor* const> x,
+                                   const RunCtx& ctx) const = 0;
+
+  /// Mutable access to this node's weight slots (empty for stateless nodes).
+  [[nodiscard]] virtual std::span<WeightSlot> slots() { return {}; }
+
+  /// Read-only slot view (derived classes only override the mutable form).
+  [[nodiscard]] std::span<const WeightSlot> slots_const() const {
+    return const_cast<Node*>(this)->slots();
+  }
+
+  /// True if this node's output is an intermediate representation for the
+  /// LPQ contrastive objective (i.e. it owns weights).
+  [[nodiscard]] bool weighted() const { return !slots_const().empty(); }
+
+  [[nodiscard]] const std::vector<int>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Global slot index of this node's first slot (set by Model::add).
+  void set_first_slot(int s) { first_slot_ = s; }
+  [[nodiscard]] int first_slot() const { return first_slot_; }
+
+ private:
+  std::vector<int> inputs_;
+  std::string name_;
+  int first_slot_ = -1;
+};
+
+/// Post-activation nonlinearity selector shared by conv/linear nodes.
+enum class Act { kNone, kRelu, kRelu6, kGelu };
+
+}  // namespace lp::nn

@@ -1,0 +1,426 @@
+#include "nn/nodes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace lp::nn {
+namespace {
+
+/// Copy a column block [c0, c1) of a [R, D] matrix into a fresh [R, c1-c0].
+Tensor copy_cols(const Tensor& m, std::int64_t c0, std::int64_t c1) {
+  const std::int64_t r = m.dim(0);
+  const std::int64_t d = m.dim(1);
+  LP_ASSERT(c0 >= 0 && c1 <= d && c0 < c1);
+  Tensor out({r, c1 - c0});
+  for (std::int64_t i = 0; i < r; ++i) {
+    std::copy_n(m.raw() + i * d + c0, c1 - c0, out.raw() + i * (c1 - c0));
+  }
+  return out;
+}
+
+/// Capture hook shared by weighted nodes.
+void capture_pooled(const RunCtx& ctx, const Tensor& out) {
+  if (ctx.pooled_capture != nullptr) ctx.pooled_capture->push_back(kurtosis_pool(out));
+  if (ctx.act_scale_capture != nullptr) {
+    ctx.act_scale_capture->push_back(static_cast<float>(mean_abs(out.data())));
+  }
+  if (ctx.act_max_capture != nullptr) {
+    float mx = 0.0F;
+    for (float v : out.data()) mx = std::max(mx, std::fabs(v));
+    ctx.act_max_capture->push_back(mx);
+  }
+}
+
+}  // namespace
+
+void apply_act(Tensor& t, Act act) {
+  switch (act) {
+    case Act::kNone: return;
+    case Act::kRelu: relu_inplace(t); return;
+    case Act::kRelu6: relu6_inplace(t); return;
+    case Act::kGelu: gelu_inplace(t); return;
+  }
+}
+
+void quantize_activations(Tensor& t, const NumberFormat* fmt) {
+  if (fmt == nullptr) return;
+  quantize_span(t.data(), *fmt);
+}
+
+std::vector<float> kurtosis_pool(const Tensor& t) {
+  LP_CHECK(t.rank() >= 1 && t.numel() > 0);
+  const std::int64_t b = t.dim(0);
+  const std::int64_t per = t.numel() / b;
+  std::vector<float> out(static_cast<std::size_t>(b));
+  for (std::int64_t i = 0; i < b; ++i) {
+    const std::span<const float> row(t.raw() + i * per,
+                                     static_cast<std::size_t>(per));
+    out[static_cast<std::size_t>(i)] = static_cast<float>(kurtosis3(row));
+  }
+  return out;
+}
+
+Tensor InputNode::run(std::span<const Tensor* const>, const RunCtx&) const {
+  LP_ASSERT_MSG(false, "InputNode::run must not be called; the executor "
+                       "substitutes the batch directly");
+}
+
+Conv2dNode::Conv2dNode(int input, std::string name, Tensor weight, Tensor bias,
+                       Conv2dSpec spec, Act act, int block_id)
+    : Node({input}, std::move(name)), spec_(spec), act_(act) {
+  LP_CHECK(weight.rank() == 4);
+  slot_.name = this->name() + ".w";
+  slot_.weight = std::move(weight);
+  slot_.bias = std::move(bias);
+  slot_.block_id = block_id;
+}
+
+Tensor Conv2dNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) const {
+  const int s = first_slot();
+  const Tensor& w = ctx.weight(s, slot_.weight);
+  if (ctx.workloads != nullptr) {
+    const Tensor& in = *x[0];
+    const std::int64_t ho =
+        conv_out_dim(in.dim(2), w.dim(2), spec_.stride, spec_.padding);
+    const std::int64_t wo =
+        conv_out_dim(in.dim(3), w.dim(3), spec_.stride, spec_.padding);
+    ctx.workloads->push_back({name(), w.dim(0),
+                              w.dim(1) * w.dim(2) * w.dim(3),
+                              in.dim(0) * ho * wo, s});
+  }
+  Tensor out = conv2d(*x[0], w, slot_.bias.empty() ? nullptr : &slot_.bias, spec_);
+  apply_act(out, act_);
+  quantize_activations(out, ctx.act_format(s));
+  capture_pooled(ctx, out);
+  return out;
+}
+
+LinearNode::LinearNode(int input, std::string name, Tensor weight, Tensor bias,
+                       Act act, int block_id)
+    : Node({input}, std::move(name)), act_(act) {
+  LP_CHECK(weight.rank() == 2);
+  slot_.name = this->name() + ".w";
+  slot_.weight = std::move(weight);
+  slot_.bias = std::move(bias);
+  slot_.block_id = block_id;
+}
+
+Tensor LinearNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) const {
+  const int s = first_slot();
+  const Tensor& w = ctx.weight(s, slot_.weight);
+  const Tensor& in = *x[0];
+  LP_CHECK(in.rank() == 2 || in.rank() == 3);
+  const Tensor in2 = (in.rank() == 3)
+                         ? in.reshaped({in.dim(0) * in.dim(1), in.dim(2)})
+                         : in;
+  if (ctx.workloads != nullptr) {
+    ctx.workloads->push_back({name(), w.dim(0), w.dim(1), in2.dim(0), s});
+  }
+  Tensor out = matmul_nt(in2, w, slot_.bias.empty() ? nullptr : &slot_.bias);
+  if (in.rank() == 3) out = out.reshaped({in.dim(0), in.dim(1), w.dim(0)});
+  apply_act(out, act_);
+  quantize_activations(out, ctx.act_format(s));
+  capture_pooled(ctx, out);
+  return out;
+}
+
+AttentionNode::AttentionNode(int input, std::string name, int dim, int heads,
+                             std::array<Tensor, 4> weights,
+                             std::array<Tensor, 4> biases, int block_id,
+                             int window, int grid_h, int grid_w)
+    : Node({input}, std::move(name)), dim_(dim), heads_(heads), window_(window),
+      grid_h_(grid_h), grid_w_(grid_w) {
+  LP_CHECK(dim > 0 && heads > 0 && dim % heads == 0);
+  static constexpr const char* kProj[4] = {".wq", ".wk", ".wv", ".wo"};
+  for (int i = 0; i < 4; ++i) {
+    LP_CHECK(weights[static_cast<std::size_t>(i)].rank() == 2);
+    auto& sl = slots_[static_cast<std::size_t>(i)];
+    sl.name = this->name() + kProj[i];
+    sl.weight = std::move(weights[static_cast<std::size_t>(i)]);
+    sl.bias = std::move(biases[static_cast<std::size_t>(i)]);
+    sl.block_id = block_id;
+  }
+  if (window_ > 0) {
+    LP_CHECK(grid_h_ % window_ == 0 && grid_w_ % window_ == 0);
+  }
+}
+
+Tensor AttentionNode::attend(const Tensor& tokens, const RunCtx& ctx) const {
+  // tokens: [B, T, D] (possibly window-partitioned batches).
+  const std::int64_t b = tokens.dim(0);
+  const std::int64_t t = tokens.dim(1);
+  const std::int64_t d = tokens.dim(2);
+  const std::int64_t dh = d / heads_;
+  const int s0 = first_slot();
+
+  const Tensor flat = tokens.reshaped({b * t, d});
+  std::array<Tensor, 3> qkv;
+  for (int i = 0; i < 3; ++i) {
+    const auto& sl = slots_[static_cast<std::size_t>(i)];
+    const Tensor& w = ctx.weight(s0 + i, sl.weight);
+    if (ctx.workloads != nullptr) {
+      ctx.workloads->push_back({name() + '.' + "qkv"[i], w.dim(0), w.dim(1),
+                                b * t, s0 + i});
+    }
+    qkv[static_cast<std::size_t>(i)] =
+        matmul_nt(flat, w, sl.bias.empty() ? nullptr : &sl.bias);
+    quantize_activations(qkv[static_cast<std::size_t>(i)],
+                         ctx.act_format(s0 + i));
+  }
+  if (ctx.workloads != nullptr) {
+    // Activation-activation matmuls: scores and attention-times-values.
+    ctx.workloads->push_back({name() + ".qk", t, dh, t * b * heads_, -1});
+    ctx.workloads->push_back({name() + ".av", t, t, dh * b * heads_, -1});
+  }
+
+  const float inv_sqrt_dh = 1.0F / std::sqrt(static_cast<float>(dh));
+  Tensor concat({b * t, d});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (int h = 0; h < heads_; ++h) {
+      const std::int64_t c0 = h * dh;
+      // Slice this sample's token rows, then this head's columns.
+      auto head_slice = [&](const Tensor& m) {
+        Tensor rows({t, d});
+        std::copy_n(m.raw() + bi * t * d, t * d, rows.raw());
+        return copy_cols(rows, c0, c0 + dh);
+      };
+      const Tensor qh = head_slice(qkv[0]);
+      const Tensor kh = head_slice(qkv[1]);
+      const Tensor vh = head_slice(qkv[2]);
+      Tensor scores = matmul_nt(qh, kh);
+      scale_inplace(scores, inv_sqrt_dh);
+      scores = softmax_lastdim(scores);
+      const Tensor ctx_out = matmul(scores, vh);  // [t, dh]
+      for (std::int64_t ti = 0; ti < t; ++ti) {
+        std::copy_n(ctx_out.raw() + ti * dh, dh,
+                    concat.raw() + (bi * t + ti) * d + c0);
+      }
+    }
+  }
+  // The v-projection's activation format also covers the softmax(QK)V
+  // output (the PPU requantizes partial results on-chip).
+  quantize_activations(concat, ctx.act_format(s0 + 2));
+
+  const auto& so = slots_[3];
+  const Tensor& wo = ctx.weight(s0 + 3, so.weight);
+  if (ctx.workloads != nullptr) {
+    ctx.workloads->push_back({name() + ".o", wo.dim(0), wo.dim(1), b * t, s0 + 3});
+  }
+  Tensor out = matmul_nt(concat, wo, so.bias.empty() ? nullptr : &so.bias);
+  quantize_activations(out, ctx.act_format(s0 + 3));
+  return out.reshaped({b, t, d});
+}
+
+Tensor AttentionNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) const {
+  const Tensor& in = *x[0];
+  LP_CHECK(in.rank() == 3);
+  LP_CHECK_MSG(in.dim(2) == dim_, "attention dim mismatch");
+  Tensor out;
+  if (window_ <= 0) {
+    out = attend(in, ctx);
+  } else {
+    // Partition the (grid_h x grid_w) token grid into window x window tiles,
+    // treat each tile as an independent attention batch, then un-partition.
+    const std::int64_t b = in.dim(0);
+    const std::int64_t t = in.dim(1);
+    LP_CHECK(t == static_cast<std::int64_t>(grid_h_) * grid_w_);
+    const std::int64_t nh = grid_h_ / window_;
+    const std::int64_t nw = grid_w_ / window_;
+    const std::int64_t wt = static_cast<std::int64_t>(window_) * window_;
+    Tensor part({b * nh * nw, wt, dim_});
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      for (std::int64_t wy = 0; wy < nh; ++wy) {
+        for (std::int64_t wx = 0; wx < nw; ++wx) {
+          const std::int64_t wb = (bi * nh + wy) * nw + wx;
+          for (std::int64_t iy = 0; iy < window_; ++iy) {
+            for (std::int64_t ix = 0; ix < window_; ++ix) {
+              const std::int64_t tok = (wy * window_ + iy) * grid_w_ +
+                                       wx * window_ + ix;
+              std::copy_n(in.raw() + (bi * t + tok) * dim_, dim_,
+                          part.raw() + (wb * wt + iy * window_ + ix) * dim_);
+            }
+          }
+        }
+      }
+    }
+    const Tensor attended = attend(part, ctx);
+    out = Tensor({b, t, static_cast<std::int64_t>(dim_)});
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      for (std::int64_t wy = 0; wy < nh; ++wy) {
+        for (std::int64_t wx = 0; wx < nw; ++wx) {
+          const std::int64_t wb = (bi * nh + wy) * nw + wx;
+          for (std::int64_t iy = 0; iy < window_; ++iy) {
+            for (std::int64_t ix = 0; ix < window_; ++ix) {
+              const std::int64_t tok = (wy * window_ + iy) * grid_w_ +
+                                       wx * window_ + ix;
+              std::copy_n(attended.raw() + (wb * wt + iy * window_ + ix) * dim_,
+                          dim_, out.raw() + (bi * t + tok) * dim_);
+            }
+          }
+        }
+      }
+    }
+  }
+  capture_pooled(ctx, out);
+  return out;
+}
+
+Tensor MaxPoolNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
+  return max_pool2d(*x[0], kernel_, stride_, padding_);
+}
+
+Tensor GlobalAvgPoolNode::run(std::span<const Tensor* const> x,
+                              const RunCtx&) const {
+  return global_avg_pool(*x[0]);
+}
+
+Tensor AddNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
+  Tensor out = add(*x[0], *x[1]);
+  apply_act(out, act_);
+  return out;
+}
+
+Tensor LayerNormNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
+  return layernorm_lastdim(*x[0], gamma_, beta_);
+}
+
+Tensor ToTokensNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
+  const Tensor& in = *x[0];
+  LP_CHECK(in.rank() == 4);
+  const std::int64_t b = in.dim(0);
+  const std::int64_t c = in.dim(1);
+  const std::int64_t hw = in.dim(2) * in.dim(3);
+  Tensor out({b, hw, c});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float* src = in.raw() + (bi * c + ci) * hw;
+      for (std::int64_t p = 0; p < hw; ++p) {
+        out.raw()[(bi * hw + p) * c + ci] = src[p];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ClsPosNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
+  const Tensor& in = *x[0];
+  LP_CHECK(in.rank() == 3);
+  const std::int64_t b = in.dim(0);
+  const std::int64_t t = in.dim(1);
+  const std::int64_t d = in.dim(2);
+  LP_CHECK(cls_.rank() == 1 && cls_.dim(0) == d);
+  LP_CHECK(pos_.rank() == 2 && pos_.dim(0) == t + 1 && pos_.dim(1) == d);
+  Tensor out({b, t + 1, d});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    float* dst = out.raw() + bi * (t + 1) * d;
+    for (std::int64_t j = 0; j < d; ++j) dst[j] = cls_[j] + pos_.at2(0, j);
+    for (std::int64_t ti = 0; ti < t; ++ti) {
+      const float* src = in.raw() + (bi * t + ti) * d;
+      float* drow = dst + (ti + 1) * d;
+      const float* prow = pos_.raw() + (ti + 1) * d;
+      for (std::int64_t j = 0; j < d; ++j) drow[j] = src[j] + prow[j];
+    }
+  }
+  return out;
+}
+
+Tensor PosEmbedNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
+  const Tensor& in = *x[0];
+  LP_CHECK(in.rank() == 3);
+  const std::int64_t b = in.dim(0);
+  const std::int64_t t = in.dim(1);
+  const std::int64_t d = in.dim(2);
+  LP_CHECK(pos_.rank() == 2 && pos_.dim(0) == t && pos_.dim(1) == d);
+  Tensor out = in;
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    float* dst = out.raw() + bi * t * d;
+    for (std::int64_t i = 0; i < t * d; ++i) dst[i] += pos_.raw()[i];
+  }
+  return out;
+}
+
+Tensor ClsSelectNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
+  const Tensor& in = *x[0];
+  LP_CHECK(in.rank() == 3);
+  const std::int64_t b = in.dim(0);
+  const std::int64_t t = in.dim(1);
+  const std::int64_t d = in.dim(2);
+  Tensor out({b, d});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    std::copy_n(in.raw() + bi * t * d, d, out.raw() + bi * d);
+  }
+  return out;
+}
+
+Tensor TokenMeanNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
+  const Tensor& in = *x[0];
+  LP_CHECK(in.rank() == 3);
+  const std::int64_t b = in.dim(0);
+  const std::int64_t t = in.dim(1);
+  const std::int64_t d = in.dim(2);
+  LP_CHECK(t > 0);
+  Tensor out({b, d});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    float* dst = out.raw() + bi * d;
+    for (std::int64_t ti = 0; ti < t; ++ti) {
+      const float* src = in.raw() + (bi * t + ti) * d;
+      for (std::int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+    const float inv = 1.0F / static_cast<float>(t);
+    for (std::int64_t j = 0; j < d; ++j) dst[j] *= inv;
+  }
+  return out;
+}
+
+PatchMergeNode::PatchMergeNode(int input, std::string name, int grid_h,
+                               int grid_w, Tensor weight, Tensor bias,
+                               int block_id)
+    : Node({input}, std::move(name)), grid_h_(grid_h), grid_w_(grid_w) {
+  LP_CHECK(grid_h % 2 == 0 && grid_w % 2 == 0);
+  LP_CHECK(weight.rank() == 2);
+  slot_.name = this->name() + ".w";
+  slot_.weight = std::move(weight);
+  slot_.bias = std::move(bias);
+  slot_.block_id = block_id;
+}
+
+Tensor PatchMergeNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) const {
+  const Tensor& in = *x[0];
+  LP_CHECK(in.rank() == 3);
+  const std::int64_t b = in.dim(0);
+  const std::int64_t t = in.dim(1);
+  const std::int64_t d = in.dim(2);
+  LP_CHECK(t == static_cast<std::int64_t>(grid_h_) * grid_w_);
+  const std::int64_t oh = grid_h_ / 2;
+  const std::int64_t ow = grid_w_ / 2;
+  // Gather 2x2 neighbourhoods into [b*oh*ow, 4d].
+  Tensor gathered({b * oh * ow, 4 * d});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float* dst = gathered.raw() + ((bi * oh + oy) * ow + ox) * 4 * d;
+        int quad = 0;
+        for (std::int64_t dy = 0; dy < 2; ++dy) {
+          for (std::int64_t dx = 0; dx < 2; ++dx, ++quad) {
+            const std::int64_t tok = (oy * 2 + dy) * grid_w_ + ox * 2 + dx;
+            std::copy_n(in.raw() + (bi * t + tok) * d, d, dst + quad * d);
+          }
+        }
+      }
+    }
+  }
+  const int s = first_slot();
+  const Tensor& w = ctx.weight(s, slot_.weight);
+  if (ctx.workloads != nullptr) {
+    ctx.workloads->push_back({name(), w.dim(0), w.dim(1), gathered.dim(0), s});
+  }
+  Tensor out = matmul_nt(gathered, w, slot_.bias.empty() ? nullptr : &slot_.bias);
+  quantize_activations(out, ctx.act_format(s));
+  Tensor shaped = out.reshaped({b, oh * ow, w.dim(0)});
+  capture_pooled(ctx, shaped);
+  return shaped;
+}
+
+}  // namespace lp::nn

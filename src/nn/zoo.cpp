@@ -1,0 +1,371 @@
+#include "nn/zoo.h"
+
+#include <cmath>
+
+#include "nn/nodes.h"
+
+namespace lp::nn {
+namespace {
+
+/// Rounds a scaled width to at least 4 channels (8 for token dims keeps
+/// head splits valid).
+int scaled(double base, double mult, int min_ch = 4) {
+  const int v = static_cast<int>(std::lround(base * mult));
+  return v < min_ch ? min_ch : v;
+}
+
+Tensor make_weight(std::int64_t out, std::int64_t in, std::int64_t kh = 0,
+                   std::int64_t kw = 0) {
+  if (kh > 0) return Tensor({out, in, kh, kw});
+  return Tensor({out, in});
+}
+
+Tensor make_bias(std::int64_t n) { return Tensor({n}); }
+
+/// Builder helpers shared by the CNN architectures.
+class CnnBuilder {
+ public:
+  CnnBuilder(Model& m, int block0) : model_(m), block_(block0) {}
+
+  int conv(int input, const std::string& name, int cin, int cout, int k,
+           int stride, int pad, Act act, int groups = 1) {
+    return model_.add(std::make_unique<Conv2dNode>(
+        input, name, make_weight(cout, cin / groups, k, k), make_bias(cout),
+        Conv2dSpec{stride, pad, groups}, act, block_));
+  }
+
+  int add(int a, int b, const std::string& name, Act act) {
+    return model_.add(std::make_unique<AddNode>(a, b, name, act));
+  }
+
+  void next_block() { ++block_; }
+  [[nodiscard]] int block() const { return block_; }
+
+ private:
+  Model& model_;
+  int block_;
+};
+
+/// Transformer encoder block (pre-norm): LN -> MHSA -> add; LN -> MLP -> add.
+/// Returns the output node index.  `window/grid` parameterize Swin blocks.
+int transformer_block(Model& m, int input, const std::string& name, int dim,
+                      int heads, int mlp_ratio, int block_id, int window = 0,
+                      int grid_h = 0, int grid_w = 0) {
+  Tensor g1({dim}), b1({dim}), g2({dim}), b2({dim});
+  g1.fill(1.0F);
+  g2.fill(1.0F);
+  const int ln1 = m.add(std::make_unique<LayerNormNode>(input, name + ".ln1",
+                                                        std::move(g1), std::move(b1)));
+  std::array<Tensor, 4> wts = {make_weight(dim, dim), make_weight(dim, dim),
+                               make_weight(dim, dim), make_weight(dim, dim)};
+  std::array<Tensor, 4> bss = {make_bias(dim), make_bias(dim), make_bias(dim),
+                               make_bias(dim)};
+  const int attn = m.add(std::make_unique<AttentionNode>(
+      ln1, name + ".attn", dim, heads, std::move(wts), std::move(bss), block_id,
+      window, grid_h, grid_w));
+  const int res1 = m.add(std::make_unique<AddNode>(input, attn, name + ".add1",
+                                                   Act::kNone));
+  const int ln2 = m.add(std::make_unique<LayerNormNode>(res1, name + ".ln2",
+                                                        std::move(g2), std::move(b2)));
+  const int hidden = dim * mlp_ratio;
+  const int fc1 = m.add(std::make_unique<LinearNode>(
+      ln2, name + ".mlp1", make_weight(hidden, dim), make_bias(hidden),
+      Act::kGelu, block_id));
+  const int fc2 = m.add(std::make_unique<LinearNode>(
+      fc1, name + ".mlp2", make_weight(dim, hidden), make_bias(dim), Act::kNone,
+      block_id));
+  return m.add(std::make_unique<AddNode>(res1, fc2, name + ".add2", Act::kNone));
+}
+
+Model finalize_with_weights(Model&& model, const ZooOptions& opts) {
+  model.finalize();
+  synthesize_weights(model, opts);
+  return std::move(model);
+}
+
+}  // namespace
+
+void synthesize_weights(Model& model, const ZooOptions& opts) {
+  Rng rng(opts.seed ^ 0xabcdef12345ULL);
+  init_weights(model, rng, opts.init);
+  // Per-layer activation-scale targets within one decade, emulating the
+  // residual heterogeneity of trained BN-folded nets.
+  std::vector<float> targets(static_cast<std::size_t>(model.weighted_node_count()));
+  for (auto& t : targets) {
+    t = static_cast<float>(std::pow(10.0, rng.uniform(-0.4, 0.4)));
+  }
+  Tensor probe({4, opts.in_channels, opts.input_size, opts.input_size});
+  for (float& v : probe.data()) v = static_cast<float>(rng.gaussian());
+  model.normalize_layer_scales(probe, targets);
+
+  // Balance the classifier head: random heads produce large
+  // input-independent per-class offsets (channel means reaching the head
+  // through GAP), which would make argmax insensitive to the input.  A
+  // trained head has roughly balanced priors; emulate that by folding the
+  // probe-batch mean logit into the final bias.
+  WeightSlot* head = model.slot_list().back();
+  LP_CHECK_MSG(!head->bias.empty(), "zoo models need a biased classifier head");
+  Tensor probe2({8, opts.in_channels, opts.input_size, opts.input_size});
+  for (float& v : probe2.data()) v = static_cast<float>(rng.gaussian());
+  const Tensor logits = model.forward(probe2).logits;
+  const std::int64_t classes = logits.dim(1);
+  for (std::int64_t c = 0; c < classes; ++c) {
+    double mu = 0.0;
+    for (std::int64_t b = 0; b < logits.dim(0); ++b) mu += logits.at2(b, c);
+    head->bias[c] -= static_cast<float>(mu / static_cast<double>(logits.dim(0)));
+  }
+}
+
+Model build_resnet18(const ZooOptions& opts) {
+  const double wm = 0.25 * opts.width_mult;
+  const int w1 = scaled(64, wm), w2 = scaled(128, wm), w3 = scaled(256, wm),
+            w4 = scaled(512, wm);
+  Model m("resnet18");
+  CnnBuilder b(m, 0);
+  int x = b.conv(0, "stem", opts.in_channels, w1, 3, 1, 1, Act::kRelu);
+  const int stage_width[4] = {w1, w2, w3, w4};
+  int cin = w1;
+  for (int s = 0; s < 4; ++s) {
+    const int cout = stage_width[s];
+    for (int blk = 0; blk < 2; ++blk) {
+      const int stride = (s > 0 && blk == 0) ? 2 : 1;
+      const std::string nm = "s" + std::to_string(s) + ".b" + std::to_string(blk);
+      const int c1 = b.conv(x, nm + ".conv1", cin, cout, 3, stride, 1, Act::kRelu);
+      const int c2 = b.conv(c1, nm + ".conv2", cout, cout, 3, 1, 1, Act::kNone);
+      int shortcut = x;
+      if (stride != 1 || cin != cout) {
+        shortcut = b.conv(x, nm + ".down", cin, cout, 1, stride, 0, Act::kNone);
+      }
+      x = b.add(c2, shortcut, nm + ".add", Act::kRelu);
+      cin = cout;
+      b.next_block();
+    }
+  }
+  const int gap = m.add(std::make_unique<GlobalAvgPoolNode>(x, "gap"));
+  m.add(std::make_unique<LinearNode>(gap, "fc", make_weight(opts.classes, cin),
+                                     make_bias(opts.classes), Act::kNone,
+                                     b.block()));
+  return finalize_with_weights(std::move(m), opts);
+}
+
+Model build_resnet50(const ZooOptions& opts) {
+  const double wm = 0.125 * opts.width_mult;
+  const int base[4] = {scaled(64, wm), scaled(128, wm), scaled(256, wm),
+                       scaled(512, wm)};
+  const int depths[4] = {3, 4, 6, 3};
+  constexpr int kExpansion = 4;
+  Model m("resnet50");
+  CnnBuilder b(m, 0);
+  int x = b.conv(0, "stem", opts.in_channels, base[0], 3, 1, 1, Act::kRelu);
+  int cin = base[0];
+  for (int s = 0; s < 4; ++s) {
+    const int mid = base[s];
+    const int cout = mid * kExpansion;
+    for (int blk = 0; blk < depths[s]; ++blk) {
+      const int stride = (s > 0 && blk == 0) ? 2 : 1;
+      const std::string nm = "s" + std::to_string(s) + ".b" + std::to_string(blk);
+      const int c1 = b.conv(x, nm + ".conv1", cin, mid, 1, 1, 0, Act::kRelu);
+      const int c2 = b.conv(c1, nm + ".conv2", mid, mid, 3, stride, 1, Act::kRelu);
+      const int c3 = b.conv(c2, nm + ".conv3", mid, cout, 1, 1, 0, Act::kNone);
+      int shortcut = x;
+      if (stride != 1 || cin != cout) {
+        shortcut = b.conv(x, nm + ".down", cin, cout, 1, stride, 0, Act::kNone);
+      }
+      x = b.add(c3, shortcut, nm + ".add", Act::kRelu);
+      cin = cout;
+      b.next_block();
+    }
+  }
+  const int gap = m.add(std::make_unique<GlobalAvgPoolNode>(x, "gap"));
+  m.add(std::make_unique<LinearNode>(gap, "fc", make_weight(opts.classes, cin),
+                                     make_bias(opts.classes), Act::kNone,
+                                     b.block()));
+  return finalize_with_weights(std::move(m), opts);
+}
+
+Model build_mobilenet_v2(const ZooOptions& opts) {
+  const double wm = 0.5 * opts.width_mult;
+  // (expansion t, channels c, repeats n, stride s) per the MobileNetV2
+  // paper, with CIFAR-style strides for 32x32 inputs.
+  struct Setting { int t, c, n, s; };
+  const Setting settings[] = {{1, 16, 1, 1}, {6, 24, 2, 1}, {6, 32, 3, 2},
+                              {6, 64, 4, 2}, {6, 96, 3, 1}, {6, 160, 3, 2},
+                              {6, 320, 1, 1}};
+  Model m("mobilenetv2");
+  CnnBuilder b(m, 0);
+  int cin = scaled(32, wm);
+  int x = b.conv(0, "stem", opts.in_channels, cin, 3, 1, 1, Act::kRelu6);
+  int idx = 0;
+  for (const auto& st : settings) {
+    const int cout = scaled(st.c, wm);
+    for (int rep = 0; rep < st.n; ++rep) {
+      const int stride = (rep == 0) ? st.s : 1;
+      const std::string nm = "ir" + std::to_string(idx++);
+      const int hidden = cin * st.t;
+      int y = x;
+      if (st.t != 1) {
+        y = b.conv(y, nm + ".expand", cin, hidden, 1, 1, 0, Act::kRelu6);
+      }
+      y = b.conv(y, nm + ".dw", hidden, hidden, 3, stride, 1, Act::kRelu6,
+                 /*groups=*/hidden);
+      y = b.conv(y, nm + ".project", hidden, cout, 1, 1, 0, Act::kNone);
+      if (stride == 1 && cin == cout) {
+        y = b.add(y, x, nm + ".add", Act::kNone);
+      }
+      x = y;
+      cin = cout;
+      b.next_block();
+    }
+  }
+  const int head_ch = scaled(1280, wm, 32);
+  x = b.conv(x, "head", cin, head_ch, 1, 1, 0, Act::kRelu6);
+  const int gap = m.add(std::make_unique<GlobalAvgPoolNode>(x, "gap"));
+  m.add(std::make_unique<LinearNode>(gap, "fc",
+                                     make_weight(opts.classes, head_ch),
+                                     make_bias(opts.classes), Act::kNone,
+                                     b.block()));
+  return finalize_with_weights(std::move(m), opts);
+}
+
+namespace {
+
+/// Shared ViT/DeiT builder (they differ only in width/heads).
+Model build_vit_like(const std::string& name, int dim, int heads, int depth,
+                     int patch, const ZooOptions& opts) {
+  LP_CHECK(opts.input_size % patch == 0);
+  const int grid = opts.input_size / patch;
+  const int tokens = grid * grid;
+  Model m(name);
+  // Patch embedding: conv k=s=patch, then to tokens.  Block 0.
+  const int embed = m.add(std::make_unique<Conv2dNode>(
+      0, "patch_embed", make_weight(dim, opts.in_channels, patch, patch),
+      make_bias(dim), Conv2dSpec{patch, 0, 1}, Act::kNone, 0));
+  const int tok = m.add(std::make_unique<ToTokensNode>(embed, "to_tokens"));
+  Tensor cls({dim});
+  Tensor pos({tokens + 1, dim});
+  Rng perng(opts.seed ^ 0x9e1fULL);
+  for (float& v : cls.data()) v = static_cast<float>(perng.gaussian(0.0, 0.02));
+  for (float& v : pos.data()) v = static_cast<float>(perng.gaussian(0.0, 0.02));
+  int x = m.add(std::make_unique<ClsPosNode>(tok, "cls_pos", std::move(cls),
+                                             std::move(pos)));
+  for (int blk = 0; blk < depth; ++blk) {
+    x = transformer_block(m, x, "blk" + std::to_string(blk), dim, heads,
+                          /*mlp_ratio=*/4, blk + 1);
+  }
+  Tensor gf({dim}), bf({dim});
+  gf.fill(1.0F);
+  const int lnf = m.add(std::make_unique<LayerNormNode>(x, "ln_f", std::move(gf),
+                                                        std::move(bf)));
+  const int head = m.add(std::make_unique<ClsSelectNode>(lnf, "cls_select"));
+  m.add(std::make_unique<LinearNode>(head, "fc", make_weight(opts.classes, dim),
+                                     make_bias(opts.classes), Act::kNone,
+                                     depth + 1));
+  return finalize_with_weights(std::move(m), opts);
+}
+
+}  // namespace
+
+Model build_vit_b(const ZooOptions& opts) {
+  // ViT-B/16 at 1/8 width: dim 768 -> 96, 12 heads -> 3 (head_dim 32).
+  const int dim = scaled(96, opts.width_mult, 8);
+  return build_vit_like("vit_b", dim, /*heads=*/std::max(1, dim / 32),
+                        /*depth=*/12, /*patch=*/4, opts);
+}
+
+Model build_deit_s(const ZooOptions& opts) {
+  // DeiT-S at reduced width: dim 384 -> 64, 6 heads -> 2 (head_dim 32).
+  const int dim = scaled(64, opts.width_mult, 8);
+  return build_vit_like("deit_s", dim, /*heads=*/std::max(1, dim / 32),
+                        /*depth=*/12, /*patch=*/4, opts);
+}
+
+Model build_swin_t(const ZooOptions& opts) {
+  // Swin-T at 1/3 width: dims [96,192,384,768] -> [32,64,128,256],
+  // depths [2,2,6,2], patch 2, window 4 (non-shifted).
+  const int dims[4] = {scaled(32, opts.width_mult, 8),
+                       scaled(64, opts.width_mult, 8),
+                       scaled(128, opts.width_mult, 8),
+                       scaled(256, opts.width_mult, 8)};
+  const int depths[4] = {2, 2, 6, 2};
+  const int patch = 2;
+  LP_CHECK(opts.input_size % patch == 0);
+  int grid = opts.input_size / patch;
+
+  Model m("swin_t");
+  const int embed = m.add(std::make_unique<Conv2dNode>(
+      0, "patch_embed", make_weight(dims[0], opts.in_channels, patch, patch),
+      make_bias(dims[0]), Conv2dSpec{patch, 0, 1}, Act::kNone, 0));
+  const int tok = m.add(std::make_unique<ToTokensNode>(embed, "to_tokens"));
+  Tensor pos({static_cast<std::int64_t>(grid) * grid, dims[0]});
+  Rng perng(opts.seed ^ 0x51a7ULL);
+  for (float& v : pos.data()) v = static_cast<float>(perng.gaussian(0.0, 0.02));
+  int x = m.add(std::make_unique<PosEmbedNode>(tok, "pos", std::move(pos)));
+
+  int block_id = 1;
+  for (int s = 0; s < 4; ++s) {
+    const int dim = dims[s];
+    const int window = grid < 4 ? grid : 4;
+    const int heads = std::max(1, dim / 32);
+    for (int blk = 0; blk < depths[s]; ++blk) {
+      x = transformer_block(m, x,
+                            "st" + std::to_string(s) + ".blk" + std::to_string(blk),
+                            dim, heads, /*mlp_ratio=*/4, block_id++, window,
+                            grid, grid);
+    }
+    if (s < 3) {
+      // Patch merging halves the grid and doubles the channel dim.
+      x = m.add(std::make_unique<PatchMergeNode>(
+          x, "st" + std::to_string(s) + ".merge", grid, grid,
+          make_weight(dims[s + 1], 4 * dim), make_bias(dims[s + 1]), block_id));
+      grid /= 2;
+    }
+  }
+  Tensor gf({dims[3]}), bf({dims[3]});
+  gf.fill(1.0F);
+  const int lnf = m.add(std::make_unique<LayerNormNode>(x, "ln_f", std::move(gf),
+                                                        std::move(bf)));
+  const int pool = m.add(std::make_unique<TokenMeanNode>(lnf, "token_mean"));
+  m.add(std::make_unique<LinearNode>(pool, "fc",
+                                     make_weight(opts.classes, dims[3]),
+                                     make_bias(opts.classes), Act::kNone,
+                                     block_id));
+  return finalize_with_weights(std::move(m), opts);
+}
+
+Model build_tiny_cnn(const ZooOptions& opts) {
+  Model m("tiny_cnn");
+  CnnBuilder b(m, 0);
+  const int c1 = scaled(8, opts.width_mult);
+  const int c2 = scaled(16, opts.width_mult);
+  int x = b.conv(0, "stem", opts.in_channels, c1, 3, 1, 1, Act::kRelu);
+  b.next_block();
+  x = b.conv(x, "conv1", c1, c2, 3, 2, 1, Act::kRelu);
+  const int r1 = b.conv(x, "res.conv1", c2, c2, 3, 1, 1, Act::kRelu);
+  const int r2 = b.conv(r1, "res.conv2", c2, c2, 3, 1, 1, Act::kNone);
+  x = b.add(r2, x, "res.add", Act::kRelu);
+  b.next_block();
+  const int gap = m.add(std::make_unique<GlobalAvgPoolNode>(x, "gap"));
+  m.add(std::make_unique<LinearNode>(gap, "fc", make_weight(opts.classes, c2),
+                                     make_bias(opts.classes), Act::kNone,
+                                     b.block()));
+  return finalize_with_weights(std::move(m), opts);
+}
+
+Model build_tiny_vit(const ZooOptions& opts) {
+  return build_vit_like("tiny_vit", /*dim=*/16, /*heads=*/2, /*depth=*/2,
+                        /*patch=*/8, opts);
+}
+
+Model build_model(const std::string& name, const ZooOptions& opts) {
+  if (name == "resnet18") return build_resnet18(opts);
+  if (name == "resnet50") return build_resnet50(opts);
+  if (name == "mobilenetv2") return build_mobilenet_v2(opts);
+  if (name == "vit_b") return build_vit_b(opts);
+  if (name == "deit_s") return build_deit_s(opts);
+  if (name == "swin_t") return build_swin_t(opts);
+  if (name == "tiny_cnn") return build_tiny_cnn(opts);
+  if (name == "tiny_vit") return build_tiny_vit(opts);
+  LP_CHECK_MSG(false, "unknown model '" << name << '\'');
+}
+
+}  // namespace lp::nn

@@ -1,0 +1,120 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lp::sim {
+
+PrecisionMap PrecisionMap::uniform(std::size_t slots, int w_bits, int a_bits) {
+  PrecisionMap p;
+  p.weight_bits.assign(slots, w_bits);
+  p.act_bits.assign(slots, a_bits);
+  return p;
+}
+
+int snap_width(const lpa::AcceleratorModel& accel, int bits) {
+  LP_CHECK(!accel.widths.empty());
+  int best = 0;
+  for (int w : accel.widths) {
+    if (w >= bits && (best == 0 || w < best)) best = w;
+  }
+  if (best == 0) best = *std::max_element(accel.widths.begin(), accel.widths.end());
+  return best;
+}
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+LayerSim simulate_layer(const lpa::AcceleratorModel& accel,
+                        const nn::LayerWorkload& wl, int req_w_bits,
+                        int req_a_bits) {
+  LayerSim ls;
+  ls.name = wl.name;
+  ls.macs = wl.macs();
+  ls.w_bits = snap_width(accel, req_w_bits);
+  ls.a_bits = snap_width(accel, std::min(8, req_a_bits));
+
+  const int p = accel.packing(ls.w_bits);
+  const int f = accel.fusion(ls.w_bits);
+  const std::int64_t m_tile =
+      std::max<std::int64_t>(1, accel.cols * p / f);
+  const std::int64_t k_tile = accel.rows;
+
+  const std::int64_t m_tiles = ceil_div(wl.m, m_tile);
+  const std::int64_t k_tiles = ceil_div(wl.k, k_tile);
+
+  // Per tile: stream N activation columns; fill + drain the array.  Weight
+  // loads are double-buffered (paper Section 5.2) and overlap streaming,
+  // except that a tile can never be shorter than the load itself.
+  const std::int64_t stream = std::max<std::int64_t>(wl.n, accel.rows);
+  const std::int64_t cycles_per_tile = stream + accel.rows + accel.cols;
+  ls.cycles = m_tiles * k_tiles * cycles_per_tile;
+
+  const double peak_macs_per_cycle = accel.macs_per_cycle(ls.w_bits);
+  ls.utilization =
+      static_cast<double>(ls.macs) /
+      (static_cast<double>(ls.cycles) * peak_macs_per_cycle);
+
+  // --- memory traffic (bytes) ---
+  // Activations are stored 8-bit in the input buffer (4-bit values are
+  // zero-extended), weights are bit-packed at their quantized width.
+  const double w_bytes = static_cast<double>(wl.m * wl.k) * ls.w_bits / 8.0;
+  const double act_storage_bytes = static_cast<double>(wl.k * wl.n);  // 8-bit
+  const double sram_act = act_storage_bytes * static_cast<double>(m_tiles);
+  const double out_bytes = static_cast<double>(wl.m * wl.n);
+  // Partial sums spill at 16 bits between K tiles.
+  const double psum_bytes =
+      static_cast<double>(wl.m * wl.n) * 2.0 *
+      static_cast<double>(std::max<std::int64_t>(0, k_tiles - 1)) * 2.0;
+  const double sram_bytes = w_bytes + sram_act + out_bytes + psum_bytes;
+  const double dram_bytes = w_bytes + act_storage_bytes + out_bytes;
+
+  // --- energy ---
+  double e = static_cast<double>(ls.macs) * accel.mac_energy(ls.w_bits);
+  e += static_cast<double>(wl.m * wl.k) * accel.decode_energy_pj;  // weights
+  e += sram_act * accel.decode_energy_pj;                         // acts
+  e += out_bytes * accel.encode_energy_pj;
+  e += sram_bytes * accel.sram_pj_per_byte;
+  e += dram_bytes * accel.dram_pj_per_byte;
+  ls.energy_pj = e;
+  return ls;
+}
+
+}  // namespace
+
+SimResult simulate(const lpa::AcceleratorModel& accel,
+                   const std::vector<nn::LayerWorkload>& workloads,
+                   const PrecisionMap& precision) {
+  LP_CHECK(!workloads.empty());
+  SimResult r;
+  r.accel_name = accel.name;
+  for (const auto& wl : workloads) {
+    int w_bits = 8;
+    int a_bits = 8;
+    if (wl.weight_slot >= 0) {
+      const auto s = static_cast<std::size_t>(wl.weight_slot);
+      LP_CHECK_MSG(s < precision.weight_bits.size(),
+                   "precision map smaller than slot index " << wl.weight_slot);
+      w_bits = precision.weight_bits[s];
+      a_bits = precision.act_bits[s];
+    } else if (!precision.act_bits.empty()) {
+      // Activation-activation matmuls run at activation precision.
+      w_bits = *std::max_element(precision.act_bits.begin(),
+                                 precision.act_bits.end());
+      a_bits = w_bits;
+    }
+    r.layers.push_back(simulate_layer(accel, wl, w_bits, a_bits));
+    r.total_cycles += r.layers.back().cycles;
+    r.total_macs += r.layers.back().macs;
+    r.energy_mj += r.layers.back().energy_pj * 1e-9;
+  }
+  r.time_ms = static_cast<double>(r.total_cycles) / (accel.freq_ghz * 1e6);
+  r.gops = 2.0 * static_cast<double>(r.total_macs) / (r.time_ms * 1e6);
+  r.avg_power_w = r.energy_mj / r.time_ms;
+  r.gops_per_w = r.avg_power_w > 0.0 ? r.gops / r.avg_power_w : 0.0;
+  r.tops_per_mm2 = (r.gops / 1000.0) / accel.compute_area_mm2();
+  return r;
+}
+
+}  // namespace lp::sim

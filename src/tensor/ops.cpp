@@ -1,0 +1,332 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lp {
+namespace {
+
+/// Inner GEMM kernel: C[M,N] += A[M,K] * B[K,N] with ikj loop order so the
+/// innermost loop streams both B and C rows (cache friendly, autovectorizes).
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0F) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b, const Tensor* bias) {
+  LP_CHECK(a.rank() == 2 && b.rank() == 2);
+  LP_CHECK_MSG(a.dim(1) == b.dim(0), "matmul inner dims " << a.dim(1) << " vs "
+                                                          << b.dim(0));
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  Tensor c({m, n});
+  if (bias != nullptr) {
+    LP_CHECK(bias->rank() == 1 && bias->dim(0) == n);
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::copy_n(bias->raw(), n, c.raw() + i * n);
+    }
+  }
+  gemm_accumulate(a.raw(), b.raw(), c.raw(), m, k, n);
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b, const Tensor* bias) {
+  LP_CHECK(a.rank() == 2 && b.rank() == 2);
+  LP_CHECK_MSG(a.dim(1) == b.dim(1), "matmul_nt inner dims " << a.dim(1) << " vs "
+                                                             << b.dim(1));
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(0);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a.raw() + i * k;
+    float* crow = c.raw() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b.raw() + j * k;
+      double s = (bias != nullptr) ? (*bias)[j] : 0.0;
+      for (std::int64_t p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
+      crow[j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t padding) {
+  LP_CHECK(stride >= 1 && kernel >= 1 && padding >= 0);
+  const std::int64_t out = (in + 2 * padding - kernel) / stride + 1;
+  LP_CHECK_MSG(out >= 1, "conv output dim <= 0 (in=" << in << " k=" << kernel
+                                                     << " s=" << stride
+                                                     << " p=" << padding << ")");
+  return out;
+}
+
+Tensor im2col(const Tensor& input, std::int64_t c_begin, std::int64_t c_count,
+              std::int64_t kh, std::int64_t kw, const Conv2dSpec& spec) {
+  LP_CHECK(input.rank() == 4);
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c_total = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  LP_CHECK(c_begin >= 0 && c_begin + c_count <= c_total);
+  const std::int64_t ho = conv_out_dim(h, kh, spec.stride, spec.padding);
+  const std::int64_t wo = conv_out_dim(w, kw, spec.stride, spec.padding);
+  Tensor cols({c_count * kh * kw, n * ho * wo});
+  float* dst = cols.raw();
+  const std::int64_t col_width = n * ho * wo;
+  for (std::int64_t cc = 0; cc < c_count; ++cc) {
+    for (std::int64_t ky = 0; ky < kh; ++ky) {
+      for (std::int64_t kx = 0; kx < kw; ++kx) {
+        const std::int64_t row = (cc * kh + ky) * kw + kx;
+        float* out_row = dst + row * col_width;
+        std::int64_t col = 0;
+        for (std::int64_t b = 0; b < n; ++b) {
+          const float* chan =
+              input.raw() + ((b * c_total + c_begin + cc) * h) * w;
+          for (std::int64_t oy = 0; oy < ho; ++oy) {
+            const std::int64_t iy = oy * spec.stride - spec.padding + ky;
+            const bool y_ok = iy >= 0 && iy < h;
+            for (std::int64_t ox = 0; ox < wo; ++ox, ++col) {
+              const std::int64_t ix = ox * spec.stride - spec.padding + kx;
+              out_row[col] =
+                  (y_ok && ix >= 0 && ix < w) ? chan[iy * w + ix] : 0.0F;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
+              const Conv2dSpec& spec) {
+  LP_CHECK(input.rank() == 4 && weight.rank() == 4);
+  const std::int64_t n = input.dim(0);
+  const std::int64_t cin = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t cout = weight.dim(0);
+  const std::int64_t kh = weight.dim(2);
+  const std::int64_t kw = weight.dim(3);
+  LP_CHECK(spec.groups >= 1);
+  LP_CHECK_MSG(cin % spec.groups == 0 && cout % spec.groups == 0,
+               "groups must divide channels");
+  LP_CHECK_MSG(weight.dim(1) == cin / spec.groups,
+               "weight Cin/groups mismatch: " << weight.dim(1) << " vs "
+                                              << cin / spec.groups);
+  if (bias != nullptr) LP_CHECK(bias->rank() == 1 && bias->dim(0) == cout);
+
+  const std::int64_t ho = conv_out_dim(h, kh, spec.stride, spec.padding);
+  const std::int64_t wo = conv_out_dim(w, kw, spec.stride, spec.padding);
+  const std::int64_t cg_in = cin / spec.groups;
+  const std::int64_t cg_out = cout / spec.groups;
+  const std::int64_t col_width = n * ho * wo;
+
+  Tensor out({n, cout, ho, wo});
+  for (std::int64_t g = 0; g < spec.groups; ++g) {
+    const Tensor cols = im2col(input, g * cg_in, cg_in, kh, kw, spec);
+    // Weight slice for this group as a [cg_out, cg_in*kh*kw] matrix.
+    const float* wslice = weight.raw() + g * cg_out * cg_in * kh * kw;
+    const std::int64_t k = cg_in * kh * kw;
+    // result[cg_out, col_width] = wslice * cols
+    std::vector<float> result(static_cast<std::size_t>(cg_out * col_width), 0.0F);
+    gemm_accumulate(wslice, cols.raw(), result.data(), cg_out, k, col_width);
+    // Scatter back into NCHW (columns are ordered batch-major per im2col).
+    for (std::int64_t oc = 0; oc < cg_out; ++oc) {
+      const float bias_v = (bias != nullptr) ? (*bias)[g * cg_out + oc] : 0.0F;
+      const float* rrow = result.data() + oc * col_width;
+      std::int64_t col = 0;
+      for (std::int64_t b = 0; b < n; ++b) {
+        float* dst = out.raw() + ((b * cout + g * cg_out + oc) * ho) * wo;
+        for (std::int64_t i = 0; i < ho * wo; ++i, ++col) dst[i] = rrow[col] + bias_v;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor global_avg_pool(const Tensor& input) {
+  LP_CHECK(input.rank() == 4);
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t hw = input.dim(2) * input.dim(3);
+  LP_CHECK(hw > 0);
+  Tensor out({n, c});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* src = input.raw() + (b * c + ch) * hw;
+      double s = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) s += src[i];
+      out.at2(b, ch) = static_cast<float>(s / static_cast<double>(hw));
+    }
+  }
+  return out;
+}
+
+Tensor max_pool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride,
+                  std::int64_t padding) {
+  LP_CHECK(input.rank() == 4);
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t ho = conv_out_dim(h, kernel, stride, padding);
+  const std::int64_t wo = conv_out_dim(w, kernel, stride, padding);
+  Tensor out({n, c, ho, wo});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* src = input.raw() + (b * c + ch) * h * w;
+      float* dst = out.raw() + (b * c + ch) * ho * wo;
+      for (std::int64_t oy = 0; oy < ho; ++oy) {
+        for (std::int64_t ox = 0; ox < wo; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            const std::int64_t iy = oy * stride - padding + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t ix = ox * stride - padding + kx;
+              if (ix < 0 || ix >= w) continue;
+              best = std::max(best, src[iy * w + ix]);
+            }
+          }
+          dst[oy * wo + ox] = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void relu_inplace(Tensor& x) {
+  for (float& v : x.data()) v = std::max(v, 0.0F);
+}
+
+void relu6_inplace(Tensor& x) {
+  for (float& v : x.data()) v = std::clamp(v, 0.0F, 6.0F);
+}
+
+void gelu_inplace(Tensor& x) {
+  // tanh approximation of GELU (the variant ViT implementations use).
+  constexpr float kSqrt2OverPi = 0.7978845608028654F;
+  for (float& v : x.data()) {
+    const float u = kSqrt2OverPi * (v + 0.044715F * v * v * v);
+    v = 0.5F * v * (1.0F + std::tanh(u));
+  }
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor y = x;
+  relu_inplace(y);
+  return y;
+}
+
+Tensor relu6(const Tensor& x) {
+  Tensor y = x;
+  relu6_inplace(y);
+  return y;
+}
+
+Tensor gelu(const Tensor& x) {
+  Tensor y = x;
+  gelu_inplace(y);
+  return y;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  add_inplace(c, b);
+  return c;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  LP_CHECK_MSG(a.shape() == b.shape(),
+               "add shape mismatch " << a.shape_str() << " vs " << b.shape_str());
+  float* pa = a.raw();
+  const float* pb = b.raw();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (float& v : a.data()) v *= s;
+}
+
+Tensor softmax_lastdim(const Tensor& x) {
+  LP_CHECK(x.rank() >= 1);
+  const std::int64_t d = x.shape().back();
+  LP_CHECK(d > 0);
+  const std::int64_t rows = x.numel() / d;
+  Tensor y = x;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = y.raw() + r * d;
+    float mx = row[0];
+    for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, row[i]);
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < d; ++i) {
+      row[i] = std::exp(row[i] - mx);
+      sum += row[i];
+    }
+    const auto inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t i = 0; i < d; ++i) row[i] *= inv;
+  }
+  return y;
+}
+
+Tensor layernorm_lastdim(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, float eps) {
+  LP_CHECK(x.rank() >= 1);
+  const std::int64_t d = x.shape().back();
+  LP_CHECK(gamma.rank() == 1 && gamma.dim(0) == d);
+  LP_CHECK(beta.rank() == 1 && beta.dim(0) == d);
+  const std::int64_t rows = x.numel() / d;
+  Tensor y = x;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = y.raw() + r * d;
+    double mu = 0.0;
+    for (std::int64_t i = 0; i < d; ++i) mu += row[i];
+    mu /= static_cast<double>(d);
+    double var = 0.0;
+    for (std::int64_t i = 0; i < d; ++i) {
+      const double dv = row[i] - mu;
+      var += dv * dv;
+    }
+    var /= static_cast<double>(d);
+    const double inv = 1.0 / std::sqrt(var + eps);
+    for (std::int64_t i = 0; i < d; ++i) {
+      row[i] = static_cast<float>((row[i] - mu) * inv) * gamma[i] + beta[i];
+    }
+  }
+  return y;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& logits) {
+  LP_CHECK(logits.rank() == 2);
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t d = logits.dim(1);
+  LP_CHECK(d > 0);
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    const float* row = logits.raw() + r * d;
+    std::int64_t best = 0;
+    for (std::int64_t i = 1; i < d; ++i) {
+      if (row[i] > row[best]) best = i;
+    }
+    idx[static_cast<std::size_t>(r)] = best;
+  }
+  return idx;
+}
+
+}  // namespace lp

@@ -1,0 +1,76 @@
+// Forward-pass tensor operations.
+//
+// These are the primitives the DNN substrate (src/nn) composes: GEMM,
+// im2col convolution (grouped, so depthwise MobileNet blocks work), pooling,
+// activations, softmax, layernorm.  All functions are pure (inputs const,
+// fresh output) unless suffixed _inplace.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace lp {
+
+/// C[M,N] = A[M,K] * B[K,N]  (+bias[N] if non-null).
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b,
+                            const Tensor* bias = nullptr);
+
+/// C[M,N] = A[M,K] * B[N,K]^T (+bias[N] if non-null).  This is the
+/// fully-connected / attention-projection layout.
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b,
+                               const Tensor* bias = nullptr);
+
+struct Conv2dSpec {
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+  std::int64_t groups = 1;
+};
+
+/// 2-D convolution, NCHW input [N,C,H,W], weight [Cout,Cin/groups,kh,kw],
+/// optional bias [Cout].  im2col + GEMM implementation.
+[[nodiscard]] Tensor conv2d(const Tensor& input, const Tensor& weight,
+                            const Tensor* bias, const Conv2dSpec& spec);
+
+/// Global average pool: [N,C,H,W] -> [N,C].
+[[nodiscard]] Tensor global_avg_pool(const Tensor& input);
+
+/// Max pool with square kernel/stride: [N,C,H,W] -> [N,C,H',W'].
+[[nodiscard]] Tensor max_pool2d(const Tensor& input, std::int64_t kernel,
+                                std::int64_t stride, std::int64_t padding = 0);
+
+/// Elementwise activations (fresh output).
+[[nodiscard]] Tensor relu(const Tensor& x);
+[[nodiscard]] Tensor relu6(const Tensor& x);
+[[nodiscard]] Tensor gelu(const Tensor& x);
+
+void relu_inplace(Tensor& x);
+void relu6_inplace(Tensor& x);
+void gelu_inplace(Tensor& x);
+
+/// Elementwise sum (shapes must match).
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+void add_inplace(Tensor& a, const Tensor& b);
+
+/// Scale all elements.
+void scale_inplace(Tensor& a, float s);
+
+/// Softmax over the last dimension.
+[[nodiscard]] Tensor softmax_lastdim(const Tensor& x);
+
+/// LayerNorm over the last dimension with affine params gamma/beta [D].
+[[nodiscard]] Tensor layernorm_lastdim(const Tensor& x, const Tensor& gamma,
+                                       const Tensor& beta, float eps = 1e-5F);
+
+/// argmax over the last dimension of a 2-D tensor: [N,D] -> indices[N].
+[[nodiscard]] std::vector<std::int64_t> argmax_rows(const Tensor& logits);
+
+/// im2col for conv2d: returns [Cin*kh*kw, N*Hout*Wout] patch matrix for a
+/// single group slice.  Exposed for testing.
+[[nodiscard]] Tensor im2col(const Tensor& input, std::int64_t c_begin,
+                            std::int64_t c_count, std::int64_t kh,
+                            std::int64_t kw, const Conv2dSpec& spec);
+
+/// Output spatial size of a convolution dimension.
+[[nodiscard]] std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                                        std::int64_t stride, std::int64_t padding);
+
+}  // namespace lp

@@ -1,0 +1,62 @@
+// Lightweight precondition / invariant checking for the logposit library.
+//
+// LP_CHECK / LP_CHECK_MSG throw std::invalid_argument on failure and are
+// always enabled: they guard public API contracts (bad user input must not
+// silently corrupt a simulation).  LP_ASSERT guards internal invariants and
+// throws std::logic_error; it is also always on because the library is a
+// research artifact where debuggability beats the last few percent of speed.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lp {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert_failure(const char* expr, const char* file,
+                                              int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LP_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace lp
+
+#define LP_CHECK(cond)                                                    \
+  do {                                                                    \
+    if (!(cond)) ::lp::throw_check_failure(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define LP_CHECK_MSG(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream lp_check_os_;                                  \
+      lp_check_os_ << msg;                                              \
+      ::lp::throw_check_failure(#cond, __FILE__, __LINE__,              \
+                                lp_check_os_.str());                    \
+    }                                                                   \
+  } while (false)
+
+#define LP_ASSERT(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) ::lp::throw_assert_failure(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define LP_ASSERT_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream lp_assert_os_;                                 \
+      lp_assert_os_ << msg;                                             \
+      ::lp::throw_assert_failure(#cond, __FILE__, __LINE__,             \
+                                 lp_assert_os_.str());                  \
+    }                                                                   \
+  } while (false)

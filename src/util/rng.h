@@ -1,0 +1,109 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (synthetic weights, datasets,
+// the LPQ genetic algorithm) draw from lp::Rng so that every experiment is
+// reproducible from a single seed.  The generator is a SplitMix64-seeded
+// xoshiro256** — fast, high quality, and independent of libstdc++'s
+// unspecified distribution implementations (we implement our own transforms
+// so results are bit-stable across platforms).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace lp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+    have_gauss_ = false;
+  }
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    LP_CHECK(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    LP_CHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next_u64() % span);
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double gaussian() {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * mul;
+    have_gauss_ = true;
+    return u * mul;
+  }
+
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+  /// Zero-mean Laplace(b): heavy-tailed draw used for DNN-like weights.
+  double laplace(double b) {
+    const double u = uniform() - 0.5;
+    return -b * std::copysign(std::log(1.0 - 2.0 * std::fabs(u)), -u);
+  }
+
+  /// Bernoulli(p).
+  bool coin(double p) { return uniform() < p; }
+
+  /// Derive an independent child stream (stable under call-order changes).
+  Rng fork(std::uint64_t stream_id) {
+    return Rng(next_u64() ^ (0xd1342543de82ef95ULL * (stream_id + 1)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_gauss_ = 0.0;
+  bool have_gauss_ = false;
+};
+
+}  // namespace lp

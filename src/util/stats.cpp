@@ -1,0 +1,161 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lp {
+
+double mean(std::span<const float> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (float x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const float> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double s = 0.0;
+  for (float x : xs) {
+    const double d = x - mu;
+    s += d * d;
+  }
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const float> xs) { return std::sqrt(variance(xs)); }
+
+double kurtosis3(std::span<const float> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (float x : xs) {
+    const double d = x - mu;
+    const double d2 = d * d;
+    m2 += d2;
+    m4 += d2 * d2;
+  }
+  const auto n = static_cast<double>(xs.size());
+  m2 /= n;
+  m4 /= n;
+  if (m2 <= 1e-30) return 0.0;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+double rmse(std::span<const float> a, std::span<const float> b) {
+  LP_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double mae(std::span<const float> a, std::span<const float> b) {
+  LP_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return s / static_cast<double>(a.size());
+}
+
+double kl_divergence_hist(std::span<const float> a, std::span<const float> b,
+                          int bins) {
+  LP_CHECK(bins >= 2);
+  LP_CHECK(!a.empty() && !b.empty());
+  float lo = std::min(min_value(a), min_value(b));
+  float hi = std::max(max_value(a), max_value(b));
+  if (hi <= lo) hi = lo + 1e-6F;
+  std::vector<double> pa(static_cast<std::size_t>(bins), 1.0);  // add-one smoothing
+  std::vector<double> pb(static_cast<std::size_t>(bins), 1.0);
+  const double scale = bins / (static_cast<double>(hi) - lo);
+  auto bucket = [&](float x) {
+    auto i = static_cast<int>((static_cast<double>(x) - lo) * scale);
+    return static_cast<std::size_t>(std::clamp(i, 0, bins - 1));
+  };
+  for (float x : a) pa[bucket(x)] += 1.0;
+  for (float x : b) pb[bucket(x)] += 1.0;
+  const double na = static_cast<double>(a.size()) + bins;
+  const double nb = static_cast<double>(b.size()) + bins;
+  double kl = 0.0;
+  for (int i = 0; i < bins; ++i) {
+    const double p = pa[static_cast<std::size_t>(i)] / na;
+    const double q = pb[static_cast<std::size_t>(i)] / nb;
+    kl += p * std::log(p / q);
+  }
+  return kl;
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  LP_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return s;
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  LP_CHECK(a.size() == b.size());
+  const double ab = dot(a, b);
+  const double aa = dot(a, a);
+  const double bb = dot(b, b);
+  if (aa <= 0.0 || bb <= 0.0) return 0.0;
+  return ab / std::sqrt(aa * bb);
+}
+
+float min_value(std::span<const float> xs) {
+  LP_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+float max_value(std::span<const float> xs) {
+  LP_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+float quantile(std::span<const float> xs, double p) {
+  LP_CHECK(!xs.empty());
+  LP_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<float> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  const double pos = p * (static_cast<double>(copy.size()) - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, copy.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return static_cast<float>((1.0 - frac) * copy[lo] + frac * copy[hi]);
+}
+
+double mean_abs(std::span<const float> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (float x : xs) s += std::fabs(x);
+  return s / static_cast<double>(xs.size());
+}
+
+Summary summarize(std::span<const float> xs) {
+  LP_CHECK(!xs.empty());
+  Summary s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.kurtosis3 = kurtosis3(xs);
+  s.min = min_value(xs);
+  s.max = max_value(xs);
+  return s;
+}
+
+}  // namespace lp

@@ -1,0 +1,68 @@
+// Statistics helpers shared across the library.
+//
+// The LPQ fitness function pools intermediate representations with
+// "Kurtosis-3" (excess kurtosis, DeCarlo 1997), and the evaluation section
+// reports RMSE and KL-divergence — all implemented here over raw spans so
+// every module (tensor, lpq, benches) shares one audited implementation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lp {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const float> xs);
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population variance (divide by N); 0 for fewer than one element.
+[[nodiscard]] double variance(std::span<const float> xs);
+
+/// Population standard deviation.
+[[nodiscard]] double stddev(std::span<const float> xs);
+
+/// Excess kurtosis ("Kurtosis-3"): E[(x-mu)^4]/sigma^4 - 3.
+/// Returns 0 when the variance is (numerically) zero.
+[[nodiscard]] double kurtosis3(std::span<const float> xs);
+
+/// Root-mean-square error between two equally sized spans.
+[[nodiscard]] double rmse(std::span<const float> a, std::span<const float> b);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const float> a, std::span<const float> b);
+
+/// KL divergence D(p || q) between two histograms of the value ranges of
+/// `a` (reference) and `b`, built over `bins` shared-range buckets with
+/// add-one smoothing.  Used by the Fig. 5(a) loss-function comparison.
+[[nodiscard]] double kl_divergence_hist(std::span<const float> a,
+                                        std::span<const float> b, int bins = 64);
+
+/// Cosine similarity; 0 if either vector is all-zero.
+[[nodiscard]] double cosine_similarity(std::span<const float> a,
+                                       std::span<const float> b);
+
+/// Dot product (double accumulation).
+[[nodiscard]] double dot(std::span<const float> a, std::span<const float> b);
+
+/// Min/max over a span (asserts non-empty).
+[[nodiscard]] float min_value(std::span<const float> xs);
+[[nodiscard]] float max_value(std::span<const float> xs);
+
+/// p-quantile (0<=p<=1) of a copy of the data (linear interpolation).
+[[nodiscard]] float quantile(std::span<const float> xs, double p);
+
+/// Mean of |x|.
+[[nodiscard]] double mean_abs(std::span<const float> xs);
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double kurtosis3 = 0.0;
+  float min = 0.0F;
+  float max = 0.0F;
+};
+
+/// One-pass summary of a span (asserts non-empty).
+[[nodiscard]] Summary summarize(std::span<const float> xs);
+
+}  // namespace lp

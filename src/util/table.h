@@ -1,0 +1,38 @@
+// Console table formatter used by the benchmark harnesses to print
+// paper-style tables (Table 1-4) and figure series (Fig. 1b/5/6) in a
+// uniform layout, plus a CSV emitter for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a data row. Must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner (used between experiments in bench binaries).
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace lp

@@ -1,0 +1,167 @@
+// Cross-module integration tests: the LP codec against the LPA datapath on
+// real model weights, LPQ specs driving the simulator, and end-to-end
+// conservation properties that individual module tests cannot see.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "bench/workloads.h"
+#include "core/lp_format.h"
+#include "data/dataset.h"
+#include "lpa/systolic.h"
+#include "lpq/lpq.h"
+#include "nn/zoo.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace lp {
+namespace {
+
+nn::ZooOptions small_opts() {
+  nn::ZooOptions o;
+  o.input_size = 16;
+  o.classes = 8;
+  o.seed = 21;
+  return o;
+}
+
+TEST(Integration, DatapathGemmMatchesModelLayerQuantization) {
+  // Quantize a real fc layer with the LP codec, run the GEMM through the
+  // bit-level PE datapath, and compare against the quantized float GEMM.
+  nn::Model m = nn::build_tiny_cnn(small_opts());
+  const Tensor& w = m.slot_list().back()->weight;  // fc [classes, C]
+  Rng rng(3);
+  Tensor x({w.dim(1), 5});
+  for (float& v : x.data()) v = static_cast<float>(rng.gaussian());
+
+  const lpq::SearchSpace sp;
+  const LPConfig wcfg = lpq::rmse_optimal_config(w.data(), 8, sp);
+  const LPConfig acfg{8, 2, 4, 0.0};
+  const Tensor hw = lpa::lpa_gemm(w, x, wcfg, acfg);
+  const Tensor ref = lpa::lpa_gemm_reference(w, x, wcfg, acfg);
+  const double scale = stddev(ref.data());
+  EXPECT_LT(rmse(hw.data(), ref.data()), scale * 0.02 + 1e-6);
+}
+
+TEST(Integration, LpqSpecDrivesSimulator) {
+  // An LPQ hardware-preset result must produce a valid precision map whose
+  // simulation conserves MACs against the traced workloads.
+  nn::Model m = nn::build_tiny_cnn(small_opts());
+  data::DatasetOptions dopts;
+  dopts.classes = 8;
+  dopts.n_calibration = 8;
+  dopts.n_eval = 16;
+  const auto ds = data::make_dataset(m, 3, 16, dopts);
+  auto params = lpq::LpqParams{};
+  params.population = 5;
+  params.passes = 1;
+  params.cycles = 1;
+  params.space.power_of_two_n = true;
+  lpq::LpqEngine eng(m, ds.calibration, params);
+  const auto result = eng.run();
+
+  sim::PrecisionMap pm;
+  for (const auto& cfg : result.best.layers) {
+    pm.weight_bits.push_back(cfg.n);
+    pm.act_bits.push_back(activation_config(cfg, 0.0).n);
+  }
+  Tensor probe({1, 3, 16, 16});
+  const auto wl = m.trace_workloads(probe);
+  const auto r = sim::simulate(lpa::make_lpa(), wl, pm);
+  std::int64_t macs = 0;
+  for (const auto& w : wl) macs += w.macs();
+  EXPECT_EQ(r.total_macs, macs);
+  EXPECT_GT(r.gops, 0.0);
+  EXPECT_GT(r.gops_per_w, 0.0);
+}
+
+TEST(Integration, ImagenetWorkloadsMatchAnalyticMacs) {
+  // ResNet50 at 224x224 is ~4.1 GMACs; ViT-B/16 is ~17.5 GMACs.
+  const auto rn = lp::bench::resnet50_imagenet_workloads();
+  std::int64_t rn_macs = 0;
+  for (const auto& w : rn) rn_macs += w.macs();
+  EXPECT_NEAR(static_cast<double>(rn_macs), 4.1e9, 0.4e9);
+
+  const auto vit = lp::bench::vit_b_imagenet_workloads();
+  std::int64_t vit_macs = 0;
+  for (const auto& w : vit) vit_macs += w.macs();
+  EXPECT_NEAR(static_cast<double>(vit_macs), 17.5e9, 2.0e9);
+
+  // Slot ids must be dense and unique.
+  std::vector<int> slots;
+  for (const auto& w : rn) {
+    if (w.weight_slot >= 0) slots.push_back(w.weight_slot);
+  }
+  std::sort(slots.begin(), slots.end());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(slots.size(), lp::bench::workload_slot_count(rn));
+}
+
+TEST(Integration, RmseOptimalConfigBeatsNaiveDefaults) {
+  nn::Model m = nn::build_resnet18(small_opts());
+  const lpq::SearchSpace sp;
+  int wins = 0;
+  int total = 0;
+  for (const auto* slot : m.slot_list()) {
+    const auto w = slot->weight.data();
+    const LPConfig tuned = lpq::rmse_optimal_config(w, 6, sp);
+    const LPConfig naive =
+        sp.clamp(LPConfig{6, 1, 3, -std::log2(mean_abs(w))});
+    const LPFormat tf(tuned), nf(naive);
+    if (quantization_rmse(w, tf) <= quantization_rmse(w, nf) + 1e-12) ++wins;
+    ++total;
+  }
+  EXPECT_EQ(wins, total);  // the grid search includes the naive point
+}
+
+TEST(Integration, HardwarePresetSpecsUseOnlyPow2Widths) {
+  nn::Model m = nn::build_tiny_cnn(small_opts());
+  data::DatasetOptions dopts;
+  dopts.classes = 8;
+  dopts.n_calibration = 6;
+  dopts.n_eval = 8;
+  const auto ds = data::make_dataset(m, 3, 16, dopts);
+  auto params = lpq::LpqParams{};
+  params.population = 4;
+  params.passes = 1;
+  params.cycles = 1;
+  params.diversity_children = 2;
+  params.space.power_of_two_n = true;
+  lpq::LpqEngine eng(m, ds.calibration, params);
+  const auto result = eng.run();
+  const auto spec = eng.make_spec(result.best);
+  for (std::size_t s = 0; s < m.num_slots(); ++s) {
+    const auto* wf = dynamic_cast<const LPFormat*>(spec.spec.weight_fmt[s]);
+    ASSERT_NE(wf, nullptr);
+    const int n = wf->config().n;
+    EXPECT_TRUE(n == 2 || n == 4 || n == 8);
+    // LPA must accept every width the hardware preset emits.
+    EXPECT_NO_THROW((void)lpa::make_lpa().packing(n));
+  }
+}
+
+TEST(Integration, QuantizedForwardUsesExactlyCodebookValues) {
+  // Every weight after quantization must be a representable LP value.
+  nn::Model m = nn::build_tiny_cnn(small_opts());
+  nn::QuantSpec spec;
+  spec.resize(m.num_slots());
+  const LPFormat fmt(LPConfig{5, 1, 3, 2.0});
+  for (auto& f : spec.weight_fmt) f = &fmt;
+  const auto quantized = nn::quantize_weights(m, spec);
+  // Stored weights are float32; compare against the float-rounded codebook.
+  std::vector<float> values;
+  for (double v : fmt.all_values()) values.push_back(static_cast<float>(v));
+  std::sort(values.begin(), values.end());
+  for (const auto& t : quantized) {
+    ASSERT_FALSE(t.empty());
+    for (float v : t.data()) {
+      EXPECT_TRUE(std::binary_search(values.begin(), values.end(), v)) << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lp

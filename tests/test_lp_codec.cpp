@@ -1,0 +1,250 @@
+// Bit-level tests of the LP codec: reference decode semantics, code-table
+// properties (monotonicity, uniqueness, symmetry), quantizer optimality,
+// and agreement between table-based and log-rounded encoders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/lp_codec.h"
+#include "core/lp_config.h"
+#include "core/lp_format.h"
+
+namespace lp {
+namespace {
+
+TEST(LPConfig, ValidationAcceptsPaperSearchSpace) {
+  for (int n = 3; n <= 8; ++n) {
+    for (int es = 0; es <= n - 3; ++es) {
+      for (int rs = 2; rs <= n - 1; ++rs) {
+        LPConfig c{n, es, rs, 0.0};
+        EXPECT_TRUE(c.valid()) << c.to_string();
+      }
+    }
+  }
+}
+
+TEST(LPConfig, ValidationRejectsBadFields) {
+  EXPECT_THROW((LPConfig{1, 0, 1, 0.0}.validate()), std::invalid_argument);
+  EXPECT_THROW((LPConfig{8, 6, 7, 0.0}.validate()), std::invalid_argument);
+  EXPECT_THROW((LPConfig{4, 3, 3, 0.0}.validate()), std::invalid_argument);  // es > n-3
+  EXPECT_THROW((LPConfig{8, 2, 0, 0.0}.validate()), std::invalid_argument);  // rs < 1
+  EXPECT_THROW((LPConfig{8, 2, 8, 0.0}.validate()), std::invalid_argument);  // rs > n-1
+}
+
+TEST(LPDecode, SpecialCodes) {
+  const LPConfig cfg{8, 2, 5, 0.0};
+  EXPECT_EQ(decode_value(0, cfg), 0.0);
+  EXPECT_TRUE(std::isnan(decode_value(nar_code(cfg), cfg)));
+  EXPECT_EQ(nar_code(cfg), 0x80U);
+}
+
+// Hand-checked example: n=8, es=2, rs=3, sf=0.
+// Code 0b0_110_10_11: sign 0; run "11" then terminator "0" (m=2 < rs) -> k=1,
+// consumed 3; tail = "1011" (4 bits); ulfx = 0b1011 * 2^(es-4) = 11/4 = 2.75;
+// scale = 4*1 + 2.75 = 6.75; value = 2^6.75.
+TEST(LPDecode, HandCheckedExample) {
+  const LPConfig cfg{8, 2, 3, 0.0};
+  const auto f = decode_fields(0b01101011U, cfg);
+  EXPECT_EQ(f.sign, 0);
+  EXPECT_EQ(f.k, 1);
+  EXPECT_EQ(f.regime_consumed, 3);
+  EXPECT_EQ(f.tail_len, 4);
+  EXPECT_EQ(f.tail_bits, 0b1011U);
+  EXPECT_DOUBLE_EQ(f.ulfx, 2.75);
+  EXPECT_DOUBLE_EQ(f.scale, 6.75);
+  EXPECT_DOUBLE_EQ(decode_value(0b01101011U, cfg), std::exp2(6.75));
+}
+
+// Regime cap: with rs=2 the pattern "11" is a complete regime (no
+// terminator) and the next bits belong to the tail even if they repeat.
+TEST(LPDecode, RegimeCapStopsRun) {
+  const LPConfig cfg{8, 2, 2, 0.0};
+  const auto f = decode_fields(0b01111111U, cfg);
+  EXPECT_EQ(f.k, 1);
+  EXPECT_EQ(f.regime_consumed, 2);
+  EXPECT_EQ(f.tail_len, 5);
+  EXPECT_EQ(f.tail_bits, 0b11111U);
+}
+
+// Scale factor shifts every value by exactly 2^-sf.
+TEST(LPDecode, ScaleFactorShiftsValues) {
+  const LPConfig base{8, 2, 5, 0.0};
+  const LPConfig biased{8, 2, 5, 3.5};
+  for (std::uint32_t c = 1; c < 256; ++c) {
+    if (c == nar_code(base)) continue;
+    const double v0 = decode_value(c, base);
+    const double v1 = decode_value(c, biased);
+    EXPECT_NEAR(v1, v0 * std::exp2(-3.5), std::fabs(v0) * 1e-12) << "code " << c;
+  }
+}
+
+TEST(LPDecode, NegativeCodesAreTwosComplement) {
+  const LPConfig cfg{8, 1, 4, 0.0};
+  for (std::uint32_t c = 1; c < 128; ++c) {  // positive codes
+    const double pos = decode_value(c, cfg);
+    const std::uint32_t neg = (~c + 1U) & 0xFFU;
+    const double negv = decode_value(neg, cfg);
+    EXPECT_DOUBLE_EQ(negv, -pos) << "code " << c;
+  }
+}
+
+struct GridParam {
+  int n;
+  int es;
+  int rs;
+  double sf;
+};
+
+class LPCodecGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(LPCodecGrid, PositiveCodesStrictlyMonotone) {
+  const auto p = GetParam();
+  const LPConfig cfg{p.n, p.es, p.rs, p.sf};
+  double prev = 0.0;
+  for (std::uint32_t c = 1; c < (1U << (p.n - 1)); ++c) {
+    const double v = decode_value(c, cfg);
+    EXPECT_GT(v, prev) << "code " << c << " cfg " << cfg.to_string();
+    prev = v;
+  }
+}
+
+TEST_P(LPCodecGrid, AllValuesDistinct) {
+  const auto p = GetParam();
+  const LPConfig cfg{p.n, p.es, p.rs, p.sf};
+  const CodeTable table(cfg);
+  std::set<double> seen(table.values().begin(), table.values().end());
+  EXPECT_EQ(seen.size(), table.values().size()) << cfg.to_string();
+  EXPECT_EQ(table.values().size(), cfg.code_count() - 1);  // all codes minus NaR
+}
+
+TEST_P(LPCodecGrid, QuantizeIsIdempotentOnRepresentables) {
+  const auto p = GetParam();
+  const LPConfig cfg{p.n, p.es, p.rs, p.sf};
+  const CodeTable table(cfg);
+  for (double v : table.values()) {
+    EXPECT_EQ(table.quantize(v), v) << cfg.to_string();
+  }
+}
+
+TEST_P(LPCodecGrid, QuantizeReturnsNearestValue) {
+  const auto p = GetParam();
+  const LPConfig cfg{p.n, p.es, p.rs, p.sf};
+  const CodeTable table(cfg);
+  const auto& vals = table.values();
+  // Probe midpoints and asymmetric offsets between adjacent values.
+  for (std::size_t i = 0; i + 1 < vals.size(); ++i) {
+    const double lo = vals[i];
+    const double hi = vals[i + 1];
+    const double just_below_mid = lo + (hi - lo) * 0.49;
+    const double just_above_mid = lo + (hi - lo) * 0.51;
+    EXPECT_EQ(table.quantize(just_below_mid), lo);
+    EXPECT_EQ(table.quantize(just_above_mid), hi);
+  }
+}
+
+TEST_P(LPCodecGrid, QuantizeSaturates) {
+  const auto p = GetParam();
+  const LPConfig cfg{p.n, p.es, p.rs, p.sf};
+  const CodeTable table(cfg);
+  EXPECT_EQ(table.quantize(table.max_value() * 64.0), table.max_value());
+  EXPECT_EQ(table.quantize(-table.max_value() * 64.0), -table.max_value());
+}
+
+TEST_P(LPCodecGrid, RoundTripCodeValueCode) {
+  const auto p = GetParam();
+  const LPConfig cfg{p.n, p.es, p.rs, p.sf};
+  const CodeTable table(cfg);
+  for (std::size_t i = 0; i < table.values().size(); ++i) {
+    const double v = table.values()[i];
+    EXPECT_EQ(table.quantize_code(v), table.codes()[i]);
+  }
+}
+
+TEST_P(LPCodecGrid, LogRoundedEncoderHitsRepresentablesExactly) {
+  const auto p = GetParam();
+  const LPConfig cfg{p.n, p.es, p.rs, p.sf};
+  const CodeTable table(cfg);
+  for (std::size_t i = 0; i < table.values().size(); ++i) {
+    const double v = table.values()[i];
+    if (v == 0.0) continue;  // log encoder maps 0 specially
+    EXPECT_EQ(encode_log_rounded(v, cfg), table.codes()[i])
+        << "value " << v << " cfg " << cfg.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LPCodecGrid,
+    ::testing::Values(
+        GridParam{3, 0, 1, 0.0}, GridParam{3, 0, 2, 0.0},
+        GridParam{4, 0, 2, 0.0}, GridParam{4, 1, 2, 0.0}, GridParam{4, 1, 3, 0.0},
+        GridParam{5, 0, 3, 0.0}, GridParam{5, 2, 2, 0.0},
+        GridParam{6, 1, 4, 0.0}, GridParam{6, 3, 2, 0.25},
+        GridParam{7, 2, 3, -1.5}, GridParam{7, 0, 6, 0.0},
+        GridParam{8, 0, 2, 0.0}, GridParam{8, 1, 3, 0.0}, GridParam{8, 2, 5, 0.0},
+        GridParam{8, 3, 4, 2.0}, GridParam{8, 4, 2, 0.0}, GridParam{8, 5, 2, 0.0},
+        GridParam{8, 2, 7, -0.75}, GridParam{2, 0, 1, 0.0},
+        GridParam{10, 3, 6, 0.5}, GridParam{12, 2, 9, 0.0}),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      const auto& p = info.param;
+      std::string s = "n" + std::to_string(p.n) + "_es" + std::to_string(p.es) +
+                      "_rs" + std::to_string(p.rs);
+      s += (p.sf == 0.0) ? "_sf0" : "_sfX";
+      return s + "_" + std::to_string(info.index);
+    });
+
+TEST(LPCodeTable, MinPositiveAndMaxValueAreConsistent) {
+  const LPConfig cfg{8, 2, 5, 0.0};
+  const CodeTable table(cfg);
+  EXPECT_GT(table.min_positive(), 0.0);
+  EXPECT_GT(table.max_value(), 1.0);
+  // max scale = 2^es*(rs-1) + (2^es - ulp): just under 2^es*rs
+  EXPECT_LT(table.max_value(), std::exp2(4.0 * 5));
+  EXPECT_GE(table.max_value(), std::exp2(4.0 * 4));
+}
+
+TEST(LPCodeTable, DynamicRangeDoublesWithEs) {
+  // Each es increment should (roughly) square the max value: 2^es*k scaling.
+  const CodeTable t0(LPConfig{8, 0, 4, 0.0});
+  const CodeTable t1(LPConfig{8, 1, 4, 0.0});
+  const CodeTable t2(LPConfig{8, 2, 4, 0.0});
+  EXPECT_GT(t1.max_value(), t0.max_value());
+  EXPECT_GT(t2.max_value(), t1.max_value());
+  const double r1 = std::log2(t1.max_value()) / std::log2(t0.max_value());
+  EXPECT_NEAR(r1, 2.0, 0.5);
+}
+
+TEST(LPCodeTable, TaperingFollowsRegimeCap) {
+  // Larger rs widens the range; smaller rs concentrates codes near 2^-sf.
+  const CodeTable wide(LPConfig{8, 1, 7, 0.0});
+  const CodeTable narrow(LPConfig{8, 1, 2, 0.0});
+  EXPECT_GT(wide.max_value(), narrow.max_value());
+  EXPECT_LT(wide.min_positive(), narrow.min_positive());
+}
+
+TEST(LPFormat, NameAndBits) {
+  const LPFormat fmt(LPConfig{6, 1, 3, 0.5});
+  EXPECT_EQ(fmt.bits(), 6);
+  EXPECT_NE(fmt.name().find("LP<6,1,3"), std::string::npos);
+}
+
+TEST(LPEncodeLogRounded, ZeroAndNonFinite) {
+  const LPConfig cfg{8, 2, 5, 0.0};
+  EXPECT_EQ(encode_log_rounded(0.0, cfg), 0U);
+  EXPECT_EQ(encode_log_rounded(std::numeric_limits<double>::infinity(), cfg),
+            nar_code(cfg));
+  EXPECT_EQ(encode_log_rounded(std::nan(""), cfg), nar_code(cfg));
+}
+
+TEST(LPEncodeLogRounded, SaturatesOutOfRange) {
+  const LPConfig cfg{8, 2, 5, 0.0};
+  const CodeTable table(cfg);
+  const double big = table.max_value() * 1e6;
+  EXPECT_EQ(decode_value(encode_log_rounded(big, cfg), cfg), table.max_value());
+  const double tiny = table.min_positive() * 1e-6;
+  EXPECT_EQ(decode_value(encode_log_rounded(tiny, cfg), cfg),
+            table.min_positive());
+}
+
+}  // namespace
+}  // namespace lp

@@ -1,0 +1,310 @@
+// LPA bit-level datapath tests: multi-precision primitives, decoder
+// bit-exactness against the reference codec, converters, MUL/ACC stages,
+// encoder round trips, and the functional systolic GEMM against a
+// double-precision reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lpa/accel_model.h"
+#include "lpa/bitops.h"
+#include "lpa/converters.h"
+#include "lpa/datapath.h"
+#include "lpa/systolic.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lp::lpa {
+namespace {
+
+TEST(BitOps, ExtractInsertRoundTrip) {
+  for (Mode m : {Mode::kA, Mode::kB, Mode::kC}) {
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+      const auto x = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+      std::uint8_t rebuilt = 0;
+      for (int l = 0; l < lanes(m); ++l) {
+        rebuilt = insert_lane(rebuilt, m, l, extract_lane(x, m, l));
+      }
+      EXPECT_EQ(rebuilt, x) << mode_name(m);
+    }
+  }
+}
+
+TEST(BitOps, TwosComplementMultiMatchesPerLane) {
+  for (Mode m : {Mode::kA, Mode::kB, Mode::kC}) {
+    const int w = weight_bits(m);
+    const std::uint8_t mask = static_cast<std::uint8_t>((1U << w) - 1U);
+    for (int x = 0; x < 256; ++x) {
+      const auto neg = twos_complement_multi(static_cast<std::uint8_t>(x), m);
+      for (int l = 0; l < lanes(m); ++l) {
+        const std::uint8_t sub = extract_lane(static_cast<std::uint8_t>(x), m, l);
+        const std::uint8_t expect =
+            static_cast<std::uint8_t>((~sub + 1U) & mask);
+        EXPECT_EQ(extract_lane(neg, m, l), expect);
+      }
+    }
+  }
+}
+
+TEST(BitOps, LeadingZerosMulti) {
+  // MODE-B: 0b0001'1000 -> lane0 "0001" has 3 leading zeros, lane1 "1000" 0.
+  const auto lz = leading_zeros_multi(0b00011000U, Mode::kB);
+  EXPECT_EQ(lz[0], 3);
+  EXPECT_EQ(lz[1], 0);
+  const auto lzc = leading_zeros_multi(0x00U, Mode::kC);
+  EXPECT_EQ(lzc[0], 8);
+  const auto lza = leading_zeros_multi(0b01000001U, Mode::kA);
+  EXPECT_EQ(lza[0], 1);  // "01"
+  EXPECT_EQ(lza[1], 2);  // "00"
+  EXPECT_EQ(lza[2], 2);  // "00"
+  EXPECT_EQ(lza[3], 1);  // "01"
+}
+
+TEST(Converters, RoundTripWithinOneLsb) {
+  for (int i = 0; i < 256; ++i) {
+    const auto lf = log_to_linear(static_cast<std::uint8_t>(i));
+    const auto back = linear_to_log(lf);
+    EXPECT_NEAR(back, i, 1.0) << "lnf=" << i;
+  }
+}
+
+TEST(Converters, MonotoneAndExactAtEndpoints) {
+  EXPECT_EQ(log_to_linear(0), 0);
+  EXPECT_EQ(linear_to_log(0), 0);
+  int prev = -1;
+  for (int i = 0; i < 256; ++i) {
+    const int v = log_to_linear(static_cast<std::uint8_t>(i));
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Converters, MatchRealFunctionWithinHalfLsb) {
+  for (int i = 0; i < 256; ++i) {
+    const double expect = (std::exp2(i / 256.0) - 1.0) * 256.0;
+    EXPECT_NEAR(log_to_linear(static_cast<std::uint8_t>(i)), expect, 0.5 + 1e-9);
+  }
+}
+
+TEST(Decoder, MatchesReferenceCodecAcrossAllCodes) {
+  for (const LPConfig cfg : {LPConfig{8, 2, 5, 0.0}, LPConfig{8, 1, 3, 1.25},
+                             LPConfig{4, 1, 2, -0.5}, LPConfig{2, 0, 1, 0.0}}) {
+    const DecoderConfig dc = DecoderConfig::from(cfg);
+    for (std::uint32_t c = 0; c < cfg.code_count(); ++c) {
+      const DecodedLane lane = decode_lane(c, dc);
+      const LPFields f = decode_fields(c, cfg);
+      if (f.is_zero || f.is_nar) {
+        EXPECT_TRUE(lane.zero);
+        continue;
+      }
+      EXPECT_EQ(lane.sign, f.sign);
+      // Fixed-point fields must reproduce the real-valued scale exactly
+      // (up to the Q.8 quantization of sf).
+      const double scale_q =
+          static_cast<double>(lane.regime_q + lane.ulfx_q) / kFracOne;
+      const double sf_rounded = std::round(cfg.sf * kFracOne) / kFracOne;
+      const double expect = std::ldexp(static_cast<double>(f.k), cfg.es) +
+                            f.ulfx - sf_rounded;
+      EXPECT_NEAR(scale_q, expect, 1e-12) << cfg.to_string() << " code " << c;
+    }
+  }
+}
+
+TEST(Decoder, WeightWordSplitsLanes) {
+  const LPConfig cfg{2, 0, 1, 0.0};
+  const DecoderConfig dc = DecoderConfig::from(cfg);
+  // Word 0b01_00_11_01: lanes are codes 1, 0, 3, 1.
+  const auto lanes4 = decode_weight_word(0b01001101U, Mode::kA, dc);
+  EXPECT_FALSE(lanes4[0].zero);
+  EXPECT_TRUE(lanes4[1].zero);
+  EXPECT_FALSE(lanes4[2].zero);
+  EXPECT_EQ(lanes4[2].sign, 1);  // code 0b11 = -1
+  EXPECT_FALSE(lanes4[3].zero);
+  EXPECT_EQ(lanes4[3].sign, 0);
+}
+
+TEST(Decoder, RejectsMismatchedMode) {
+  const DecoderConfig dc = DecoderConfig::from(LPConfig{4, 1, 2, 0.0});
+  EXPECT_THROW((void)decode_weight_word(0, Mode::kC, dc), std::invalid_argument);
+}
+
+TEST(MulStage, ProductsAddScales) {
+  const LPConfig cfg{8, 2, 5, 0.0};
+  const DecoderConfig dc = DecoderConfig::from(cfg);
+  Rng rng(3);
+  const CodeTable table(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-8.0, 8.0);
+    const double b = rng.uniform(-8.0, 8.0);
+    const auto ca = table.quantize_code(a);
+    const auto cb = table.quantize_code(b);
+    if (ca == 0 || cb == 0) continue;
+    const Product p = multiply(decode_lane(ca, dc), decode_lane(cb, dc));
+    ASSERT_FALSE(p.zero);
+    const double va = decode_value(ca, cfg);
+    const double vb = decode_value(cb, cfg);
+    const double expect_scale = std::log2(std::fabs(va * vb));
+    EXPECT_NEAR(static_cast<double>(p.scale_q) / kFracOne, expect_scale, 1e-9);
+    EXPECT_EQ(p.sign, (va * vb) < 0 ? 1 : 0);
+  }
+}
+
+TEST(AccStage, SingleProductMatchesValue) {
+  const LPConfig cfg{8, 2, 5, 0.0};
+  const DecoderConfig dc = DecoderConfig::from(cfg);
+  const CodeTable table(cfg);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-4.0, 4.0);
+    const double b = rng.uniform(-4.0, 4.0);
+    const auto ca = table.quantize_code(a);
+    const auto cb = table.quantize_code(b);
+    if (ca == 0 || cb == 0) continue;
+    PartialSum s;
+    accumulate(s, multiply(decode_lane(ca, dc), decode_lane(cb, dc)));
+    const double expect = decode_value(ca, cfg) * decode_value(cb, cfg);
+    // 8-bit log->linear conversion bounds the relative error by ~2^-9.
+    EXPECT_NEAR(s.to_double(), expect, std::fabs(expect) * 4e-3 + 1e-12);
+  }
+}
+
+TEST(AccStage, SumsWithMixedSignsAndMagnitudes) {
+  PartialSum s;
+  const LPConfig cfg{8, 2, 5, 0.0};
+  const DecoderConfig dc = DecoderConfig::from(cfg);
+  const CodeTable table(cfg);
+  Rng rng(5);
+  double expect = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const double a = rng.gaussian() * std::exp2(rng.uniform_int(-3, 3));
+    const double b = rng.gaussian();
+    const auto ca = table.quantize_code(a);
+    const auto cb = table.quantize_code(b);
+    if (ca == 0 || cb == 0) continue;
+    accumulate(s, multiply(decode_lane(ca, dc), decode_lane(cb, dc)));
+    expect += decode_value(ca, cfg) * decode_value(cb, cfg);
+  }
+  EXPECT_NEAR(s.to_double(), expect, std::max(1e-6, std::fabs(expect)) * 0.02);
+}
+
+TEST(Encoder, RoundTripsRepresentableValues) {
+  const LPConfig cfg{8, 2, 5, 0.0};
+  const DecoderConfig dc = DecoderConfig::from(cfg);
+  const CodeTable table(cfg);
+  // Encode values that are exactly representable: the encoder must return
+  // a code within one ulp of the optimum (8-bit converter rounding).
+  for (double v : table.values()) {
+    if (v == 0.0) continue;
+    // Build a normalized partial sum: v = fr * 2^e with fr in [0.5, 1);
+    // mantissa = fr * 2^24 (Q.16 with 8 guard bits), exponent = e - 8.
+    int e = 0;
+    const double fr = std::frexp(v, &e);
+    PartialSum s;
+    s.mantissa = std::llround(fr * std::exp2(kAccFracBits + 8));
+    s.exponent = e - 8;
+    const std::uint32_t code = encode_psum(s, dc);
+    const double got = decode_value(code, cfg);
+    EXPECT_NEAR(got, v, std::fabs(v) * 6e-3) << "value " << v;
+  }
+}
+
+TEST(Encoder, ZeroAndSaturation) {
+  const LPConfig cfg{8, 1, 4, 0.0};
+  const DecoderConfig dc = DecoderConfig::from(cfg);
+  PartialSum zero;
+  EXPECT_EQ(encode_psum(zero, dc), 0U);
+  PartialSum huge;
+  huge.mantissa = 1;
+  huge.exponent = 1000;
+  const CodeTable table(cfg);
+  EXPECT_EQ(decode_value(encode_psum(huge, dc), cfg), table.max_value());
+  PartialSum tiny;
+  tiny.mantissa = 1;
+  tiny.exponent = -1000;
+  EXPECT_EQ(decode_value(encode_psum(tiny, dc), cfg), table.min_positive());
+}
+
+TEST(SystolicGemm, MatchesReferenceWithinConverterTolerance) {
+  Rng rng(6);
+  Tensor w({12, 20});
+  Tensor x({20, 9});
+  for (float& v : w.data()) v = static_cast<float>(rng.gaussian(0.0, 0.5));
+  for (float& v : x.data()) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  const LPConfig wcfg{8, 1, 4, 1.0};
+  const LPConfig acfg{8, 2, 4, 0.0};
+  GemmStats stats;
+  const Tensor got = lpa_gemm(w, x, wcfg, acfg, &stats);
+  const Tensor ref = lpa_gemm_reference(w, x, wcfg, acfg);
+  EXPECT_EQ(stats.total_macs, 12 * 20 * 9);
+  double ref_scale = 0.0;
+  for (float v : ref.data()) ref_scale = std::max(ref_scale, std::fabs((double)v));
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], ref_scale * 0.02 + 1e-5) << "index " << i;
+  }
+}
+
+TEST(SystolicGemm, LowPrecisionModesStillTrack) {
+  Rng rng(7);
+  Tensor w({8, 16});
+  Tensor x({16, 4});
+  for (float& v : w.data()) v = static_cast<float>(rng.gaussian(0.0, 0.3));
+  for (float& v : x.data()) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  const LPConfig wcfg{4, 1, 2, 1.74};
+  const LPConfig acfg{8, 2, 2, 0.0};
+  const Tensor got = lpa_gemm(w, x, wcfg, acfg);
+  const Tensor ref = lpa_gemm_reference(w, x, wcfg, acfg);
+  const double err = rmse(got.data(), ref.data());
+  const double scale = stddev(ref.data());
+  EXPECT_LT(err, scale * 0.05 + 1e-6);
+}
+
+TEST(AccelModel, Table3AreasReproduce) {
+  // Compute-area totals from the paper's Table 3 (um^2).
+  EXPECT_NEAR(make_lpa().compute_area_um2(), 12078.72, 1.0);
+  EXPECT_NEAR(make_ant().compute_area_um2(), 5102.28, 1.0);
+  EXPECT_NEAR(make_bitfusion().compute_area_um2(), 5093.75, 1.0);
+  EXPECT_NEAR(make_adaptivfloat().compute_area_um2(), 23357.14, 2.0);
+  // Total area = 4.2 mm^2 buffer + compute.
+  EXPECT_NEAR(make_lpa().total_area_mm2(), 4.212, 0.001);
+  EXPECT_NEAR(make_ant().total_area_mm2(), 4.205, 0.001);
+}
+
+TEST(AccelModel, PackingAndFusionRules) {
+  const auto lpa = make_lpa();
+  EXPECT_EQ(lpa.packing(2), 4);
+  EXPECT_EQ(lpa.packing(4), 2);
+  EXPECT_EQ(lpa.packing(8), 1);
+  EXPECT_EQ(lpa.fusion(8), 1);
+  const auto ant = make_ant();
+  EXPECT_EQ(ant.fusion(4), 1);
+  EXPECT_EQ(ant.fusion(8), 2);
+  EXPECT_EQ(ant.packing(4), 1);
+  const auto bf = make_bitfusion();
+  EXPECT_EQ(bf.fusion(2), 1);
+  EXPECT_EQ(bf.fusion(4), 2);
+  EXPECT_EQ(bf.fusion(8), 4);
+  EXPECT_THROW((void)make_adaptivfloat().packing(4), std::invalid_argument);
+}
+
+TEST(AccelModel, PeakThroughputOrdering) {
+  // At 2-bit, LPA's packed array beats everyone; at 8-bit it matches the
+  // 8x8 baseline while fused designs halve/quarter.
+  const auto lpa = make_lpa();
+  const auto ant = make_ant();
+  const auto bf = make_bitfusion();
+  const auto af = make_adaptivfloat();
+  EXPECT_GT(lpa.peak_gops(2), 3.9 * ant.peak_gops(4));
+  EXPECT_EQ(lpa.peak_gops(8), af.peak_gops(8));
+  EXPECT_GT(lpa.peak_gops(8), ant.peak_gops(8) * 1.9);
+  EXPECT_GT(lpa.peak_gops(8), bf.peak_gops(8) * 3.9);
+}
+
+TEST(AccelModel, DeepScaleAreaScaling) {
+  EXPECT_NEAR(scale_area_um2(100.0, 28.0, 28.0), 100.0, 1e-12);
+  EXPECT_NEAR(scale_area_um2(100.0, 45.0, 28.0), 100.0 * (28.0 / 45.0) * (28.0 / 45.0),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace lp::lpa

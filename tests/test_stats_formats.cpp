@@ -1,0 +1,225 @@
+// Statistics helpers and comparison-format tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accuracy_profile.h"
+#include "formats/adaptivfloat.h"
+#include "formats/flint.h"
+#include "formats/lns.h"
+#include "formats/minifloat.h"
+#include "formats/posit.h"
+#include "formats/uniform_int.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace lp {
+namespace {
+
+TEST(Stats, MeanVarianceKnownValues) {
+  const std::vector<float> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(std::span<const float>(xs)), 2.5);
+  EXPECT_DOUBLE_EQ(variance(std::span<const float>(xs)), 1.25);
+}
+
+TEST(Stats, KurtosisOfGaussianNearZero) {
+  Rng rng(123);
+  std::vector<float> xs(20000);
+  for (auto& x : xs) x = static_cast<float>(rng.gaussian());
+  EXPECT_NEAR(kurtosis3(xs), 0.0, 0.15);
+}
+
+TEST(Stats, KurtosisOfLaplacePositive) {
+  Rng rng(321);
+  std::vector<float> xs(20000);
+  for (auto& x : xs) x = static_cast<float>(rng.laplace(1.0));
+  EXPECT_NEAR(kurtosis3(xs), 3.0, 0.6);  // Laplace excess kurtosis = 3
+}
+
+TEST(Stats, KurtosisConstantIsZero) {
+  const std::vector<float> xs(10, 4.0F);
+  EXPECT_EQ(kurtosis3(xs), 0.0);
+}
+
+TEST(Stats, RmseAndMae) {
+  const std::vector<float> a{0, 0, 0, 0};
+  const std::vector<float> b{1, -1, 1, -1};
+  EXPECT_DOUBLE_EQ(rmse(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(mae(a, b), 1.0);
+  EXPECT_THROW((void)rmse(a, std::vector<float>{1.0F}), std::invalid_argument);
+}
+
+TEST(Stats, KlDivergenceZeroForIdenticalSamples) {
+  Rng rng(5);
+  std::vector<float> a(4000);
+  for (auto& x : a) x = static_cast<float>(rng.gaussian());
+  EXPECT_NEAR(kl_divergence_hist(a, a), 0.0, 1e-9);
+  // Shifted distribution must diverge more.
+  std::vector<float> b = a;
+  for (auto& x : b) x += 3.0F;
+  EXPECT_GT(kl_divergence_hist(a, b), 0.1);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<float> xs{0, 10, 20, 30, 40};
+  EXPECT_FLOAT_EQ(quantile(xs, 0.0), 0.0F);
+  EXPECT_FLOAT_EQ(quantile(xs, 1.0), 40.0F);
+  EXPECT_FLOAT_EQ(quantile(xs, 0.5), 20.0F);
+  EXPECT_FLOAT_EQ(quantile(xs, 0.25), 10.0F);
+}
+
+TEST(Stats, CosineSimilarity) {
+  const std::vector<float> a{1, 0};
+  const std::vector<float> b{0, 1};
+  const std::vector<float> c{2, 0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, c), 1.0);
+}
+
+TEST(Rng, DeterministicAndUniform) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(99);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) sum += c.uniform();
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(2, 5));
+  EXPECT_EQ(seen.size(), 4U);
+  EXPECT_TRUE(seen.count(2) == 1 && seen.count(5) == 1);
+}
+
+TEST(Posit, StandardPosit8Es0KnownValues) {
+  // posit<8,0>: code 0x40 = 1.0, maxpos = 2^6 = 64, minpos = 2^-6.
+  EXPECT_DOUBLE_EQ(PositFormat::decode(0x40, 8, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PositFormat::decode(0x7F, 8, 0), 64.0);
+  EXPECT_DOUBLE_EQ(PositFormat::decode(0x01, 8, 0), std::ldexp(1.0, -6));
+  // 0x48 = 0b0100_1000: k=0, f=0.125 -> 1.125... regime "10", tail "01000".
+  EXPECT_DOUBLE_EQ(PositFormat::decode(0x48, 8, 0), 1.25);
+}
+
+TEST(Posit, NegativesMirrorPositives) {
+  const PositFormat p(8, 1);
+  const auto vals = p.all_values();
+  for (double v : vals) {
+    if (v == 0.0) continue;
+    EXPECT_NE(std::find(vals.begin(), vals.end(), -v), vals.end());
+  }
+}
+
+TEST(Posit, Posit16HasTaperedAccuracy) {
+  const PositFormat p(10, 1);
+  const auto prof = accuracy_profile(p);
+  ASSERT_GT(prof.size(), 10U);
+  // Accuracy near 1.0 should exceed accuracy near maxpos.
+  double acc_near_one = 0.0, acc_near_max = 0.0;
+  for (const auto& pt : prof) {
+    if (std::fabs(pt.log2_value) < 0.6) acc_near_one = std::max(acc_near_one, pt.decimal_accuracy);
+  }
+  acc_near_max = prof.back().decimal_accuracy;
+  EXPECT_GT(acc_near_one, acc_near_max);
+}
+
+TEST(AdaptivFloat, CalibrationCoversMaxValue) {
+  std::vector<float> data{0.01F, -0.5F, 0.3F, 2.7F};
+  const auto fmt = AdaptivFloatFormat::calibrated(8, 3, data);
+  EXPECT_NEAR(fmt.quantize(2.7), 2.7, 0.2);
+  // Far beyond the max it saturates rather than overflowing.
+  EXPECT_LE(std::fabs(fmt.quantize(1e6)), 16.0);
+}
+
+TEST(AdaptivFloat, FlatAccuracyAcrossRange) {
+  const AdaptivFloatFormat fmt(8, 4, 7);
+  const auto prof = accuracy_profile(fmt);
+  ASSERT_GT(prof.size(), 20U);
+  // Compare accuracy at small vs mid magnitudes: spread should be modest
+  // (< 1 decimal digit) since floats have flat relative accuracy.
+  std::vector<double> accs;
+  for (const auto& pt : prof) {
+    if (pt.value > 1e-3 && pt.value < 1e2) accs.push_back(pt.decimal_accuracy);
+  }
+  ASSERT_GT(accs.size(), 10U);
+  const double mx = *std::max_element(accs.begin(), accs.end());
+  const double mn = *std::min_element(accs.begin(), accs.end());
+  EXPECT_LT(mx - mn, 1.0);
+}
+
+TEST(UniformInt, GridSpacingAndSaturation) {
+  const UniformIntFormat fmt(4, 0.5);  // values -3.5..3.5 step 0.5
+  EXPECT_DOUBLE_EQ(fmt.quantize(0.6), 0.5);
+  EXPECT_DOUBLE_EQ(fmt.quantize(0.76), 1.0);
+  EXPECT_DOUBLE_EQ(fmt.quantize(100.0), 3.5);
+  EXPECT_DOUBLE_EQ(fmt.quantize(-100.0), -3.5);
+}
+
+TEST(UniformInt, CalibrationQuantileClips) {
+  std::vector<float> data(100, 0.1F);
+  data[0] = 100.0F;  // outlier
+  const auto clipped = UniformIntFormat::calibrated(8, data, 0.95);
+  const auto full = UniformIntFormat::calibrated(8, data, 1.0);
+  EXPECT_LT(clipped.scale(), full.scale());
+}
+
+TEST(Lns, ValuesAreLogUniform) {
+  const LnsFormat fmt(6, 2, 0.0);
+  const auto vals = fmt.all_values();
+  // Positive values should have constant ratio 2^(1/4).
+  std::vector<double> pos;
+  for (double v : vals) {
+    if (v > 0) pos.push_back(v);
+  }
+  ASSERT_GT(pos.size(), 4U);
+  const double ratio = pos[1] / pos[0];
+  for (std::size_t i = 2; i < pos.size(); ++i) {
+    EXPECT_NEAR(pos[i] / pos[i - 1], ratio, 1e-9);
+  }
+}
+
+TEST(MiniFloat, E4M3HasSubnormals) {
+  const auto fmt = MiniFloatFormat::e4m3();
+  const auto vals = fmt.all_values();
+  std::vector<double> pos;
+  for (double v : vals) {
+    if (v > 0) pos.push_back(v);
+  }
+  // Smallest subnormal of E4M3 is 2^-9.
+  EXPECT_DOUBLE_EQ(pos.front(), std::ldexp(1.0, -9));
+}
+
+TEST(Flint, CalibratedRangeMatchesData) {
+  std::vector<float> data{0.2F, -1.5F, 0.01F};
+  const auto fmt = FlintFormat::calibrated(4, data);
+  EXPECT_NEAR(fmt.quantize(1.5), 1.5, 0.41);
+  EXPECT_DOUBLE_EQ(fmt.quantize(0.0), 0.0);
+}
+
+TEST(Table, FormatsRowsAndChecksArity) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("a"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n");
+}
+
+TEST(NumberFormatSpan, QuantizeSpanReturnsRmse) {
+  const UniformIntFormat fmt(8, 0.1);
+  std::vector<float> xs{0.04F, 0.26F, -0.13F};
+  const double e = quantize_span(xs, fmt);
+  EXPECT_FLOAT_EQ(xs[0], 0.0F);
+  EXPECT_FLOAT_EQ(xs[1], 0.3F);
+  EXPECT_FLOAT_EQ(xs[2], -0.1F);
+  EXPECT_GT(e, 0.0);
+  EXPECT_LT(e, 0.05);
+}
+
+}  // namespace
+}  // namespace lp

@@ -1,0 +1,201 @@
+// Tensor and op tests: shape contracts, conv/matmul reference checks,
+// pooling, softmax/layernorm invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace lp {
+namespace {
+
+TEST(Tensor, ShapeAndAccessors) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2U);
+  t.at2(1, 2) = 5.0F;
+  EXPECT_EQ(t[5], 5.0F);
+  EXPECT_THROW(t.at2(2, 0), std::invalid_argument);
+  EXPECT_THROW(t.at2(0, 3), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  Tensor t({2, 6}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r[7], 7.0F);
+  EXPECT_THROW(t.reshaped({5, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ConstructorRejectsMismatchedData) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0F, 2.0F}), std::invalid_argument);
+}
+
+TEST(MatMul, AgainstHandComputed) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 58.0F);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 64.0F);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 139.0F);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 154.0F);
+}
+
+TEST(MatMul, NtMatchesExplicitTranspose) {
+  const Tensor a({2, 3}, {1, -2, 3, 0.5F, 4, -1});
+  const Tensor bt({4, 3}, {1, 0, 2, -1, 3, 1, 0.5F, 0.5F, 0.5F, 2, 2, 2});
+  Tensor b({3, 4});
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) b.at2(j, i) = bt.at2(i, j);
+  }
+  const Tensor c1 = matmul(a, b);
+  const Tensor c2 = matmul_nt(a, bt);
+  for (int i = 0; i < c1.numel(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-5F);
+}
+
+TEST(MatMul, BiasBroadcasts) {
+  const Tensor a({2, 2}, {1, 0, 0, 1});
+  const Tensor b({2, 2}, {1, 2, 3, 4});
+  const Tensor bias({2}, {10, 20});
+  const Tensor c = matmul(a, b, &bias);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 11.0F);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 24.0F);
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Tensor input({1, 1, 4, 4});
+  for (int i = 0; i < 16; ++i) input[i] = static_cast<float>(i);
+  Tensor w({1, 1, 1, 1});
+  w[0] = 1.0F;
+  const Tensor out = conv2d(input, w, nullptr, {1, 0, 1});
+  for (int i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(out[i], input[i]);
+}
+
+TEST(Conv2d, HandComputed3x3) {
+  // 3x3 all-ones kernel over a 3x3 all-ones image with padding 1:
+  // corner sums 4, edge sums 6, center 9.
+  Tensor input({1, 1, 3, 3});
+  input.fill(1.0F);
+  Tensor w({1, 1, 3, 3});
+  w.fill(1.0F);
+  const Tensor out = conv2d(input, w, nullptr, {1, 1, 1});
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 4.0F);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 1), 6.0F);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 9.0F);
+}
+
+TEST(Conv2d, StrideReducesSpatialDims) {
+  Tensor input({2, 3, 8, 8});
+  Tensor w({4, 3, 3, 3});
+  const Tensor out = conv2d(input, w, nullptr, {2, 1, 1});
+  EXPECT_EQ(out.shape(), (std::vector<std::int64_t>{2, 4, 4, 4}));
+}
+
+TEST(Conv2d, DepthwiseGroupsKeepChannelsIndependent) {
+  Tensor input({1, 2, 3, 3});
+  for (int i = 0; i < 9; ++i) input[i] = 1.0F;           // channel 0 = 1
+  for (int i = 9; i < 18; ++i) input[i] = 2.0F;          // channel 1 = 2
+  Tensor w({2, 1, 1, 1});
+  w[0] = 10.0F;  // channel 0 kernel
+  w[1] = 100.0F; // channel 1 kernel
+  const Tensor out = conv2d(input, w, nullptr, {1, 0, 2});
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 10.0F);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 1, 1), 200.0F);
+}
+
+TEST(Conv2d, RejectsBadGroups) {
+  Tensor input({1, 3, 4, 4});
+  Tensor w({4, 1, 3, 3});
+  EXPECT_THROW(conv2d(input, w, nullptr, {1, 1, 2}), std::invalid_argument);
+}
+
+TEST(Pooling, GlobalAvg) {
+  Tensor input({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  const Tensor out = global_avg_pool(input);
+  EXPECT_FLOAT_EQ(out.at2(0, 0), 2.5F);
+  EXPECT_FLOAT_EQ(out.at2(0, 1), 25.0F);
+}
+
+TEST(Pooling, MaxPoolPicksMaximum) {
+  Tensor input({1, 1, 4, 4});
+  for (int i = 0; i < 16; ++i) input[i] = static_cast<float>(i);
+  const Tensor out = max_pool2d(input, 2, 2);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 15.0F);
+}
+
+TEST(Activations, ReluFamilies) {
+  Tensor t({5}, {-2, -0.5F, 0, 3, 10});
+  const Tensor r = relu(t);
+  EXPECT_FLOAT_EQ(r[0], 0.0F);
+  EXPECT_FLOAT_EQ(r[3], 3.0F);
+  const Tensor r6 = relu6(t);
+  EXPECT_FLOAT_EQ(r6[4], 6.0F);
+  const Tensor g = gelu(t);
+  EXPECT_NEAR(g[2], 0.0F, 1e-6F);
+  EXPECT_NEAR(g[3], 2.9964F, 1e-3F);  // gelu(3) ~ 2.9964
+  EXPECT_LT(g[0], 0.0F);              // gelu(-2) slightly negative
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  Tensor t({2, 3}, {1, 2, 3, -1, -1, 5});
+  const Tensor s = softmax_lastdim(t);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.0F;
+    for (int c = 0; c < 3; ++c) sum += s.at2(r, c);
+    EXPECT_NEAR(sum, 1.0F, 1e-5F);
+  }
+  EXPECT_GT(s.at2(0, 2), s.at2(0, 1));
+  EXPECT_GT(s.at2(1, 2), 0.99F);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Tensor t({1, 2}, {1000.0F, 1001.0F});
+  const Tensor s = softmax_lastdim(t);
+  EXPECT_TRUE(std::isfinite(s[0]));
+  EXPECT_NEAR(s[0] + s[1], 1.0F, 1e-5F);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Tensor t({2, 4}, {1, 2, 3, 4, -10, 0, 10, 20});
+  Tensor gamma({4});
+  gamma.fill(1.0F);
+  Tensor beta({4});
+  const Tensor y = layernorm_lastdim(t, gamma, beta);
+  for (int r = 0; r < 2; ++r) {
+    float mean = 0.0F, var = 0.0F;
+    for (int c = 0; c < 4; ++c) mean += y.at2(r, c);
+    mean /= 4.0F;
+    for (int c = 0; c < 4; ++c) var += (y.at2(r, c) - mean) * (y.at2(r, c) - mean);
+    var /= 4.0F;
+    EXPECT_NEAR(mean, 0.0F, 1e-5F);
+    EXPECT_NEAR(var, 1.0F, 1e-2F);
+  }
+}
+
+TEST(ArgmaxRows, PicksFirstOnStrictMax) {
+  Tensor t({2, 3}, {0, 5, 1, 7, 2, 7});
+  const auto idx = argmax_rows(t);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);  // first of the tied maxima
+}
+
+TEST(Im2col, PatchLayoutMatchesConvContract) {
+  Tensor input({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor cols = im2col(input, 0, 1, 2, 2, {1, 0, 1});
+  // Single output position; rows are kernel positions.
+  EXPECT_EQ(cols.shape(), (std::vector<std::int64_t>{4, 1}));
+  EXPECT_FLOAT_EQ(cols[0], 1.0F);
+  EXPECT_FLOAT_EQ(cols[3], 4.0F);
+}
+
+TEST(ConvOutDim, FormulaAndValidation) {
+  EXPECT_EQ(conv_out_dim(32, 3, 1, 1), 32);
+  EXPECT_EQ(conv_out_dim(32, 3, 2, 1), 16);
+  EXPECT_EQ(conv_out_dim(8, 8, 8, 0), 1);
+  EXPECT_THROW(conv_out_dim(2, 5, 1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lp
