@@ -48,6 +48,44 @@ void BM_QuantizeTensor(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantizeTensor)->Arg(1024)->Arg(65536);
 
+// Scalar vs. batched LP quantization on the same buffer (quantization is
+// idempotent, so the work per element is identical every iteration; no
+// copy noise in the ratio).  The scalar loop is the seed's per-element
+// path: one virtual call plus a binary search over the double value table
+// per element.
+void BM_QuantizeScalarPath(benchmark::State& state) {
+  const LPFormat fmt(LPConfig{8, 1, 4, 3.0});
+  Rng rng(1);
+  std::vector<float> data(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : data) x = static_cast<float>(rng.gaussian(0.0, 0.1));
+  const NumberFormat& nf = fmt;
+  for (auto _ : state) {
+    double se = 0.0;
+    for (float& x : data) {
+      const double q = nf.quantize(x);
+      const double d = static_cast<double>(x) - q;
+      se += d * d;
+      x = static_cast<float>(q);
+    }
+    benchmark::DoNotOptimize(se);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeScalarPath)->Arg(1 << 20);
+
+void BM_QuantizeBatchPath(benchmark::State& state) {
+  const LPFormat fmt(LPConfig{8, 1, 4, 3.0});
+  Rng rng(1);
+  std::vector<float> data(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : data) x = static_cast<float>(rng.gaussian(0.0, 0.1));
+  const NumberFormat& nf = fmt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nf.quantize_batch(data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeBatchPath)->Arg(1 << 20);
+
 void BM_PeMacDatapath(benchmark::State& state) {
   const LPConfig wcfg{4, 1, 2, 2.0};
   const LPConfig acfg{8, 2, 2, 0.0};

@@ -49,7 +49,12 @@ std::vector<nn::LayerWorkload> resnet50_imagenet_workloads() {
       const int n_in = first ? st.spatial_in * st.spatial_in
                              : st.spatial_out * st.spatial_out;
       const int n_out = st.spatial_out * st.spatial_out;
-      const std::string nm = "s" + std::to_string(s) + ".b" + std::to_string(blk);
+      // Built by append: the chained operator+ form trips a GCC 12
+      // -Wrestrict false positive (PR 105329) at -O2 under -Werror.
+      std::string nm("s");
+      nm += std::to_string(s);
+      nm += ".b";
+      nm += std::to_string(blk);
       b.gemm(nm + ".conv1", st.mid, cin, n_in);              // 1x1
       b.gemm(nm + ".conv2", st.mid, st.mid * 9, n_out);      // 3x3 (stride here)
       b.gemm(nm + ".conv3", st.out, st.mid, n_out);          // 1x1

@@ -148,9 +148,12 @@ CodeTable::CodeTable(const LPConfig& cfg) : cfg_(cfg) {
   const std::uint32_t count = cfg_.code_count();
   std::vector<std::pair<double, std::uint32_t>> entries;
   entries.reserve(count - 1);
+  decode_f_.resize(count, std::numeric_limits<float>::quiet_NaN());
   for (std::uint32_t c = 0; c < count; ++c) {
     if (c == nar_code(cfg_)) continue;
-    entries.emplace_back(decode_value(c, cfg_), c);
+    const double v = decode_value(c, cfg_);
+    decode_f_[c] = static_cast<float>(v);
+    entries.emplace_back(v, c);
   }
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -159,6 +162,24 @@ CodeTable::CodeTable(const LPConfig& cfg) : cfg_(cfg) {
   for (const auto& [v, c] : entries) {
     values_.push_back(v);
     codes_.push_back(c);
+  }
+  index_ = QuantIndex(values_);
+}
+
+void CodeTable::encode_batch(std::span<const float> xs,
+                             std::span<std::uint32_t> out) const {
+  index_.nearest_indices(xs, out);
+  for (std::uint32_t& idx : out) {
+    idx = (idx == QuantIndex::kInvalid) ? nar_code(cfg_) : codes_[idx];
+  }
+}
+
+void CodeTable::decode_batch(std::span<const std::uint32_t> codes,
+                             std::span<float> out) const {
+  LP_CHECK(codes.size() == out.size());
+  const std::uint32_t mask = cfg_.code_count() - 1U;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[i] = decode_f_[codes[i] & mask];
   }
 }
 

@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/lp_config.h"
+#include "core/quant_index.h"
 
 namespace lp {
 
@@ -63,6 +65,22 @@ class CodeTable {
   /// Code of the nearest representable value.
   [[nodiscard]] std::uint32_t quantize_code(double v) const;
 
+  /// Batched quantize: xs in place, non-finite -> quiet NaN.  Bit-exact
+  /// with per-element quantize(); returns the sum of squared error against
+  /// the double-precision table values.
+  double quantize_batch(std::span<float> xs) const { return index_.quantize(xs); }
+
+  /// Batched quantize_code: out[i] = code of the value nearest xs[i]
+  /// (NaR for non-finite inputs).  Spans must have equal length.
+  void encode_batch(std::span<const float> xs,
+                    std::span<std::uint32_t> out) const;
+
+  /// Batched decode_value: out[i] = value of code codes[i] (NaN for NaR),
+  /// served from a per-code LUT built at construction.  Codes are masked
+  /// to the low n bits.  Spans must have equal length.
+  void decode_batch(std::span<const std::uint32_t> codes,
+                    std::span<float> out) const;
+
   /// Sorted representable values (excludes NaR, includes 0).
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
   /// Codes aligned with values().
@@ -78,6 +96,8 @@ class CodeTable {
   LPConfig cfg_;
   std::vector<double> values_;
   std::vector<std::uint32_t> codes_;
+  std::vector<float> decode_f_;  ///< value of every code, NaN at NaR
+  QuantIndex index_;
 };
 
 }  // namespace lp

@@ -17,6 +17,10 @@ class LPFormat final : public NumberFormat {
     return table_.quantize(v);
   }
 
+  double quantize_batch(std::span<float> xs) const override {
+    return table_.quantize_batch(xs);
+  }
+
   [[nodiscard]] std::vector<double> all_values() const override {
     return table_.values();
   }

@@ -8,11 +8,23 @@
 
 namespace lp {
 
+double NumberFormat::quantize_batch(std::span<float> xs) const {
+  double se = 0.0;
+  for (float& x : xs) {
+    const double q = quantize(x);
+    const double d = static_cast<double>(x) - q;
+    se += d * d;
+    x = static_cast<float>(q);
+  }
+  return se;
+}
+
 void EnumeratedFormat::set_values(std::vector<double> values) {
   std::sort(values.begin(), values.end());
   values.erase(std::unique(values.begin(), values.end()), values.end());
   LP_CHECK_MSG(!values.empty(), "format has no representable values");
   values_ = std::move(values);
+  index_ = QuantIndex(values_);
 }
 
 double EnumeratedFormat::quantize(double v) const {
@@ -30,22 +42,13 @@ double EnumeratedFormat::quantize(double v) const {
 }
 
 double quantize_span(std::span<float> xs, const NumberFormat& fmt) {
-  double se = 0.0;
-  for (float& x : xs) {
-    const double q = fmt.quantize(x);
-    const double d = static_cast<double>(x) - q;
-    se += d * d;
-    x = static_cast<float>(q);
-  }
+  const double se = fmt.quantize_batch(xs);
   return xs.empty() ? 0.0 : std::sqrt(se / static_cast<double>(xs.size()));
 }
 
 double quantization_rmse(std::span<const float> xs, const NumberFormat& fmt) {
-  double se = 0.0;
-  for (float x : xs) {
-    const double d = static_cast<double>(x) - fmt.quantize(x);
-    se += d * d;
-  }
+  std::vector<float> copy(xs.begin(), xs.end());
+  const double se = fmt.quantize_batch(copy);
   return xs.empty() ? 0.0 : std::sqrt(se / static_cast<double>(xs.size()));
 }
 

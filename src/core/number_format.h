@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "core/quant_index.h"
+
 namespace lp {
 
 class NumberFormat {
@@ -17,6 +19,13 @@ class NumberFormat {
 
   /// Nearest representable value to v (saturating at the extremes).
   [[nodiscard]] virtual double quantize(double v) const = 0;
+
+  /// Quantize every element in place (non-finite inputs become quiet NaN)
+  /// and return the sum of squared error against the double-precision
+  /// quantized values.  The base implementation is the scalar per-element
+  /// loop; formats with enumerable value tables override it with a batched
+  /// index walk (see QuantIndex) that is bit-exact with quantize().
+  virtual double quantize_batch(std::span<float> xs) const;
 
   /// Every finite representable value, sorted ascending.  Used by the
   /// accuracy-profile benches; may be large for wide formats.
@@ -35,6 +44,9 @@ class NumberFormat {
 class EnumeratedFormat : public NumberFormat {
  public:
   [[nodiscard]] double quantize(double v) const final;
+  double quantize_batch(std::span<float> xs) const final {
+    return index_.quantize(xs);
+  }
   [[nodiscard]] std::vector<double> all_values() const final { return values_; }
 
  protected:
@@ -44,6 +56,7 @@ class EnumeratedFormat : public NumberFormat {
 
  private:
   std::vector<double> values_;
+  QuantIndex index_;
 };
 
 /// Quantize every element of a buffer in place; returns the RMSE between

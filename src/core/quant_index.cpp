@@ -1,0 +1,130 @@
+#include "core/quant_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace lp {
+namespace {
+
+/// Map a finite float's bit pattern to a uint32 that orders like the value:
+/// negatives flip entirely, positives set the sign bit.
+constexpr std::uint32_t ordered_key(std::uint32_t bits) {
+  return (bits & 0x80000000U) != 0 ? ~bits : bits | 0x80000000U;
+}
+
+constexpr std::uint32_t kMinFiniteKey = ordered_key(0xFF7FFFFFU);  // -FLT_MAX
+constexpr std::uint32_t kMaxFiniteKey = ordered_key(0x7F7FFFFFU);  // +FLT_MAX
+
+float float_from_key(std::uint32_t key) {
+  const std::uint32_t bits =
+      (key & 0x80000000U) != 0 ? key ^ 0x80000000U : ~key;
+  return std::bit_cast<float>(bits);
+}
+
+constexpr bool is_finite_bits(std::uint32_t bits) {
+  return (bits & 0x7F800000U) != 0x7F800000U;
+}
+
+/// Exactly the scalar nearest-value rule between adjacent table values:
+/// true iff x quantizes to hi rather than lo.  Monotone in x: the computed
+/// dlo is non-decreasing and dhi non-increasing, so once the rule picks hi
+/// it picks hi for every larger float.
+bool picks_upper(float x, double lo, double hi) {
+  const double v = x;
+  const double dlo = v - lo;
+  const double dhi = hi - v;
+  if (dlo < dhi) return false;
+  if (dhi < dlo) return true;
+  return std::fabs(lo) > std::fabs(hi);
+}
+
+}  // namespace
+
+QuantIndex::QuantIndex(std::span<const double> values)
+    : values_(values.begin(), values.end()) {
+  LP_CHECK_MSG(!values_.empty(), "quant index over empty value table");
+  values_f_.reserve(values_.size());
+  for (const double v : values_) values_f_.push_back(static_cast<float>(v));
+
+  // For each adjacent pair, binary-search the smallest finite float (in
+  // order-preserving key space) that the scalar rule sends to the upper
+  // value; everything below the key quantizes to the lower index.  Seeding
+  // from the previous boundary keeps the keys monotone and the build cheap.
+  keys_.reserve(values_.size() - 1);
+  std::uint32_t prev = kMinFiniteKey;
+  for (std::size_t i = 0; i + 1 < values_.size(); ++i) {
+    std::uint32_t lo = prev;
+    std::uint32_t hi = kMaxFiniteKey + 1;  // exclusive: "no finite float"
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (picks_upper(float_from_key(mid), values_[i], values_[i + 1])) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    keys_.push_back(lo);
+    prev = lo;
+  }
+
+  bucket_lo_.assign((1U << kBucketBits) + 1U, 0);
+  constexpr int shift = 32 - kBucketBits;
+  std::size_t k = 0;
+  for (std::uint32_t b = 0; b < (1U << kBucketBits); ++b) {
+    while (k < keys_.size() && (keys_[k] >> shift) < b) ++k;
+    bucket_lo_[b] = static_cast<std::uint32_t>(k);
+  }
+  bucket_lo_.back() = static_cast<std::uint32_t>(keys_.size());
+}
+
+std::size_t QuantIndex::lookup(std::uint32_t key) const {
+  const std::uint32_t b = key >> (32 - kBucketBits);
+  const std::uint32_t* first = keys_.data() + bucket_lo_[b];
+  const std::uint32_t* last = keys_.data() + bucket_lo_[b + 1];
+  // Buckets hold a handful of keys for the paper's narrow formats; a
+  // linear scan beats binary-search branches there.  Wide (12+ bit)
+  // formats can have dense buckets, so fall back above a small span.
+  if (last - first > 16) {
+    return static_cast<std::size_t>(std::upper_bound(first, last, key) -
+                                    keys_.data());
+  }
+  while (first < last && *first <= key) ++first;
+  return static_cast<std::size_t>(first - keys_.data());
+}
+
+double QuantIndex::quantize(std::span<float> xs) const {
+  double se = 0.0;
+  for (float& x : xs) {
+    const auto bits = std::bit_cast<std::uint32_t>(x);
+    if (!is_finite_bits(bits)) {
+      // Mirror the scalar loop: q = NaN poisons the error accumulator.
+      const double d = static_cast<double>(x) -
+                       std::numeric_limits<double>::quiet_NaN();
+      se += d * d;
+      x = std::numeric_limits<float>::quiet_NaN();
+      continue;
+    }
+    const std::size_t idx = lookup(ordered_key(bits));
+    const double d = static_cast<double>(x) - values_[idx];
+    se += d * d;
+    x = values_f_[idx];
+  }
+  return se;
+}
+
+void QuantIndex::nearest_indices(std::span<const float> xs,
+                                 std::span<std::uint32_t> out) const {
+  LP_CHECK(xs.size() == out.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto bits = std::bit_cast<std::uint32_t>(xs[i]);
+    out[i] = is_finite_bits(bits)
+                 ? static_cast<std::uint32_t>(lookup(ordered_key(bits)))
+                 : kInvalid;
+  }
+}
+
+}  // namespace lp

@@ -1,0 +1,55 @@
+// Precomputed nearest-value quantization index over a sorted value table.
+//
+// The scalar paths (EnumeratedFormat::quantize, CodeTable::nearest_index)
+// binary-search a double table and resolve ties per element — a virtual
+// call, ~log2(2^n) double compares, and tie branches for every value.  This
+// index hoists all of that out of the loop: each decision boundary is
+// resolved once, at build time, to the exact float where the scalar rule
+// flips from the lower to the upper table value, stored as an
+// order-preserving uint32 key.  Batched lookups are then a bucket jump plus
+// a short integer search, and remain bit-exact with the scalar rule by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lp {
+
+class QuantIndex {
+ public:
+  QuantIndex() = default;
+
+  /// `values` must be sorted ascending, distinct, finite, and non-empty.
+  explicit QuantIndex(std::span<const double> values);
+
+  /// Quantize xs in place; non-finite inputs become quiet NaN.  Returns the
+  /// sum of squared error against the double-precision table values,
+  /// accumulated in element order exactly as the scalar loop does (NaN if
+  /// any input was non-finite, matching quantize_span's behaviour).
+  double quantize(std::span<float> xs) const;
+
+  /// Sentinel index reported for non-finite inputs by nearest_indices().
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFU;
+
+  /// out[i] = index of the nearest value to xs[i], or kInvalid when xs[i]
+  /// is not finite.  Spans must have equal length.
+  void nearest_indices(std::span<const float> xs,
+                       std::span<std::uint32_t> out) const;
+
+  [[nodiscard]] bool empty() const { return values_f_.empty(); }
+  [[nodiscard]] std::size_t size() const { return values_f_.size(); }
+
+ private:
+  static constexpr int kBucketBits = 12;
+
+  [[nodiscard]] std::size_t lookup(std::uint32_t key) const;
+
+  std::vector<std::uint32_t> keys_;       ///< boundary keys, ascending
+  std::vector<float> values_f_;           ///< table values cast to float
+  std::vector<double> values_;            ///< double table (error accounting)
+  std::vector<std::uint32_t> bucket_lo_;  ///< (1<<kBucketBits)+1 lower bounds
+};
+
+}  // namespace lp

@@ -19,13 +19,17 @@ Tensor lpa_gemm(const Tensor& w, const Tensor& x, const LPConfig& wcfg,
 
   // Quantize + decode both operands once (the on-chip decoders sit at the
   // array boundary and each element is decoded a single time per tile).
-  std::vector<DecodedLane> wd(static_cast<std::size_t>(m * k));
-  for (std::int64_t i = 0; i < m * k; ++i) {
-    wd[static_cast<std::size_t>(i)] = decode_lane(wtab.quantize_code(w[i]), wdc);
+  std::vector<std::uint32_t> wcodes(static_cast<std::size_t>(m * k));
+  wtab.encode_batch(w.data(), wcodes);
+  std::vector<DecodedLane> wd(wcodes.size());
+  for (std::size_t i = 0; i < wcodes.size(); ++i) {
+    wd[i] = decode_lane(wcodes[i], wdc);
   }
-  std::vector<DecodedLane> xd(static_cast<std::size_t>(k * n));
-  for (std::int64_t i = 0; i < k * n; ++i) {
-    xd[static_cast<std::size_t>(i)] = decode_lane(atab.quantize_code(x[i]), adc);
+  std::vector<std::uint32_t> xcodes(static_cast<std::size_t>(k * n));
+  atab.encode_batch(x.data(), xcodes);
+  std::vector<DecodedLane> xd(xcodes.size());
+  for (std::size_t i = 0; i < xcodes.size(); ++i) {
+    xd[i] = decode_lane(xcodes[i], adc);
   }
 
   Tensor out({m, n});
@@ -57,9 +61,9 @@ Tensor lpa_gemm_reference(const Tensor& w, const Tensor& x, const LPConfig& wcfg
   const CodeTable wtab(wcfg);
   const CodeTable atab(acfg);
   Tensor wq = w;
-  for (float& v : wq.data()) v = static_cast<float>(wtab.quantize(v));
+  (void)wtab.quantize_batch(wq.data());
   Tensor xq = x;
-  for (float& v : xq.data()) v = static_cast<float>(atab.quantize(v));
+  (void)atab.quantize_batch(xq.data());
   const std::int64_t m = w.dim(0);
   const std::int64_t k = w.dim(1);
   const std::int64_t n = x.dim(1);

@@ -226,7 +226,7 @@ std::vector<Tensor> quantize_weights(const Model& model, const QuantSpec& spec) 
     const NumberFormat* fmt = spec.weight_fmt[i];
     if (fmt == nullptr) continue;
     Tensor copy = slots[i]->weight;
-    quantize_span(copy.data(), *fmt);
+    quantize_inplace(copy, *fmt);
     out[i] = std::move(copy);
   }
   return out;

@@ -46,7 +46,7 @@ void apply_act(Tensor& t, Act act) {
 
 void quantize_activations(Tensor& t, const NumberFormat* fmt) {
   if (fmt == nullptr) return;
-  quantize_span(t.data(), *fmt);
+  quantize_inplace(t, *fmt);
 }
 
 std::vector<float> kurtosis_pool(const Tensor& t) {

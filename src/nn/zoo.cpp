@@ -7,6 +7,16 @@
 namespace lp::nn {
 namespace {
 
+/// "s<stage>.b<block>" built by append: the chained operator+ form trips a
+/// GCC 12 -Wrestrict false positive (PR 105329) at -O2 under -Werror.
+std::string block_name(int s, int blk) {
+  std::string nm("s");
+  nm += std::to_string(s);
+  nm += ".b";
+  nm += std::to_string(blk);
+  return nm;
+}
+
 /// Rounds a scaled width to at least 4 channels (8 for token dims keeps
 /// head splits valid).
 int scaled(double base, double mult, int min_ch = 4) {
@@ -129,7 +139,7 @@ Model build_resnet18(const ZooOptions& opts) {
     const int cout = stage_width[s];
     for (int blk = 0; blk < 2; ++blk) {
       const int stride = (s > 0 && blk == 0) ? 2 : 1;
-      const std::string nm = "s" + std::to_string(s) + ".b" + std::to_string(blk);
+      const std::string nm = block_name(s, blk);
       const int c1 = b.conv(x, nm + ".conv1", cin, cout, 3, stride, 1, Act::kRelu);
       const int c2 = b.conv(c1, nm + ".conv2", cout, cout, 3, 1, 1, Act::kNone);
       int shortcut = x;
@@ -163,7 +173,7 @@ Model build_resnet50(const ZooOptions& opts) {
     const int cout = mid * kExpansion;
     for (int blk = 0; blk < depths[s]; ++blk) {
       const int stride = (s > 0 && blk == 0) ? 2 : 1;
-      const std::string nm = "s" + std::to_string(s) + ".b" + std::to_string(blk);
+      const std::string nm = block_name(s, blk);
       const int c1 = b.conv(x, nm + ".conv1", cin, mid, 1, 1, 0, Act::kRelu);
       const int c2 = b.conv(c1, nm + ".conv2", mid, mid, 3, stride, 1, Act::kRelu);
       const int c3 = b.conv(c2, nm + ".conv3", mid, cout, 1, 1, 0, Act::kNone);

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/number_format.h"
+
 namespace lp {
+
+void quantize_inplace(Tensor& t, const NumberFormat& fmt) {
+  (void)fmt.quantize_batch(t.data());
+}
 namespace {
 
 /// Inner GEMM kernel: C[M,N] += A[M,K] * B[K,N] with ikj loop order so the

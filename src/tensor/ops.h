@@ -10,6 +10,14 @@
 
 namespace lp {
 
+class NumberFormat;
+
+/// Quantize every element of t in place through the format's batched path
+/// (see NumberFormat::quantize_batch).  The RMSE-returning variant is
+/// quantize_span in core/number_format.h; this one is for the forward-pass
+/// hot loops that discard the error.
+void quantize_inplace(Tensor& t, const NumberFormat& fmt);
+
 /// C[M,N] = A[M,K] * B[K,N]  (+bias[N] if non-null).
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b,
                             const Tensor* bias = nullptr);

@@ -3,15 +3,62 @@
 // and agreement between table-based and log-rounded encoders.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "core/lp_codec.h"
 #include "core/lp_config.h"
 #include "core/lp_format.h"
+#include "util/rng.h"
 
 namespace lp {
 namespace {
+
+/// Inputs that stress every decision the quantizer makes: exact
+/// representable values, the floats straddling each inter-value midpoint
+/// (ties), signed zero, denormals, the float extremes, non-finite values,
+/// and random data at several magnitude scales.
+std::vector<float> batch_probe_inputs(const std::vector<double>& vals,
+                                      std::uint64_t seed) {
+  std::vector<float> xs;
+  xs.reserve(vals.size() * 4 + 1200);
+  const float inf = std::numeric_limits<float>::infinity();
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    xs.push_back(static_cast<float>(vals[i]));
+    if (i + 1 < vals.size()) {
+      const float m = static_cast<float>(vals[i] + (vals[i + 1] - vals[i]) * 0.5);
+      xs.push_back(m);
+      xs.push_back(std::nextafterf(m, -inf));
+      xs.push_back(std::nextafterf(m, inf));
+    }
+  }
+  for (float s : {0.0F, -0.0F, std::numeric_limits<float>::denorm_min(),
+                  -std::numeric_limits<float>::denorm_min(),
+                  std::numeric_limits<float>::min(),
+                  std::numeric_limits<float>::max(),
+                  -std::numeric_limits<float>::max(), inf, -inf,
+                  std::numeric_limits<float>::quiet_NaN()}) {
+    xs.push_back(s);
+  }
+  Rng rng(seed);
+  for (int scale = -8; scale <= 8; scale += 4) {
+    for (int i = 0; i < 200; ++i) {
+      xs.push_back(static_cast<float>(std::ldexp(rng.gaussian(), scale)));
+    }
+  }
+  return xs;
+}
+
+/// Bitwise float equality with NaN == NaN.
+::testing::AssertionResult same_float(float a, float b) {
+  if (std::isnan(a) && std::isnan(b)) return ::testing::AssertionSuccess();
+  if (std::bit_cast<std::uint32_t>(a) == std::bit_cast<std::uint32_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure() << a << " vs " << b;
+}
 
 TEST(LPConfig, ValidationAcceptsPaperSearchSpace) {
   for (int n = 3; n <= 8; ++n) {
@@ -170,6 +217,98 @@ TEST_P(LPCodecGrid, LogRoundedEncoderHitsRepresentablesExactly) {
     if (v == 0.0) continue;  // log encoder maps 0 specially
     EXPECT_EQ(encode_log_rounded(v, cfg), table.codes()[i])
         << "value " << v << " cfg " << cfg.to_string();
+  }
+}
+
+TEST(BatchQuantize, BitExactAcrossPaperSearchSpace) {
+  // Every valid (n, es, rs) of the paper's width range (2..8 bits), at two
+  // scale-factor biases, must quantize batched exactly as scalar.
+  for (int n = 2; n <= 8; ++n) {
+    for (int es = 0; es <= (n >= 3 ? n - 3 : 0); ++es) {
+      for (int rs = 1; rs <= n - 1; ++rs) {
+        for (const double sf : {0.0, 0.31}) {
+          const LPConfig cfg{n, es, rs, sf};
+          const CodeTable table(cfg);
+          const std::vector<float> xs =
+              batch_probe_inputs(table.values(), 1000U + static_cast<unsigned>(n));
+          std::vector<float> batch = xs;
+          (void)table.quantize_batch(batch);
+          for (std::size_t i = 0; i < xs.size(); ++i) {
+            ASSERT_TRUE(same_float(batch[i],
+                                   static_cast<float>(table.quantize(xs[i]))))
+                << "input " << xs[i] << " cfg " << cfg.to_string();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LPCodecGrid, BatchQuantizeBitExactWithScalar) {
+  const auto p = GetParam();
+  const LPConfig cfg{p.n, p.es, p.rs, p.sf};
+  const CodeTable table(cfg);
+  const std::vector<float> xs = batch_probe_inputs(table.values(), 99);
+  std::vector<float> batch = xs;
+  (void)table.quantize_batch(batch);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto ref = static_cast<float>(table.quantize(xs[i]));
+    EXPECT_TRUE(same_float(batch[i], ref))
+        << "input " << xs[i] << " cfg " << cfg.to_string();
+  }
+}
+
+TEST_P(LPCodecGrid, EncodeBatchMatchesQuantizeCode) {
+  const auto p = GetParam();
+  const LPConfig cfg{p.n, p.es, p.rs, p.sf};
+  const CodeTable table(cfg);
+  const std::vector<float> xs = batch_probe_inputs(table.values(), 44);
+  std::vector<std::uint32_t> codes(xs.size());
+  table.encode_batch(xs, codes);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(codes[i], table.quantize_code(xs[i]))
+        << "input " << xs[i] << " cfg " << cfg.to_string();
+  }
+}
+
+TEST_P(LPCodecGrid, DecodeBatchMatchesDecodeValue) {
+  const auto p = GetParam();
+  const LPConfig cfg{p.n, p.es, p.rs, p.sf};
+  const CodeTable table(cfg);
+  std::vector<std::uint32_t> codes(cfg.code_count());
+  for (std::uint32_t c = 0; c < cfg.code_count(); ++c) codes[c] = c;
+  std::vector<float> decoded(codes.size());
+  table.decode_batch(codes, decoded);
+  for (std::uint32_t c = 0; c < cfg.code_count(); ++c) {
+    EXPECT_TRUE(same_float(decoded[c],
+                           static_cast<float>(decode_value(c, cfg))))
+        << "code " << c << " cfg " << cfg.to_string();
+  }
+}
+
+TEST_P(LPCodecGrid, QuantizeSpanRmseMatchesScalarReference) {
+  const auto p = GetParam();
+  const LPConfig cfg{p.n, p.es, p.rs, p.sf};
+  const LPFormat fmt(cfg);
+  std::vector<float> xs;
+  Rng rng(7);
+  for (int i = 0; i < 2048; ++i) {
+    xs.push_back(static_cast<float>(rng.gaussian(0.0, 2.0)));
+  }
+  // Scalar reference, accumulated exactly as the seed implementation did.
+  double se = 0.0;
+  std::vector<float> scalar = xs;
+  for (float& x : scalar) {
+    const double q = fmt.quantize(x);
+    const double d = static_cast<double>(x) - q;
+    se += d * d;
+    x = static_cast<float>(q);
+  }
+  const double ref = std::sqrt(se / static_cast<double>(xs.size()));
+  std::vector<float> batch = xs;
+  EXPECT_EQ(quantize_span(batch, fmt), ref) << cfg.to_string();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_TRUE(same_float(batch[i], scalar[i]));
   }
 }
 

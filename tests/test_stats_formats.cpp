@@ -1,7 +1,10 @@
 // Statistics helpers and comparison-format tests.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <limits>
+#include <memory>
 
 #include "core/accuracy_profile.h"
 #include "formats/adaptivfloat.h"
@@ -208,6 +211,93 @@ TEST(Table, FormatsRowsAndChecksArity) {
   std::ostringstream csv;
   t.print_csv(csv);
   EXPECT_EQ(csv.str(), "a,b\n1,2\n");
+}
+
+TEST(NumberFormatBatch, BitExactWithScalarAcrossFormats) {
+  std::vector<std::unique_ptr<NumberFormat>> fmts;
+  fmts.push_back(std::make_unique<PositFormat>(8, 1));
+  fmts.push_back(std::make_unique<UniformIntFormat>(8, 0.1));
+  fmts.push_back(std::make_unique<UniformIntFormat>(4, 0.5));
+  fmts.push_back(std::make_unique<LnsFormat>(6, 2, 0.0));
+  fmts.push_back(std::make_unique<MiniFloatFormat>(MiniFloatFormat::e4m3()));
+  fmts.push_back(std::make_unique<AdaptivFloatFormat>(8, 4, 7));
+  fmts.push_back(std::make_unique<FlintFormat>(4, 1.0));
+  Rng rng(555);
+  for (const auto& fmt : fmts) {
+    std::vector<float> xs;
+    const auto vals = fmt->all_values();
+    const float inf = std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      xs.push_back(static_cast<float>(vals[i]));
+      if (i + 1 < vals.size()) {
+        // The midpoint and its float neighbours exercise the tie rule.
+        const float m =
+            static_cast<float>(vals[i] + (vals[i + 1] - vals[i]) * 0.5);
+        xs.push_back(m);
+        xs.push_back(std::nextafterf(m, -inf));
+        xs.push_back(std::nextafterf(m, inf));
+      }
+    }
+    for (float s : {0.0F, -0.0F, inf, -inf,
+                    std::numeric_limits<float>::quiet_NaN(),
+                    std::numeric_limits<float>::max(),
+                    -std::numeric_limits<float>::max()}) {
+      xs.push_back(s);
+    }
+    for (int i = 0; i < 1000; ++i) {
+      xs.push_back(static_cast<float>(rng.gaussian(0.0, 4.0)));
+    }
+    std::vector<float> batch = xs;
+    (void)fmt->quantize_batch(batch);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const auto ref = static_cast<float>(fmt->quantize(xs[i]));
+      if (std::isnan(ref)) {
+        EXPECT_TRUE(std::isnan(batch[i])) << fmt->name() << " @ " << xs[i];
+      } else {
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(batch[i]),
+                  std::bit_cast<std::uint32_t>(ref))
+            << fmt->name() << " input " << xs[i] << " got " << batch[i]
+            << " want " << ref;
+      }
+    }
+  }
+}
+
+TEST(NumberFormatBatch, TieRoundsTowardSmallerMagnitude) {
+  // UniformInt<4, 0.5> has values ... 0.5, 1.0 ...; 0.75 is an exact float
+  // midpoint, so the tie must resolve toward the smaller magnitude.
+  const UniformIntFormat fmt(4, 0.5);
+  std::vector<float> xs{0.75F, -0.75F};
+  (void)fmt.quantize_batch(xs);
+  EXPECT_EQ(xs[0], 0.5F);
+  EXPECT_EQ(xs[1], -0.5F);
+}
+
+TEST(NumberFormatBatch, DefaultPathMatchesScalarLoop) {
+  // A format without an enumerable table falls back to the base
+  // implementation, which must behave exactly like the seed's scalar loop.
+  class RoundingFormat final : public NumberFormat {
+   public:
+    [[nodiscard]] double quantize(double v) const override {
+      if (!std::isfinite(v)) return std::numeric_limits<double>::quiet_NaN();
+      return std::nearbyint(v);
+    }
+    [[nodiscard]] std::vector<double> all_values() const override { return {}; }
+    [[nodiscard]] std::string name() const override { return "round"; }
+    [[nodiscard]] int bits() const override { return 32; }
+  };
+  const RoundingFormat fmt;
+  std::vector<float> xs{0.4F, 1.6F, -2.5F, 7.0F};
+  const std::vector<float> orig = xs;
+  const double se = fmt.quantize_batch(xs);
+  double ref_se = 0.0;
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    const double q = fmt.quantize(orig[i]);
+    EXPECT_EQ(xs[i], static_cast<float>(q));
+    const double d = static_cast<double>(orig[i]) - q;
+    ref_se += d * d;
+  }
+  EXPECT_EQ(se, ref_se);
 }
 
 TEST(NumberFormatSpan, QuantizeSpanReturnsRmse) {

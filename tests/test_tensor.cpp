@@ -194,7 +194,8 @@ TEST(ConvOutDim, FormulaAndValidation) {
   EXPECT_EQ(conv_out_dim(32, 3, 1, 1), 32);
   EXPECT_EQ(conv_out_dim(32, 3, 2, 1), 16);
   EXPECT_EQ(conv_out_dim(8, 8, 8, 0), 1);
-  EXPECT_THROW(conv_out_dim(2, 5, 1, 0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(conv_out_dim(2, 5, 1, 0)),
+               std::invalid_argument);
 }
 
 }  // namespace
