@@ -4,12 +4,19 @@
 // gate how large an LPQ search budget is practical.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
+#include <vector>
+
 #include "core/lp_codec.h"
 #include "core/lp_format.h"
 #include "lpa/datapath.h"
 #include "lpa/systolic.h"
+#include "lpq/lpq.h"
 #include "nn/zoo.h"
+#include "tensor/ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -85,6 +92,112 @@ void BM_QuantizeBatchPath(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_QuantizeBatchPath)->Arg(1 << 20);
+
+// --- thread-pool benches -------------------------------------------------
+// Serial baselines force the default pool to one thread; the Pool variants
+// use automatic sizing (LP_THREADS / hardware_concurrency).  The outputs
+// are bit-identical between the two — only the wall clock moves.
+
+/// ResNet-ish GEMM stack: conv-as-GEMM shapes from a CIFAR ResNet18 trunk
+/// (m = Cout, k = Cin*3*3, n = Hout*Wout).
+void run_resnet_gemm_stack(const std::vector<Tensor>& as,
+                           const std::vector<Tensor>& bs) {
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    benchmark::DoNotOptimize(matmul(as[i], bs[i]).numel());
+  }
+}
+
+struct GemmStack {
+  std::vector<Tensor> as, bs;
+  GemmStack() {
+    Rng rng(4);
+    for (const auto& [m, k, n] :
+         {std::array<std::int64_t, 3>{64, 576, 784},
+          std::array<std::int64_t, 3>{128, 1152, 196},
+          std::array<std::int64_t, 3>{256, 2304, 49}}) {
+      Tensor a({m, k});
+      Tensor b({k, n});
+      for (float& v : a.data()) v = static_cast<float>(rng.gaussian(0.0, 0.1));
+      for (float& v : b.data()) v = static_cast<float>(rng.gaussian());
+      as.push_back(std::move(a));
+      bs.push_back(std::move(b));
+    }
+  }
+  [[nodiscard]] std::int64_t flops() const {
+    std::int64_t f = 0;
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      f += 2 * as[i].dim(0) * as[i].dim(1) * bs[i].dim(1);
+    }
+    return f;
+  }
+};
+
+void BM_GemmSerial(benchmark::State& state) {
+  const GemmStack stack;
+  set_default_pool_threads(1);
+  for (auto _ : state) run_resnet_gemm_stack(stack.as, stack.bs);
+  state.SetItemsProcessed(state.iterations() * stack.flops());
+  set_default_pool_threads(0);
+}
+BENCHMARK(BM_GemmSerial)->Unit(benchmark::kMillisecond);
+
+void BM_GemmPool(benchmark::State& state) {
+  const GemmStack stack;
+  set_default_pool_threads(0);
+  for (auto _ : state) run_resnet_gemm_stack(stack.as, stack.bs);
+  state.SetItemsProcessed(state.iterations() * stack.flops());
+}
+BENCHMARK(BM_GemmPool)->Unit(benchmark::kMillisecond);
+
+/// Batched LP quantization of a 1M-element tensor; Arg is the pool-size
+/// override (1 = serial baseline, 0 = automatic).
+void BM_QuantizeBatchPool(benchmark::State& state) {
+  set_default_pool_threads(static_cast<int>(state.range(0)));
+  const LPFormat fmt(LPConfig{8, 1, 4, 3.0});
+  Rng rng(1);
+  std::vector<float> data(1U << 20);
+  for (auto& x : data) x = static_cast<float>(rng.gaussian(0.0, 0.1));
+  const NumberFormat& nf = fmt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nf.quantize_batch(data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+  set_default_pool_threads(0);
+}
+BENCHMARK(BM_QuantizeBatchPool)->Arg(1)->Arg(0);
+
+/// Full LPQ search on the tiny CNN; Arg is the pool size for BOTH the
+/// candidate loop (LpqParams::threads) and the nested tensor ops (default
+/// pool), so Arg(1) is a genuinely serial baseline and Arg(0) is fully
+/// pooled.  Candidate fitness evaluation — a quantized forward per
+/// candidate — dominates, so this measures the pool-driven evaluation path
+/// end to end.
+void BM_LpqEvalPool(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  set_default_pool_threads(threads);
+  nn::ZooOptions o;
+  o.input_size = 16;
+  o.classes = 8;
+  const nn::Model m = nn::build_tiny_cnn(o);
+  Tensor calib({2, 3, 16, 16});
+  Rng rng(6);
+  for (float& v : calib.data()) v = static_cast<float>(rng.gaussian());
+  lpq::LpqParams params;
+  params.population = 8;
+  params.passes = 1;
+  params.cycles = 1;
+  params.block_size = 4;
+  params.diversity_children = 3;
+  params.threads = threads;
+  for (auto _ : state) {
+    lpq::LpqEngine engine(m, calib, params);
+    benchmark::DoNotOptimize(engine.run().best.fitness);
+  }
+  state.SetItemsProcessed(state.iterations() * params.population);
+  set_default_pool_threads(0);
+}
+BENCHMARK(BM_LpqEvalPool)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_PeMacDatapath(benchmark::State& state) {
   const LPConfig wcfg{4, 1, 2, 2.0};

@@ -5,18 +5,35 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace lp {
 
-double NumberFormat::quantize_batch(std::span<float> xs) const {
+namespace {
+
+double quantize_scalar_chunk(const NumberFormat& fmt, std::span<float> xs) {
   double se = 0.0;
   for (float& x : xs) {
-    const double q = quantize(x);
+    const double q = fmt.quantize(x);
     const double d = static_cast<double>(x) - q;
     se += d * d;
     x = static_cast<float>(q);
   }
   return se;
+}
+
+}  // namespace
+
+double NumberFormat::quantize_batch(std::span<float> xs) const {
+  // Same chunking discipline as QuantIndex::quantize (via chunked_sum):
+  // fixed chunk boundaries, partial errors combined in chunk order, so the
+  // result is bit-identical for any pool size and buffers of at most one
+  // chunk match the seed's sequential loop exactly.
+  return chunked_sum(default_pool(), xs.size(), QuantIndex::kQuantChunk,
+                     [&](std::size_t begin, std::size_t end) {
+                       return quantize_scalar_chunk(
+                           *this, xs.subspan(begin, end - begin));
+                     });
 }
 
 void EnumeratedFormat::set_values(std::vector<double> values) {

@@ -24,7 +24,10 @@ class NumberFormat {
   /// and return the sum of squared error against the double-precision
   /// quantized values.  The base implementation is the scalar per-element
   /// loop; formats with enumerable value tables override it with a batched
-  /// index walk (see QuantIndex) that is bit-exact with quantize().
+  /// index walk (see QuantIndex) that is bit-exact with quantize().  Both
+  /// paths run chunk-parallel on the default pool for large buffers, with
+  /// fixed chunk boundaries and a chunk-ordered error reduction, so the
+  /// result is bit-identical for any thread count.
   virtual double quantize_batch(std::span<float> xs) const;
 
   /// Every finite representable value, sorted ascending.  Used by the

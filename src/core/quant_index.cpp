@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace lp {
 namespace {
@@ -96,7 +97,7 @@ std::size_t QuantIndex::lookup(std::uint32_t key) const {
   return static_cast<std::size_t>(first - keys_.data());
 }
 
-double QuantIndex::quantize(std::span<float> xs) const {
+double QuantIndex::quantize_chunk(std::span<float> xs) const {
   double se = 0.0;
   for (float& x : xs) {
     const auto bits = std::bit_cast<std::uint32_t>(x);
@@ -114,6 +115,17 @@ double QuantIndex::quantize(std::span<float> xs) const {
     x = values_f_[idx];
   }
   return se;
+}
+
+double QuantIndex::quantize(std::span<float> xs) const {
+  // Fixed kQuantChunk boundaries and a chunk-ordered reduction (see
+  // chunked_sum) keep the returned error independent of the pool size:
+  // threads=N is bit-identical to threads=1, and buffers that fit one chunk
+  // match the scalar loop exactly.
+  return chunked_sum(default_pool(), xs.size(), kQuantChunk,
+                     [&](std::size_t begin, std::size_t end) {
+                       return quantize_chunk(xs.subspan(begin, end - begin));
+                     });
 }
 
 void QuantIndex::nearest_indices(std::span<const float> xs,

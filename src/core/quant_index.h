@@ -25,10 +25,18 @@ class QuantIndex {
   explicit QuantIndex(std::span<const double> values);
 
   /// Quantize xs in place; non-finite inputs become quiet NaN.  Returns the
-  /// sum of squared error against the double-precision table values,
-  /// accumulated in element order exactly as the scalar loop does (NaN if
-  /// any input was non-finite, matching quantize_span's behaviour).
+  /// sum of squared error against the double-precision table values (NaN if
+  /// any input was non-finite, matching quantize_span's behaviour).  Large
+  /// buffers run chunk-parallel on the default pool: the error is
+  /// accumulated per fixed-size chunk (kQuantChunk elements, boundaries
+  /// independent of the pool size) and partials are combined in chunk
+  /// order, so the result is bit-identical for any thread count; buffers of
+  /// at most one chunk accumulate in element order exactly as the scalar
+  /// loop does.
   double quantize(std::span<float> xs) const;
+
+  /// Fixed reduction-chunk size for quantize() (elements).
+  static constexpr std::size_t kQuantChunk = 1U << 15;
 
   /// Sentinel index reported for non-finite inputs by nearest_indices().
   static constexpr std::uint32_t kInvalid = 0xFFFFFFFFU;
@@ -44,6 +52,7 @@ class QuantIndex {
  private:
   static constexpr int kBucketBits = 12;
 
+  double quantize_chunk(std::span<float> xs) const;
   [[nodiscard]] std::size_t lookup(std::uint32_t key) const;
 
   std::vector<std::uint32_t> keys_;       ///< boundary keys, ascending

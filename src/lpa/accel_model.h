@@ -42,7 +42,10 @@ struct AcceleratorModel {
   double sram_pj_per_byte = 1.0;
   double dram_pj_per_byte = 16.0;
 
-  // --- supported weight widths ---
+  // --- supported operand widths ---
+  // Weight widths the PEs execute natively; the cycle simulator also bounds
+  // activation widths by this list (sim::simulate snaps requested
+  // activation bits against it).
   std::vector<int> widths;
 
   [[nodiscard]] bool supports(int w_bits) const;

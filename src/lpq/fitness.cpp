@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "tensor/ops.h"
 #include "util/stats.h"
@@ -198,7 +199,9 @@ double representation_loss(const nn::ForwardResult& quantized,
     case FitnessKind::kKlDivergence:
       return kl_loss(quantized.logits, ref.logits);
   }
-  LP_ASSERT_MSG(false, "unreachable fitness kind");
+  // Direct throw (not LP_ASSERT) so -O0 builds see the function never
+  // falls off the end.
+  throw std::logic_error("unreachable fitness kind");
 }
 
 double compression_ratio(const nn::Model& model, const Candidate& cand,

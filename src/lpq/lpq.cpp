@@ -1,8 +1,6 @@
 #include "lpq/lpq.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 namespace lp::lpq {
 namespace {
@@ -43,7 +41,9 @@ LpqEngine::LpqEngine(const nn::Model& model, Tensor calibration, LpqParams param
     : model_(model), calibration_(std::move(calibration)), params_(params),
       ref_(compute_fp_reference(model, calibration_)),
       sf_centers_(sf_centers(model)), blocks_(make_blocks(model, params)),
-      rng_(params.seed) {
+      rng_(params.seed),
+      pool_(params.threads > 0 ? std::make_unique<ThreadPool>(params.threads)
+                               : nullptr) {
   LP_CHECK_MSG(params_.population >= 4, "population must be at least 4");
   LP_CHECK_MSG(calibration_.dim(0) >= 2,
                "contrastive fitness needs at least 2 calibration samples");
@@ -70,28 +70,15 @@ void LpqEngine::evaluate_batch(std::vector<Candidate*>& todo) {
     if (!c->evaluated) work.push_back(c);
   }
   if (work.empty()) return;
-  int threads = params_.threads > 0
-                    ? params_.threads
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  threads = std::max(1, std::min<int>(threads, static_cast<int>(work.size())));
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= work.size()) return;
-      work[i]->fitness = evaluate_fitness(model_, *work[i], calibration_, ref_,
-                                          params_.fitness);
-      work[i]->evaluated = true;
-    }
-  };
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
+  // Each candidate writes only its own slot, so chunk claiming order cannot
+  // affect results: threads=N is bit-identical to threads=1.
+  ThreadPool& pool = pool_ ? *pool_ : default_pool();
+  pool.run_chunks(static_cast<std::int64_t>(work.size()), [&](std::int64_t i) {
+    Candidate* c = work[static_cast<std::size_t>(i)];
+    c->fitness = evaluate_fitness(model_, *c, calibration_, ref_,
+                                  params_.fitness);
+    c->evaluated = true;
+  });
 }
 
 void LpqEngine::sort_population() {

@@ -16,10 +16,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "lpq/candidate.h"
 #include "lpq/fitness.h"
+#include "util/thread_pool.h"
 
 namespace lp::lpq {
 
@@ -40,7 +42,14 @@ struct LpqParams {
   SearchSpace space;
   FitnessOptions fitness;
   std::uint64_t seed = 2024;
-  int threads = 0;            ///< 0 = std::thread::hardware_concurrency()
+  /// Candidate-evaluation parallelism: 0 = evaluate on the shared default
+  /// pool (sized by the LP_THREADS env var / hardware_concurrency); > 0 =
+  /// use a dedicated pool of this size for the candidate loop.  Tensor ops
+  /// nested inside each evaluation always use the shared default pool, so
+  /// to make a whole search serial set LP_THREADS=1 (or
+  /// set_default_pool_threads(1)) as well.  The result is bit-identical for
+  /// every combination.
+  int threads = 0;
 };
 
 struct IterationStat {
@@ -87,6 +96,7 @@ class LpqEngine {
   std::vector<std::vector<std::size_t>> blocks_;
   std::vector<Candidate> population_;
   Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;  ///< only when params.threads > 0
 };
 
 /// Headline statistics of a quantization candidate.

@@ -1,6 +1,7 @@
 #include "nn/zoo.h"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "nn/nodes.h"
 
@@ -375,7 +376,9 @@ Model build_model(const std::string& name, const ZooOptions& opts) {
   if (name == "swin_t") return build_swin_t(opts);
   if (name == "tiny_cnn") return build_tiny_cnn(opts);
   if (name == "tiny_vit") return build_tiny_vit(opts);
-  LP_CHECK_MSG(false, "unknown model '" << name << '\'');
+  // Direct throw (not LP_CHECK) so -O0 builds see the function never
+  // falls off the end.
+  throw std::invalid_argument("unknown model '" + name + "'");
 }
 
 }  // namespace lp::nn

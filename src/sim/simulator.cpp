@@ -33,7 +33,11 @@ LayerSim simulate_layer(const lpa::AcceleratorModel& accel,
   ls.name = wl.name;
   ls.macs = wl.macs();
   ls.w_bits = snap_width(accel, req_w_bits);
-  ls.a_bits = snap_width(accel, std::min(8, req_a_bits));
+  // The activation cap comes from the accelerator's `widths` list: snap to
+  // the smallest supported width >= requested, or the widest supported one
+  // when the request exceeds it.  (The seed hard-coded min(8, req), silently
+  // clamping 16-bit-capable configs below what `widths` advertises.)
+  ls.a_bits = snap_width(accel, req_a_bits);
 
   const int p = accel.packing(ls.w_bits);
   const int f = accel.fusion(ls.w_bits);
@@ -57,10 +61,12 @@ LayerSim simulate_layer(const lpa::AcceleratorModel& accel,
       (static_cast<double>(ls.cycles) * peak_macs_per_cycle);
 
   // --- memory traffic (bytes) ---
-  // Activations are stored 8-bit in the input buffer (4-bit values are
-  // zero-extended), weights are bit-packed at their quantized width.
+  // Activations are stored byte-aligned in the input buffer (4-bit values
+  // are zero-extended to 8, 16-bit values take two bytes), weights are
+  // bit-packed at their quantized width.
   const double w_bytes = static_cast<double>(wl.m * wl.k) * ls.w_bits / 8.0;
-  const double act_storage_bytes = static_cast<double>(wl.k * wl.n);  // 8-bit
+  const double act_storage_bytes =
+      static_cast<double>(wl.k * wl.n) * ((ls.a_bits + 7) / 8);
   const double sram_act = act_storage_bytes * static_cast<double>(m_tiles);
   const double out_bytes = static_cast<double>(wl.m * wl.n);
   // Partial sums spill at 16 bits between K tiles.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/number_format.h"
+#include "util/thread_pool.h"
 
 namespace lp {
 
@@ -12,20 +14,67 @@ void quantize_inplace(Tensor& t, const NumberFormat& fmt) {
 }
 namespace {
 
-/// Inner GEMM kernel: C[M,N] += A[M,K] * B[K,N] with ikj loop order so the
-/// innermost loop streams both B and C rows (cache friendly, autovectorizes).
-void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
-                     std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
+/// Work (in flops / elements) below which a parallel region is not worth
+/// the scheduling round-trip.
+constexpr std::int64_t kGemmSerialBelow = 1 << 16;
+constexpr std::int64_t kRowsSerialBelow = 1 << 14;
+
+/// Shared serial/parallel dispatch for row loops: run body(begin, end, chunk)
+/// over [0, count) — inline when the estimated work is under `serial_below`,
+/// else row-blocked on the default pool.  Only for loops whose per-row
+/// results are independent of the split (every caller here), so the
+/// pool-size-dependent grain cannot affect results.
+void for_row_blocks(
+    std::int64_t work, std::int64_t serial_below, std::int64_t count,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& body) {
+  if (work < serial_below || count <= 1) {
+    body(0, count, 0);
+    return;
+  }
+  ThreadPool& pool = default_pool();
+  parallel_for(pool, 0, count, balanced_grain(count, pool.thread_count()), body);
+}
+
+/// GEMM row block: C[i,:] = bias + A[i,:] * B for i in [row_begin, row_end),
+/// ikj loop order so the innermost loop streams both B and the accumulator
+/// row.  Accumulation is double per output element, contributions added in
+/// ascending-k order with zero A entries skipped — the exact arithmetic
+/// sequence matmul_nt's dot products produce, so both weight layouts round
+/// identically (see MatMul.NtBitIdenticalAdversarialMagnitudes).
+void gemm_rows(const float* a, const float* b, const float* bias, float* c,
+               std::int64_t row_begin, std::int64_t row_end, std::int64_t k,
+               std::int64_t n) {
+  std::vector<double> acc(static_cast<std::size_t>(n));
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
     const float* arow = a + i * k;
-    float* crow = c + i * n;
+    if (bias != nullptr) {
+      for (std::int64_t j = 0; j < n; ++j) acc[static_cast<std::size_t>(j)] = bias[j];
+    } else {
+      std::fill(acc.begin(), acc.end(), 0.0);
+    }
     for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0F) continue;
+      const double av = arow[p];
+      if (av == 0.0) continue;
       const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (std::int64_t j = 0; j < n; ++j) {
+        acc[static_cast<std::size_t>(j)] += av * brow[j];
+      }
+    }
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      crow[j] = static_cast<float>(acc[static_cast<std::size_t>(j)]);
     }
   }
+}
+
+/// Parallel GEMM over M-row blocks.  Rows are independent, so the split is
+/// free to depend on the pool size without affecting results.
+void gemm_parallel(const float* a, const float* b, const float* bias, float* c,
+                   std::int64_t m, std::int64_t k, std::int64_t n) {
+  for_row_blocks(m * k * n, kGemmSerialBelow, m,
+                 [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
+                   gemm_rows(a, b, bias, c, row_begin, row_end, k, n);
+                 });
 }
 
 }  // namespace
@@ -38,13 +87,9 @@ Tensor matmul(const Tensor& a, const Tensor& b, const Tensor* bias) {
   const std::int64_t k = a.dim(1);
   const std::int64_t n = b.dim(1);
   Tensor c({m, n});
-  if (bias != nullptr) {
-    LP_CHECK(bias->rank() == 1 && bias->dim(0) == n);
-    for (std::int64_t i = 0; i < m; ++i) {
-      std::copy_n(bias->raw(), n, c.raw() + i * n);
-    }
-  }
-  gemm_accumulate(a.raw(), b.raw(), c.raw(), m, k, n);
+  if (bias != nullptr) LP_CHECK(bias->rank() == 1 && bias->dim(0) == n);
+  gemm_parallel(a.raw(), b.raw(), bias != nullptr ? bias->raw() : nullptr,
+                c.raw(), m, k, n);
   return c;
 }
 
@@ -55,17 +100,28 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b, const Tensor* bias) {
   const std::int64_t m = a.dim(0);
   const std::int64_t k = a.dim(1);
   const std::int64_t n = b.dim(0);
+  if (bias != nullptr) LP_CHECK(bias->rank() == 1 && bias->dim(0) == n);
   Tensor c({m, n});
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a.raw() + i * k;
-    float* crow = c.raw() + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b.raw() + j * k;
-      double s = (bias != nullptr) ? (*bias)[j] : 0.0;
-      for (std::int64_t p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
-      crow[j] = static_cast<float>(s);
+  // Same accumulation contract as gemm_rows: double accumulator, ascending-k
+  // contributions, zero A entries skipped — so matmul(A,B) and
+  // matmul_nt(A,B^T) are bit-identical.
+  auto rows = [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
+    for (std::int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a.raw() + i * k;
+      float* crow = c.raw() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b.raw() + j * k;
+        double s = (bias != nullptr) ? (*bias)[j] : 0.0;
+        for (std::int64_t p = 0; p < k; ++p) {
+          const double av = arow[p];
+          if (av == 0.0) continue;
+          s += av * brow[p];
+        }
+        crow[j] = static_cast<float>(s);
+      }
     }
-  }
+  };
+  for_row_blocks(m * k * n, kGemmSerialBelow, m, rows);
   return c;
 }
 
@@ -92,28 +148,32 @@ Tensor im2col(const Tensor& input, std::int64_t c_begin, std::int64_t c_count,
   Tensor cols({c_count * kh * kw, n * ho * wo});
   float* dst = cols.raw();
   const std::int64_t col_width = n * ho * wo;
-  for (std::int64_t cc = 0; cc < c_count; ++cc) {
-    for (std::int64_t ky = 0; ky < kh; ++ky) {
-      for (std::int64_t kx = 0; kx < kw; ++kx) {
-        const std::int64_t row = (cc * kh + ky) * kw + kx;
-        float* out_row = dst + row * col_width;
-        std::int64_t col = 0;
-        for (std::int64_t b = 0; b < n; ++b) {
-          const float* chan =
-              input.raw() + ((b * c_total + c_begin + cc) * h) * w;
-          for (std::int64_t oy = 0; oy < ho; ++oy) {
-            const std::int64_t iy = oy * spec.stride - spec.padding + ky;
-            const bool y_ok = iy >= 0 && iy < h;
-            for (std::int64_t ox = 0; ox < wo; ++ox, ++col) {
-              const std::int64_t ix = ox * spec.stride - spec.padding + kx;
-              out_row[col] =
-                  (y_ok && ix >= 0 && ix < w) ? chan[iy * w + ix] : 0.0F;
-            }
+  const std::int64_t patch_rows = c_count * kh * kw;
+  // Each patch row writes a disjoint output row — parallel over rows.
+  auto fill_rows = [&](std::int64_t row_begin, std::int64_t row_end,
+                       std::int64_t) {
+    for (std::int64_t row = row_begin; row < row_end; ++row) {
+      const std::int64_t cc = row / (kh * kw);
+      const std::int64_t ky = (row / kw) % kh;
+      const std::int64_t kx = row % kw;
+      float* out_row = dst + row * col_width;
+      std::int64_t col = 0;
+      for (std::int64_t b = 0; b < n; ++b) {
+        const float* chan = input.raw() + ((b * c_total + c_begin + cc) * h) * w;
+        for (std::int64_t oy = 0; oy < ho; ++oy) {
+          const std::int64_t iy = oy * spec.stride - spec.padding + ky;
+          const bool y_ok = iy >= 0 && iy < h;
+          for (std::int64_t ox = 0; ox < wo; ++ox, ++col) {
+            const std::int64_t ix = ox * spec.stride - spec.padding + kx;
+            out_row[col] =
+                (y_ok && ix >= 0 && ix < w) ? chan[iy * w + ix] : 0.0F;
           }
         }
       }
     }
-  }
+  };
+  for_row_blocks(patch_rows * col_width, kRowsSerialBelow, patch_rows,
+                 fill_rows);
   return cols;
 }
 
@@ -149,17 +209,23 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
     const std::int64_t k = cg_in * kh * kw;
     // result[cg_out, col_width] = wslice * cols
     std::vector<float> result(static_cast<std::size_t>(cg_out * col_width), 0.0F);
-    gemm_accumulate(wslice, cols.raw(), result.data(), cg_out, k, col_width);
+    gemm_parallel(wslice, cols.raw(), nullptr, result.data(), cg_out, k,
+                  col_width);
     // Scatter back into NCHW (columns are ordered batch-major per im2col).
-    for (std::int64_t oc = 0; oc < cg_out; ++oc) {
-      const float bias_v = (bias != nullptr) ? (*bias)[g * cg_out + oc] : 0.0F;
-      const float* rrow = result.data() + oc * col_width;
-      std::int64_t col = 0;
-      for (std::int64_t b = 0; b < n; ++b) {
-        float* dst = out.raw() + ((b * cout + g * cg_out + oc) * ho) * wo;
-        for (std::int64_t i = 0; i < ho * wo; ++i, ++col) dst[i] = rrow[col] + bias_v;
+    // Output channels write disjoint planes — parallel over oc.
+    auto scatter = [&](std::int64_t oc_begin, std::int64_t oc_end,
+                       std::int64_t) {
+      for (std::int64_t oc = oc_begin; oc < oc_end; ++oc) {
+        const float bias_v = (bias != nullptr) ? (*bias)[g * cg_out + oc] : 0.0F;
+        const float* rrow = result.data() + oc * col_width;
+        std::int64_t col = 0;
+        for (std::int64_t b = 0; b < n; ++b) {
+          float* dst = out.raw() + ((b * cout + g * cg_out + oc) * ho) * wo;
+          for (std::int64_t i = 0; i < ho * wo; ++i, ++col) dst[i] = rrow[col] + bias_v;
+        }
       }
-    }
+    };
+    for_row_blocks(cg_out * col_width, kRowsSerialBelow, cg_out, scatter);
   }
   return out;
 }
@@ -276,18 +342,35 @@ Tensor softmax_lastdim(const Tensor& x) {
   LP_CHECK(d > 0);
   const std::int64_t rows = x.numel() / d;
   Tensor y = x;
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float* row = y.raw() + r * d;
-    float mx = row[0];
-    for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, row[i]);
-    double sum = 0.0;
-    for (std::int64_t i = 0; i < d; ++i) {
-      row[i] = std::exp(row[i] - mx);
-      sum += row[i];
+  auto softmax_rows = [&](std::int64_t row_begin, std::int64_t row_end,
+                          std::int64_t) {
+    const auto uniform = static_cast<float>(1.0 / static_cast<double>(d));
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      float* row = y.raw() + r * d;
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t i = 0; i < d; ++i) mx = std::max(mx, row[i]);
+      // A fully masked attention row (all -inf) would otherwise yield
+      // sum == 0 and inv == inf, spraying NaN downstream; a +inf or
+      // all-NaN row would poison exp().  Both degrade to the uniform
+      // distribution, the standard masked-softmax convention.
+      if (!std::isfinite(mx)) {
+        for (std::int64_t i = 0; i < d; ++i) row[i] = uniform;
+        continue;
+      }
+      double sum = 0.0;
+      for (std::int64_t i = 0; i < d; ++i) {
+        row[i] = std::exp(row[i] - mx);
+        sum += row[i];
+      }
+      if (!(sum > 0.0) || !std::isfinite(sum)) {
+        for (std::int64_t i = 0; i < d; ++i) row[i] = uniform;
+        continue;
+      }
+      const auto inv = static_cast<float>(1.0 / sum);
+      for (std::int64_t i = 0; i < d; ++i) row[i] *= inv;
     }
-    const auto inv = static_cast<float>(1.0 / sum);
-    for (std::int64_t i = 0; i < d; ++i) row[i] *= inv;
-  }
+  };
+  for_row_blocks(rows * d, kRowsSerialBelow, rows, softmax_rows);
   return y;
 }
 
@@ -299,22 +382,26 @@ Tensor layernorm_lastdim(const Tensor& x, const Tensor& gamma,
   LP_CHECK(beta.rank() == 1 && beta.dim(0) == d);
   const std::int64_t rows = x.numel() / d;
   Tensor y = x;
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float* row = y.raw() + r * d;
-    double mu = 0.0;
-    for (std::int64_t i = 0; i < d; ++i) mu += row[i];
-    mu /= static_cast<double>(d);
-    double var = 0.0;
-    for (std::int64_t i = 0; i < d; ++i) {
-      const double dv = row[i] - mu;
-      var += dv * dv;
+  auto norm_rows = [&](std::int64_t row_begin, std::int64_t row_end,
+                       std::int64_t) {
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      float* row = y.raw() + r * d;
+      double mu = 0.0;
+      for (std::int64_t i = 0; i < d; ++i) mu += row[i];
+      mu /= static_cast<double>(d);
+      double var = 0.0;
+      for (std::int64_t i = 0; i < d; ++i) {
+        const double dv = row[i] - mu;
+        var += dv * dv;
+      }
+      var /= static_cast<double>(d);
+      const double inv = 1.0 / std::sqrt(var + eps);
+      for (std::int64_t i = 0; i < d; ++i) {
+        row[i] = static_cast<float>((row[i] - mu) * inv) * gamma[i] + beta[i];
+      }
     }
-    var /= static_cast<double>(d);
-    const double inv = 1.0 / std::sqrt(var + eps);
-    for (std::int64_t i = 0; i < d; ++i) {
-      row[i] = static_cast<float>((row[i] - mu) * inv) * gamma[i] + beta[i];
-    }
-  }
+  };
+  for_row_blocks(rows * d, kRowsSerialBelow, rows, norm_rows);
   return y;
 }
 

@@ -18,12 +18,17 @@ class NumberFormat;
 /// hot loops that discard the error.
 void quantize_inplace(Tensor& t, const NumberFormat& fmt);
 
-/// C[M,N] = A[M,K] * B[K,N]  (+bias[N] if non-null).
+/// C[M,N] = A[M,K] * B[K,N]  (+bias[N] if non-null).  Both matmul variants
+/// accumulate each output element in double, in ascending-k order, so
+/// matmul(A, B) is bit-identical to matmul_nt(A, B^T) — the same logical
+/// layer rounds the same way regardless of weight layout.  Row-parallel on
+/// the default pool; results are bit-identical for any pool size.
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b,
                             const Tensor* bias = nullptr);
 
 /// C[M,N] = A[M,K] * B[N,K]^T (+bias[N] if non-null).  This is the
-/// fully-connected / attention-projection layout.
+/// fully-connected / attention-projection layout.  Same accumulation
+/// contract as matmul (see above).
 [[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b,
                                const Tensor* bias = nullptr);
 
@@ -61,7 +66,9 @@ void add_inplace(Tensor& a, const Tensor& b);
 /// Scale all elements.
 void scale_inplace(Tensor& a, float s);
 
-/// Softmax over the last dimension.
+/// Softmax over the last dimension.  Rows without a finite maximum (fully
+/// masked attention rows of all -inf, or rows poisoned by +inf/NaN) produce
+/// the uniform distribution instead of NaN.
 [[nodiscard]] Tensor softmax_lastdim(const Tensor& x);
 
 /// LayerNorm over the last dimension with affine params gamma/beta [D].

@@ -1,0 +1,171 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace lp {
+
+int ThreadPool::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("LP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<int>(std::min(v, 1024L));
+    }
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = resolve_threads(threads);
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int t = 0; t < n - 1; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::shared_ptr<ThreadPool::TaskSet> ThreadPool::claimable_locked() const {
+  for (const auto& ts : active_) {
+    if (ts->next.load(std::memory_order_relaxed) < ts->total) return ts;
+  }
+  return nullptr;
+}
+
+void ThreadPool::execute_chunks(TaskSet& ts) {
+  for (;;) {
+    const std::int64_t c = ts.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= ts.total) return;
+    std::exception_ptr err;
+    try {
+      (*ts.fn)(c);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(ts.mu);
+    if (err && !ts.error) ts.error = err;
+    if (++ts.done == ts.total) ts.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<TaskSet> ts;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || claimable_locked() != nullptr; });
+      if (stop_) return;
+      ts = claimable_locked();
+    }
+    if (ts) execute_chunks(*ts);
+  }
+}
+
+void ThreadPool::run_chunks(std::int64_t num_chunks,
+                            const std::function<void(std::int64_t)>& fn) {
+  if (num_chunks <= 0) return;
+  if (workers_.empty() || num_chunks == 1) {
+    for (std::int64_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  auto ts = std::make_shared<TaskSet>();
+  ts->total = num_chunks;
+  ts->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    active_.push_back(ts);
+  }
+  work_cv_.notify_all();
+  execute_chunks(*ts);  // the caller is an executor too
+  {
+    std::unique_lock<std::mutex> lk(ts->mu);
+    ts->done_cv.wait(lk, [&] { return ts->done == ts->total; });
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    active_.erase(std::find(active_.begin(), active_.end(), ts));
+  }
+  if (ts->error) std::rethrow_exception(ts->error);
+}
+
+namespace {
+
+// default_pool() sits at the top of every parallel region, so the common
+// path is a single acquire load; the mutex only guards (re)construction.
+std::mutex g_default_pool_mu;
+std::unique_ptr<ThreadPool> g_default_pool;  // NOLINT: intentional singleton
+std::atomic<ThreadPool*> g_default_pool_ptr{nullptr};
+
+}  // namespace
+
+ThreadPool& default_pool() {
+  if (ThreadPool* p = g_default_pool_ptr.load(std::memory_order_acquire)) {
+    return *p;
+  }
+  std::lock_guard<std::mutex> lk(g_default_pool_mu);
+  if (!g_default_pool) {
+    g_default_pool = std::make_unique<ThreadPool>(0);
+    g_default_pool_ptr.store(g_default_pool.get(), std::memory_order_release);
+  }
+  return *g_default_pool;
+}
+
+void set_default_pool_threads(int threads) {
+  std::lock_guard<std::mutex> lk(g_default_pool_mu);
+  // Drop the fast-path pointer first: the old pool's destructor joins its
+  // workers before the replacement becomes visible.
+  g_default_pool_ptr.store(nullptr, std::memory_order_release);
+  g_default_pool = std::make_unique<ThreadPool>(threads);
+  g_default_pool_ptr.store(g_default_pool.get(), std::memory_order_release);
+}
+
+void parallel_for(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& body) {
+  if (end <= begin) return;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = (end - begin + g - 1) / g;
+  if (chunks == 1) {
+    body(begin, end, 0);
+    return;
+  }
+  pool.run_chunks(chunks, [&](std::int64_t c) {
+    const std::int64_t b = begin + c * g;
+    body(b, std::min(end, b + g), c);
+  });
+}
+
+std::int64_t balanced_grain(std::int64_t count, int threads) {
+  LP_CHECK(threads >= 1);
+  const std::int64_t target = static_cast<std::int64_t>(threads) * 4;
+  return std::max<std::int64_t>(1, (count + target - 1) / target);
+}
+
+double chunked_sum(ThreadPool& pool, std::size_t count, std::size_t chunk,
+                   const std::function<double(std::size_t, std::size_t)>& fn) {
+  LP_CHECK(chunk >= 1);
+  if (count <= chunk) return count == 0 ? 0.0 : fn(0, count);
+  const std::size_t chunks = (count + chunk - 1) / chunk;
+  std::vector<double> partial(chunks, 0.0);
+  pool.run_chunks(static_cast<std::int64_t>(chunks), [&](std::int64_t c) {
+    const std::size_t begin = static_cast<std::size_t>(c) * chunk;
+    partial[static_cast<std::size_t>(c)] = fn(begin, std::min(begin + chunk, count));
+  });
+  double sum = 0.0;
+  for (const double p : partial) sum += p;
+  return sum;
+}
+
+}  // namespace lp

@@ -1,0 +1,119 @@
+// Shared thread-pool parallelism for the forward-pass, quantization and
+// LPQ hot paths.
+//
+// Design constraints (and why this is not a generic task queue):
+//  * Determinism.  Every parallel loop in the library must produce output
+//    bit-identical to its serial execution, for any pool size.  The pool
+//    therefore never decides *what* a chunk computes — callers split work
+//    into chunks whose boundaries depend only on the problem size (see
+//    parallel_for), and any reduction combines per-chunk partials in chunk
+//    order.  Threads only decide *who* runs a chunk.
+//  * Nesting.  LPQ evaluates candidates on the pool, and each evaluation
+//    runs forward passes whose GEMMs also use the pool.  run_chunks is
+//    fork-join with caller participation: the calling thread claims chunks
+//    like any worker, so a fully busy pool degrades to inline execution
+//    instead of deadlocking, and waits form a DAG ordered by nesting depth.
+//  * One pool per process.  Persistent workers amortize thread creation
+//    across the millions of small parallel regions an LPQ search issues
+//    (the seed spawned and joined fresh threads per generation).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lp {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 resolves via resolve_threads() (LP_THREADS env var,
+  /// then std::thread::hardware_concurrency).  A pool of size N owns N-1
+  /// worker threads; the caller of run_chunks is the Nth executor.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution width including the calling thread.
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Run fn(c) for every chunk index c in [0, num_chunks), blocking until
+  /// all complete.  Chunks are claimed dynamically (load balance) but each
+  /// index runs exactly once, so callers writing disjoint outputs per index
+  /// are deterministic regardless of pool size.  The first exception thrown
+  /// by a chunk is rethrown here after the set drains.  Safe to call from
+  /// inside another run_chunks chunk (see header comment on nesting).
+  void run_chunks(std::int64_t num_chunks,
+                  const std::function<void(std::int64_t)>& fn);
+
+  /// Pool size for a request: `requested` if > 0, else the LP_THREADS
+  /// environment variable if set to a positive integer, else
+  /// hardware_concurrency (minimum 1).
+  [[nodiscard]] static int resolve_threads(int requested);
+
+ private:
+  struct TaskSet {
+    std::int64_t total = 0;
+    std::atomic<std::int64_t> next{0};  ///< next unclaimed chunk
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    std::mutex mu;                     ///< guards done + error
+    std::condition_variable done_cv;
+    std::int64_t done = 0;             ///< chunks finished executing
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  static void execute_chunks(TaskSet& ts);
+  [[nodiscard]] std::shared_ptr<TaskSet> claimable_locked() const;
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mu_;  ///< guards active_ + stop_
+  std::condition_variable work_cv_;
+  std::vector<std::shared_ptr<TaskSet>> active_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool every hot path runs on, created on first use and
+/// sized by resolve_threads(0).  LpqParams::threads > 0 overrides it with a
+/// dedicated pool for the search only (see LpqEngine).
+[[nodiscard]] ThreadPool& default_pool();
+
+/// Replace the default pool with one of the given size (0 = auto).  For
+/// process startup, benches and determinism tests; not safe concurrently
+/// with parallel work on the old pool.
+void set_default_pool_threads(int threads);
+
+/// Split [begin, end) into chunks of `grain` and run
+/// body(chunk_begin, chunk_end, chunk_index) for each, on the pool.  Chunk
+/// boundaries depend only on begin/end/grain — never on the pool size — so
+/// per-chunk reductions combined in chunk order are bit-identical across
+/// thread counts.  A single-chunk range runs inline on the caller.
+void parallel_for(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& body);
+
+/// Grain that splits `count` items into ~4 chunks per pool thread (load
+/// balance without excessive scheduling).  Only for loops whose per-item
+/// results are independent of the split (e.g. GEMM rows); reductions that
+/// combine partials must use a pool-independent fixed grain instead
+/// (see chunked_sum).
+[[nodiscard]] std::int64_t balanced_grain(std::int64_t count, int threads);
+
+/// Deterministic parallel sum: evaluate fn(begin, end) over fixed chunks of
+/// `chunk` elements of [0, count) and return the partials added in chunk
+/// order.  Because the boundaries depend only on count/chunk and the
+/// reduction order is fixed, the result is bit-identical for any pool size;
+/// a range of at most one chunk runs inline on the caller, so it is also
+/// exactly fn(0, count).
+double chunked_sum(ThreadPool& pool, std::size_t count, std::size_t chunk,
+                   const std::function<double(std::size_t, std::size_t)>& fn);
+
+}  // namespace lp

@@ -140,6 +140,25 @@ TEST(Simulate, PositPeDensityFarBelowLpa) {
   EXPECT_GT(lpa_r.tops_per_mm2, 4.0 * posit_r.tops_per_mm2);
 }
 
+TEST(Simulate, ActivationCapFollowsAcceleratorWidths) {
+  // The seed hard-coded an 8-bit activation clamp; a 16-bit-capable
+  // accelerator must be allowed to execute 16-bit activations.
+  auto wide = lpa::make_lpa();
+  wide.widths = {2, 4, 8, 16};
+  const auto r16 = simulate(wide, {gemm(8, 8, 32)},
+                            PrecisionMap::uniform(1, 8, 16));
+  EXPECT_EQ(r16.layers[0].a_bits, 16);
+  // 8-bit-max accelerators still cap at their widest width.
+  const auto r8 = simulate(lpa::make_lpa(), {gemm(8, 8, 32)},
+                           PrecisionMap::uniform(1, 8, 16));
+  EXPECT_EQ(r8.layers[0].a_bits, 8);
+  // And 16-bit activations occupy two bytes of buffer traffic: strictly
+  // more energy than the same workload at 8-bit activations.
+  const auto e8 = simulate(wide, {gemm(8, 8, 32)},
+                           PrecisionMap::uniform(1, 8, 8));
+  EXPECT_GT(r16.energy_mj, e8.energy_mj);
+}
+
 TEST(Simulate, ChecksPrecisionMapSize) {
   const auto lpa_m = lpa::make_lpa();
   EXPECT_THROW((void)simulate(lpa_m, {gemm(8, 8, 8, 3)},

@@ -2,10 +2,14 @@
 // pooling, softmax/layernorm invariants.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
+#include "util/rng.h"
 
 namespace lp {
 namespace {
@@ -52,6 +56,70 @@ TEST(MatMul, NtMatchesExplicitTranspose) {
   const Tensor c1 = matmul(a, b);
   const Tensor c2 = matmul_nt(a, bt);
   for (int i = 0; i < c1.numel(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-5F);
+}
+
+// The two matmul layouts must round identically (both accumulate each
+// output in double, ascending-k): same logical layer, same bits, even when
+// element magnitudes span ~60 decades and cancellation is severe.
+TEST(MatMul, NtBitIdenticalAdversarialMagnitudes) {
+  constexpr std::int64_t m = 9;
+  constexpr std::int64_t k = 37;
+  constexpr std::int64_t n = 11;
+  Tensor a({m, k});
+  Tensor b({k, n});
+  Tensor bt({n, k});
+  Tensor bias({n});
+  Rng rng(17);
+  auto adversarial = [&rng]() -> float {
+    // Magnitudes from 1e-30 to 1e30, signs mixed, exact zeros sprinkled in
+    // (the kernels skip zero A entries — the skip must match too).
+    if (rng.next_u64() % 8 == 0) return 0.0F;
+    const auto exp10 = static_cast<int>(rng.next_u64() % 61) - 30;
+    const float sign = (rng.next_u64() % 2 == 0) ? 1.0F : -1.0F;
+    return sign * static_cast<float>(std::pow(10.0, exp10) *
+                                     (0.5 + 0.5 * rng.uniform()));
+  };
+  for (float& v : a.data()) v = adversarial();
+  for (float& v : bias.data()) v = adversarial();
+  for (std::int64_t p = 0; p < k; ++p) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float v = adversarial();
+      b.at2(p, j) = v;
+      bt.at2(j, p) = v;
+    }
+  }
+  const Tensor c1 = matmul(a, b, &bias);
+  const Tensor c2 = matmul_nt(a, bt, &bias);
+  for (std::int64_t i = 0; i < c1.numel(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(c1[i]),
+              std::bit_cast<std::uint32_t>(c2[i]))
+        << "element " << i << ": " << c1[i] << " vs " << c2[i];
+  }
+}
+
+// Same equivalence above the parallel threshold, where both layouts run
+// row-blocked on the thread pool.
+TEST(MatMul, NtBitIdenticalOnPooledSizes) {
+  constexpr std::int64_t d = 96;  // 96^3 ≈ 885k flops, well above threshold
+  Tensor a({d, d});
+  Tensor b({d, d});
+  Tensor bt({d, d});
+  Rng rng(23);
+  for (float& v : a.data()) v = static_cast<float>(rng.gaussian(0.0, 100.0));
+  for (std::int64_t p = 0; p < d; ++p) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float v = static_cast<float>(rng.gaussian(0.0, 1e-3));
+      b.at2(p, j) = v;
+      bt.at2(j, p) = v;
+    }
+  }
+  const Tensor c1 = matmul(a, b);
+  const Tensor c2 = matmul_nt(a, bt);
+  for (std::int64_t i = 0; i < c1.numel(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(c1[i]),
+              std::bit_cast<std::uint32_t>(c2[i]))
+        << "element " << i;
+  }
 }
 
 TEST(MatMul, BiasBroadcasts) {
@@ -155,6 +223,37 @@ TEST(Softmax, StableForLargeLogits) {
   const Tensor s = softmax_lastdim(t);
   EXPECT_TRUE(std::isfinite(s[0]));
   EXPECT_NEAR(s[0] + s[1], 1.0F, 1e-5F);
+}
+
+TEST(Softmax, FullyMaskedRowProducesUniformNotNaN) {
+  // A fully masked attention row (all -inf) used to yield sum == 0 and
+  // inv == inf, propagating NaN through the model.
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  Tensor t({2, 4}, {-kInf, -kInf, -kInf, -kInf, 1.0F, 2.0F, -kInf, 0.5F});
+  const Tensor s = softmax_lastdim(t);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(s.at2(0, c), 0.25F);  // uniform fallback
+  }
+  // A partially masked row still softmaxes normally: masked slot gets 0.
+  float sum = 0.0F;
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_TRUE(std::isfinite(s.at2(1, c)));
+    sum += s.at2(1, c);
+  }
+  EXPECT_NEAR(sum, 1.0F, 1e-5F);
+  EXPECT_FLOAT_EQ(s.at2(1, 2), 0.0F);
+}
+
+TEST(Softmax, NonFiniteRowsDegradeToUniform) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor t({2, 3}, {kInf, 1.0F, 2.0F, nan, nan, nan});
+  const Tensor s = softmax_lastdim(t);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(s.at2(r, c), 1.0F / 3.0F) << "row " << r << " col " << c;
+    }
+  }
 }
 
 TEST(LayerNorm, NormalizesRows) {
