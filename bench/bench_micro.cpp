@@ -10,6 +10,8 @@
 
 #include "core/lp_codec.h"
 #include "core/lp_format.h"
+#include "core/quant_index.h"
+#include "kernels/kernels.h"
 #include "lpa/datapath.h"
 #include "lpa/systolic.h"
 #include "lpq/lpq.h"
@@ -198,6 +200,77 @@ void BM_LpqEvalPool(benchmark::State& state) {
   set_default_pool_threads(0);
 }
 BENCHMARK(BM_LpqEvalPool)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// --- kernel-dispatch benches ---------------------------------------------
+// Direct kernel-table calls, no thread pool: the scalar reference (naive
+// row loop) against the blocked/register-tiled SIMD variants.  Outputs are
+// bit-identical across tables (test_kernels pins it); only the wall clock
+// moves.  The AVX2 cases skip on hosts without the feature.
+
+/// Mid-stack ResNet conv-as-GEMM shape (m = Cout, k = Cin*3*3, n = Ho*Wo).
+void run_gemm_kernel_bench(benchmark::State& state,
+                           const kernels::KernelTable& kt) {
+  constexpr std::int64_t m = 128, k = 1152, n = 196;
+  Rng rng(4);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto& v : a) v = static_cast<float>(rng.gaussian(0.0, 0.1));
+  for (auto& v : b) v = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    kt.gemm_rows(a.data(), b.data(), nullptr, c.data(), 0, m, k, n);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+
+void BM_GemmKernelScalar(benchmark::State& state) {
+  run_gemm_kernel_bench(state, kernels::scalar_kernels());
+}
+BENCHMARK(BM_GemmKernelScalar)->Unit(benchmark::kMillisecond);
+
+void BM_GemmKernelAvx2(benchmark::State& state) {
+  const kernels::KernelTable* kt = kernels::avx2_kernels();
+  if (kt == nullptr || !kernels::cpu_supports_avx2()) {
+    state.SkipWithError("AVX2 unavailable on this host");
+    return;
+  }
+  run_gemm_kernel_bench(state, *kt);
+}
+BENCHMARK(BM_GemmKernelAvx2)->Unit(benchmark::kMillisecond);
+
+/// Quantize-kernel A/B on one 1M-element buffer (quantization is
+/// idempotent, so work per iteration is stable after the first pass).
+void run_quantize_kernel_bench(benchmark::State& state,
+                               const kernels::KernelTable& kt) {
+  const LPFormat fmt(LPConfig{8, 1, 4, 3.0});
+  const QuantIndex index(fmt.all_values());
+  const kernels::QuantIndexView view = index.view();
+  Rng rng(1);
+  std::vector<float> data(1U << 20);
+  for (auto& x : data) x = static_cast<float>(rng.gaussian(0.0, 0.1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.quantize_chunk(view, data.data(), data.size()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+
+void BM_QuantizeKernelScalar(benchmark::State& state) {
+  run_quantize_kernel_bench(state, kernels::scalar_kernels());
+}
+BENCHMARK(BM_QuantizeKernelScalar);
+
+void BM_QuantizeKernelAvx2(benchmark::State& state) {
+  const kernels::KernelTable* kt = kernels::avx2_kernels();
+  if (kt == nullptr || !kernels::cpu_supports_avx2()) {
+    state.SkipWithError("AVX2 unavailable on this host");
+    return;
+  }
+  run_quantize_kernel_bench(state, *kt);
+}
+BENCHMARK(BM_QuantizeKernelAvx2);
 
 void BM_PeMacDatapath(benchmark::State& state) {
   const LPConfig wcfg{4, 1, 2, 2.0};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/quant_rule.h"
+
 namespace lp {
 
 LPFields decode_fields(std::uint32_t code, const LPConfig& cfg) {
@@ -190,17 +192,10 @@ double CodeTable::min_positive() const {
 }
 
 std::size_t CodeTable::nearest_index(double v) const {
-  const auto it = std::lower_bound(values_.begin(), values_.end(), v);
-  if (it == values_.begin()) return 0;
-  if (it == values_.end()) return values_.size() - 1;
-  const std::size_t hi = static_cast<std::size_t>(it - values_.begin());
-  const std::size_t lo = hi - 1;
-  const double dlo = v - values_[lo];
-  const double dhi = values_[hi] - v;
-  if (dlo < dhi) return lo;
-  if (dhi < dlo) return hi;
-  // Tie: prefer the smaller magnitude (toward zero).
-  return std::fabs(values_[lo]) <= std::fabs(values_[hi]) ? lo : hi;
+  // Shared nearest-value rule (ties toward zero) — the same helper the
+  // QuantIndex boundary builder resolves against, so the batched and SIMD
+  // paths cannot drift from this one.
+  return quant::nearest_index(values_, v);
 }
 
 double CodeTable::quantize(double v) const {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/quant_rule.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -46,16 +47,7 @@ void EnumeratedFormat::set_values(std::vector<double> values) {
 
 double EnumeratedFormat::quantize(double v) const {
   if (!std::isfinite(v)) return std::numeric_limits<double>::quiet_NaN();
-  const auto it = std::lower_bound(values_.begin(), values_.end(), v);
-  if (it == values_.begin()) return values_.front();
-  if (it == values_.end()) return values_.back();
-  const double hi = *it;
-  const double lo = *(it - 1);
-  const double dlo = v - lo;
-  const double dhi = hi - v;
-  if (dlo < dhi) return lo;
-  if (dhi < dlo) return hi;
-  return std::fabs(lo) <= std::fabs(hi) ? lo : hi;
+  return values_[quant::nearest_index(values_, v)];
 }
 
 double quantize_span(std::span<float> xs, const NumberFormat& fmt) {

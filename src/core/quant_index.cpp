@@ -1,47 +1,19 @@
 #include "core/quant_index.h"
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
-#include <limits>
-
+#include "core/quant_rule.h"
+#include "kernels/kernels.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace lp {
+
+static_assert(QuantIndex::kInvalid == kernels::kInvalidIndex,
+              "QuantIndex and the kernel layer must agree on the sentinel");
+
 namespace {
 
-/// Map a finite float's bit pattern to a uint32 that orders like the value:
-/// negatives flip entirely, positives set the sign bit.
-constexpr std::uint32_t ordered_key(std::uint32_t bits) {
-  return (bits & 0x80000000U) != 0 ? ~bits : bits | 0x80000000U;
-}
-
-constexpr std::uint32_t kMinFiniteKey = ordered_key(0xFF7FFFFFU);  // -FLT_MAX
-constexpr std::uint32_t kMaxFiniteKey = ordered_key(0x7F7FFFFFU);  // +FLT_MAX
-
-float float_from_key(std::uint32_t key) {
-  const std::uint32_t bits =
-      (key & 0x80000000U) != 0 ? key ^ 0x80000000U : ~key;
-  return std::bit_cast<float>(bits);
-}
-
-constexpr bool is_finite_bits(std::uint32_t bits) {
-  return (bits & 0x7F800000U) != 0x7F800000U;
-}
-
-/// Exactly the scalar nearest-value rule between adjacent table values:
-/// true iff x quantizes to hi rather than lo.  Monotone in x: the computed
-/// dlo is non-decreasing and dhi non-increasing, so once the rule picks hi
-/// it picks hi for every larger float.
-bool picks_upper(float x, double lo, double hi) {
-  const double v = x;
-  const double dlo = v - lo;
-  const double dhi = hi - v;
-  if (dlo < dhi) return false;
-  if (dhi < dlo) return true;
-  return std::fabs(lo) > std::fabs(hi);
-}
+constexpr std::uint32_t kMinFiniteKey = quant::ordered_key(0xFF7FFFFFU);  // -FLT_MAX
+constexpr std::uint32_t kMaxFiniteKey = quant::ordered_key(0x7F7FFFFFU);  // +FLT_MAX
 
 }  // namespace
 
@@ -62,7 +34,8 @@ QuantIndex::QuantIndex(std::span<const double> values)
     std::uint32_t hi = kMaxFiniteKey + 1;  // exclusive: "no finite float"
     while (lo < hi) {
       const std::uint32_t mid = lo + (hi - lo) / 2;
-      if (picks_upper(float_from_key(mid), values_[i], values_[i + 1])) {
+      if (quant::picks_upper(quant::float_from_key(mid), values_[i],
+                             values_[i + 1])) {
         hi = mid;
       } else {
         lo = mid + 1;
@@ -82,61 +55,27 @@ QuantIndex::QuantIndex(std::span<const double> values)
   bucket_lo_.back() = static_cast<std::uint32_t>(keys_.size());
 }
 
-std::size_t QuantIndex::lookup(std::uint32_t key) const {
-  const std::uint32_t b = key >> (32 - kBucketBits);
-  const std::uint32_t* first = keys_.data() + bucket_lo_[b];
-  const std::uint32_t* last = keys_.data() + bucket_lo_[b + 1];
-  // Buckets hold a handful of keys for the paper's narrow formats; a
-  // linear scan beats binary-search branches there.  Wide (12+ bit)
-  // formats can have dense buckets, so fall back above a small span.
-  if (last - first > 16) {
-    return static_cast<std::size_t>(std::upper_bound(first, last, key) -
-                                    keys_.data());
-  }
-  while (first < last && *first <= key) ++first;
-  return static_cast<std::size_t>(first - keys_.data());
-}
-
-double QuantIndex::quantize_chunk(std::span<float> xs) const {
-  double se = 0.0;
-  for (float& x : xs) {
-    const auto bits = std::bit_cast<std::uint32_t>(x);
-    if (!is_finite_bits(bits)) {
-      // Mirror the scalar loop: q = NaN poisons the error accumulator.
-      const double d = static_cast<double>(x) -
-                       std::numeric_limits<double>::quiet_NaN();
-      se += d * d;
-      x = std::numeric_limits<float>::quiet_NaN();
-      continue;
-    }
-    const std::size_t idx = lookup(ordered_key(bits));
-    const double d = static_cast<double>(x) - values_[idx];
-    se += d * d;
-    x = values_f_[idx];
-  }
-  return se;
-}
-
 double QuantIndex::quantize(std::span<float> xs) const {
   // Fixed kQuantChunk boundaries and a chunk-ordered reduction (see
   // chunked_sum) keep the returned error independent of the pool size:
   // threads=N is bit-identical to threads=1, and buffers that fit one chunk
-  // match the scalar loop exactly.
+  // match the scalar loop exactly.  The per-chunk work runs on the
+  // dispatched kernel (scalar reference or AVX2), all variants
+  // bit-identical.
+  const kernels::KernelTable& kt = kernels::dispatch();
+  const kernels::QuantIndexView v = view();
   return chunked_sum(default_pool(), xs.size(), kQuantChunk,
                      [&](std::size_t begin, std::size_t end) {
-                       return quantize_chunk(xs.subspan(begin, end - begin));
+                       return kt.quantize_chunk(v, xs.data() + begin,
+                                                end - begin);
                      });
 }
 
 void QuantIndex::nearest_indices(std::span<const float> xs,
                                  std::span<std::uint32_t> out) const {
   LP_CHECK(xs.size() == out.size());
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    const auto bits = std::bit_cast<std::uint32_t>(xs[i]);
-    out[i] = is_finite_bits(bits)
-                 ? static_cast<std::uint32_t>(lookup(ordered_key(bits)))
-                 : kInvalid;
-  }
+  kernels::dispatch().nearest_indices(view(), xs.data(), out.data(),
+                                      xs.size());
 }
 
 }  // namespace lp

@@ -1,19 +1,23 @@
 // Precomputed nearest-value quantization index over a sorted value table.
 //
 // The scalar paths (EnumeratedFormat::quantize, CodeTable::nearest_index)
-// binary-search a double table and resolve ties per element — a virtual
-// call, ~log2(2^n) double compares, and tie branches for every value.  This
-// index hoists all of that out of the loop: each decision boundary is
-// resolved once, at build time, to the exact float where the scalar rule
-// flips from the lower to the upper table value, stored as an
-// order-preserving uint32 key.  Batched lookups are then a bucket jump plus
-// a short integer search, and remain bit-exact with the scalar rule by
-// construction.
+// binary-search a double table — for an n-bit format that is ~n double
+// compares, a virtual call, and a tie branch per element (they share one
+// rule: quant::nearest_index in core/quant_rule.h).  This index hoists all
+// of that out of the loop: each decision boundary is resolved once, at
+// build time, to the exact float where the scalar rule flips from the
+// lower to the upper table value, stored as an order-preserving uint32
+// key.  Batched lookups are then a bucket jump plus a short integer
+// search, remain bit-exact with the scalar rule by construction, and are
+// served by the dispatched kernel layer (src/kernels: scalar reference or
+// AVX2 branchless search, selected at runtime via cpuid / LP_KERNEL).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "kernels/kernels.h"
 
 namespace lp {
 
@@ -32,7 +36,8 @@ class QuantIndex {
   /// independent of the pool size) and partials are combined in chunk
   /// order, so the result is bit-identical for any thread count; buffers of
   /// at most one chunk accumulate in element order exactly as the scalar
-  /// loop does.
+  /// loop does.  Within a chunk the dispatched kernel runs (LP_KERNEL);
+  /// every kernel variant is bit-identical (see tests/test_kernels.cpp).
   double quantize(std::span<float> xs) const;
 
   /// Fixed reduction-chunk size for quantize() (elements).
@@ -46,14 +51,18 @@ class QuantIndex {
   void nearest_indices(std::span<const float> xs,
                        std::span<std::uint32_t> out) const;
 
+  /// Raw-pointer view for the kernel layer.  Valid only while this index
+  /// is alive and non-empty.
+  [[nodiscard]] kernels::QuantIndexView view() const {
+    return {keys_.data(),     keys_.size(),    bucket_lo_.data(),
+            kBucketBits,      values_f_.data(), values_.data()};
+  }
+
   [[nodiscard]] bool empty() const { return values_f_.empty(); }
   [[nodiscard]] std::size_t size() const { return values_f_.size(); }
 
  private:
   static constexpr int kBucketBits = 12;
-
-  double quantize_chunk(std::span<float> xs) const;
-  [[nodiscard]] std::size_t lookup(std::uint32_t key) const;
 
   std::vector<std::uint32_t> keys_;       ///< boundary keys, ascending
   std::vector<float> values_f_;           ///< table values cast to float

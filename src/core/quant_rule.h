@@ -1,0 +1,60 @@
+// The nearest-value quantization rule, shared by every path that resolves
+// "which table value does v round to": the scalar quantizers
+// (EnumeratedFormat::quantize, CodeTable::nearest_index), the QuantIndex
+// boundary-key builder, and the SIMD kernel layer's key computation
+// (src/kernels).  Keeping the rule in one set of inline helpers means the
+// batched/SIMD paths cannot drift from the scalar one — they either call
+// these helpers or are pinned bit-identical to them by tests/test_kernels.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace lp::quant {
+
+/// Map a finite float's bit pattern to a uint32 that orders like the value:
+/// negatives flip entirely, positives set the sign bit.
+constexpr std::uint32_t ordered_key(std::uint32_t bits) {
+  return (bits & 0x80000000U) != 0 ? ~bits : bits | 0x80000000U;
+}
+
+/// Inverse of ordered_key.
+inline float float_from_key(std::uint32_t key) {
+  const std::uint32_t bits =
+      (key & 0x80000000U) != 0 ? key ^ 0x80000000U : ~key;
+  return std::bit_cast<float>(bits);
+}
+
+/// True iff the float with these bits is finite (not inf/NaN).
+constexpr bool is_finite_bits(std::uint32_t bits) {
+  return (bits & 0x7F800000U) != 0x7F800000U;
+}
+
+/// The nearest-value rule between adjacent table values lo < hi: true iff v
+/// quantizes to hi rather than lo (ties go toward the smaller magnitude).
+/// Monotone in v: the computed dlo is non-decreasing and dhi non-increasing,
+/// so once the rule picks hi it picks hi for every larger value — the
+/// property the QuantIndex boundary search depends on.
+inline bool picks_upper(double v, double lo, double hi) {
+  const double dlo = v - lo;
+  const double dhi = hi - v;
+  if (dlo < dhi) return false;
+  if (dhi < dlo) return true;
+  return std::fabs(lo) > std::fabs(hi);
+}
+
+/// Index of the nearest value to v in a sorted table (saturating at the
+/// extremes), under exactly the picks_upper tie rule.  `values` must be
+/// sorted ascending, distinct and non-empty; v must be finite.
+inline std::size_t nearest_index(std::span<const double> values, double v) {
+  const auto it = std::lower_bound(values.begin(), values.end(), v);
+  if (it == values.begin()) return 0;
+  if (it == values.end()) return values.size() - 1;
+  const auto hi = static_cast<std::size_t>(it - values.begin());
+  return picks_upper(v, values[hi - 1], values[hi]) ? hi : hi - 1;
+}
+
+}  // namespace lp::quant

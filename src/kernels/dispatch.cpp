@@ -1,0 +1,79 @@
+// Runtime CPU-feature dispatch: pick the kernel table once per process
+// from LP_KERNEL and cpuid.  Selection never trusts compile flags alone —
+// an AVX2 TU baked into the binary is only used when the host CPU reports
+// the feature, so one build runs correctly on any x86-64.
+#include <cstdio>
+#include <cstdlib>
+
+#include "kernels/kernels.h"
+
+namespace lp::kernels {
+
+#if defined(LOGPOSIT_HAVE_AVX2)
+// Defined in kernels_avx2.cpp (compiled with -mavx2).
+const KernelTable* avx2_kernels_impl();
+#endif
+
+const KernelTable* avx2_kernels() {
+#if defined(LOGPOSIT_HAVE_AVX2)
+  return avx2_kernels_impl();
+#else
+  return nullptr;
+#endif
+}
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const KernelTable* by_name(std::string_view name) {
+  if (name == "scalar") return &scalar_kernels();
+  if (name == "avx2") return avx2_kernels();
+  return nullptr;
+}
+
+std::vector<const KernelTable*> available_kernels() {
+  std::vector<const KernelTable*> out{&scalar_kernels()};
+  if (const KernelTable* t = avx2_kernels();
+      t != nullptr && cpu_supports_avx2()) {
+    out.push_back(t);
+  }
+  return out;
+}
+
+namespace {
+
+const KernelTable& best_available() {
+  const KernelTable* avx2 = avx2_kernels();
+  return (avx2 != nullptr && cpu_supports_avx2()) ? *avx2 : scalar_kernels();
+}
+
+}  // namespace
+
+const KernelTable& select_kernels(const char* requested) {
+  if (requested != nullptr && *requested != '\0') {
+    const KernelTable* t = by_name(requested);
+    if (t != nullptr && (t == &scalar_kernels() || cpu_supports_avx2())) {
+      return *t;
+    }
+    const KernelTable& fallback = best_available();
+    std::fprintf(stderr,
+                 "logposit: LP_KERNEL=%s is not available on this host "
+                 "(unknown name, not compiled in, or missing CPU support); "
+                 "using '%s'\n",
+                 requested, fallback.name);
+    return fallback;
+  }
+  return best_available();
+}
+
+const KernelTable& dispatch() {
+  static const KernelTable& table = select_kernels(std::getenv("LP_KERNEL"));
+  return table;
+}
+
+}  // namespace lp::kernels

@@ -1,0 +1,109 @@
+// SIMD kernel subsystem: cache-blocked GEMM micro-kernels and vectorized
+// quantization index lookups, behind a one-time runtime CPU-feature
+// dispatch table.
+//
+// Contract: every entry in every table is bit-identical to the scalar
+// reference for all inputs — including denormals, ±inf, NaN, and zero
+// entries in A (the GEMM kernels skip zero contributions exactly like the
+// scalar path, so an inf in B multiplied by a structural zero never leaks
+// into the accumulator).  The GEMM kernels accumulate each output element
+// in double, contributions added in ascending-k order with separate
+// mul-then-add rounding (never FMA), which is also why the build pins
+// -ffp-contract=off.  tests/test_kernels.cpp pins the equality on
+// adversarial inputs for every table available on the host.
+//
+// Parallelism composes from the outside: the thread pool (LP_THREADS)
+// splits row blocks / chunks across threads, and the dispatched kernel
+// vectorizes inside each block.  Selection order for dispatch():
+//   1. LP_KERNEL=scalar|avx2 if set and usable on this host (otherwise a
+//      one-line stderr warning at first use, then automatic selection);
+//   2. the best table the CPU supports (runtime cpuid, not compile flags).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace lp::kernels {
+
+/// Index reported for non-finite inputs by nearest-index kernels.  Equal to
+/// QuantIndex::kInvalid (static_asserted in quant_index.cpp).
+inline constexpr std::uint32_t kInvalidIndex = 0xFFFFFFFFU;
+
+/// Raw-pointer view of a QuantIndex (see src/core/quant_index.h) that
+/// kernels operate on: `keys` are the num_keys ascending boundary keys,
+/// `bucket_lo` the (1 << bucket_bits) + 1 bucket lower bounds over the top
+/// bucket_bits of key space, `values_f`/`values_d` the num_keys + 1 table
+/// values as float and double.
+struct QuantIndexView {
+  const std::uint32_t* keys = nullptr;
+  std::size_t num_keys = 0;
+  const std::uint32_t* bucket_lo = nullptr;
+  int bucket_bits = 0;
+  const float* values_f = nullptr;
+  const double* values_d = nullptr;
+};
+
+/// GEMM row-block kernel: C[i,:] = bias + A[i,:] * B for i in
+/// [row_begin, row_end), with A [m,k] row-major, B [k,n] row-major
+/// (or, for the _nt entry, B [n,k] row-major holding B^T) and C [m,n].
+/// `bias` is n floats or nullptr.  Row blocks write disjoint rows, so the
+/// thread pool may split [0, m) freely without affecting results.
+using GemmRowsFn = void (*)(const float* a, const float* b, const float* bias,
+                            float* c, std::int64_t row_begin,
+                            std::int64_t row_end, std::int64_t k,
+                            std::int64_t n);
+
+/// Quantize xs[0..n) in place against the index view (non-finite inputs
+/// become quiet NaN) and return the squared error accumulated in element
+/// order — the same addition sequence as the scalar reference, so partials
+/// combined per fixed-size chunk stay bit-identical across kernels.
+using QuantizeChunkFn = double (*)(const QuantIndexView& v, float* xs,
+                                   std::size_t n);
+
+/// out[i] = index of the nearest table value to xs[i], or kInvalidIndex
+/// when xs[i] is not finite.
+using NearestIndicesFn = void (*)(const QuantIndexView& v, const float* xs,
+                                  std::uint32_t* out, std::size_t n);
+
+struct KernelTable {
+  const char* name;  ///< "scalar", "avx2", ... (the LP_KERNEL spelling)
+  GemmRowsFn gemm_rows;
+  GemmRowsFn gemm_nt_rows;
+  QuantizeChunkFn quantize_chunk;
+  NearestIndicesFn nearest_indices;
+};
+
+/// The portable reference table.  Always available; the other tables are
+/// defined as bit-identical to it.
+[[nodiscard]] const KernelTable& scalar_kernels();
+
+/// The AVX2 table, or nullptr when the build has no AVX2 translation unit
+/// (non-x86 target or a compiler without -mavx2).  Non-null does NOT imply
+/// the host CPU can run it — check cpu_supports_avx2().
+[[nodiscard]] const KernelTable* avx2_kernels();
+
+/// Runtime cpuid check (independent of what was compiled in).
+[[nodiscard]] bool cpu_supports_avx2();
+
+/// Table with that LP_KERNEL name, or nullptr for unknown names and tables
+/// not compiled into this build.
+[[nodiscard]] const KernelTable* by_name(std::string_view name);
+
+/// Every table this host can actually execute, scalar first.  Tests and
+/// benches iterate this to A/B all variants in one process.
+[[nodiscard]] std::vector<const KernelTable*> available_kernels();
+
+/// Pure selection logic behind dispatch(): `requested` is the LP_KERNEL
+/// value (nullptr/empty = automatic).  Unknown or unusable requests warn
+/// on stderr and fall back to automatic selection (each call warns; only
+/// dispatch() memoizes, so the library warns at most once).  Exposed for
+/// tests.
+[[nodiscard]] const KernelTable& select_kernels(const char* requested);
+
+/// The process-wide table every hot path calls through, resolved once on
+/// first use from LP_KERNEL and cpuid.
+[[nodiscard]] const KernelTable& dispatch();
+
+}  // namespace lp::kernels

@@ -1,0 +1,266 @@
+// AVX2 kernel table.  This is the only TU compiled with -mavx2; nothing in
+// it executes unless runtime cpuid reports AVX2 (see dispatch.cpp).
+//
+// Bit-equality with the scalar reference is engineered, not hoped for:
+//  * GEMM accumulates each output element in a dedicated double lane,
+//    contributions added in ascending-k order with _mm256_mul_pd followed
+//    by _mm256_add_pd — the same two correctly-rounded IEEE operations the
+//    scalar code performs (FMA would single-round and is never used).
+//  * The scalar path's zero-skip (a == 0 contributes nothing, so an inf or
+//    NaN in B under a structural zero never reaches the accumulator) is a
+//    per-(row, k) predicate, identical across the vector lanes of one row,
+//    so it stays an ordinary branch.
+//  * Quantization runs two passes per block: a SIMD pass computing nearest
+//    indices (branchless boundary-key count), then the shared scalar
+//    quantize_apply pass whose element-order error accumulation is the
+//    reference code itself.
+//  * Edge tiles (rows % 4, columns % 8) fall through to the reference
+//    block helpers, which are per-element identical by definition.
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "core/quant_rule.h"
+#include "kernels/kernels_internal.h"
+
+namespace lp::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GEMM (B row-major): cache-blocked, register-tiled micro-kernel.
+//
+// For each 8-column panel of B we pack the k x 8 slice into a contiguous
+// buffer once (pure data movement — loads reorder, arithmetic does not),
+// then sweep all row tiles over it: R rows x 8 columns of double
+// accumulators live in ymm registers for the whole k loop.  `panel_stride`
+// is 8 for a packed panel and n for reading B in place — the values loaded
+// are identical either way, so the choice cannot affect results.
+
+template <int R>
+void gemm_micro(const float* a, const float* panel,
+                std::int64_t panel_stride, const float* bias, float* c,
+                std::int64_t i, std::int64_t j, std::int64_t k,
+                std::int64_t n) {
+  __m256d acc[R][2];
+  if (bias != nullptr) {
+    const __m256d b0 = _mm256_cvtps_pd(_mm_loadu_ps(bias + j));
+    const __m256d b1 = _mm256_cvtps_pd(_mm_loadu_ps(bias + j + 4));
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = b0;
+      acc[r][1] = b1;
+    }
+  } else {
+    const __m256d z = _mm256_setzero_pd();
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = z;
+      acc[r][1] = z;
+    }
+  }
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* bp = panel + panel_stride * p;
+    const __m256d bv0 = _mm256_cvtps_pd(_mm_loadu_ps(bp));
+    const __m256d bv1 = _mm256_cvtps_pd(_mm_loadu_ps(bp + 4));
+    for (int r = 0; r < R; ++r) {
+      const double av = a[(i + r) * k + p];
+      if (av == 0.0) continue;
+      const __m256d avv = _mm256_set1_pd(av);
+      acc[r][0] = _mm256_add_pd(acc[r][0], _mm256_mul_pd(avv, bv0));
+      acc[r][1] = _mm256_add_pd(acc[r][1], _mm256_mul_pd(avv, bv1));
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    float* crow = c + (i + r) * n + j;
+    _mm_storeu_ps(crow, _mm256_cvtpd_ps(acc[r][0]));
+    _mm_storeu_ps(crow + 4, _mm256_cvtpd_ps(acc[r][1]));
+  }
+}
+
+void gemm_rows_avx2(const float* a, const float* b, const float* bias,
+                    float* c, std::int64_t row_begin, std::int64_t row_end,
+                    std::int64_t k, std::int64_t n) {
+  const std::int64_t full_cols = n - (n % 8);
+  const std::int64_t rows = row_end - row_begin;
+  // Packing a panel costs one pass over the k x 8 slice; it only pays for
+  // itself when enough row tiles reuse it.  Short row blocks (the common
+  // case when the thread pool splits a small m) read B in place instead —
+  // same loads, no copy — so pool threads don't duplicate packing traffic.
+  const bool pack = rows >= 8;
+  if (full_cols > 0 && rows > 0) {
+    std::vector<float> panel(pack ? static_cast<std::size_t>(k) * 8 : 0);
+    for (std::int64_t j = 0; j < full_cols; j += 8) {
+      const float* pnl = b + j;
+      std::int64_t stride = n;
+      if (pack) {
+        float* dst = panel.data();
+        const float* src = b + j;
+        for (std::int64_t p = 0; p < k; ++p, dst += 8, src += n) {
+          std::memcpy(dst, src, 8 * sizeof(float));
+        }
+        pnl = panel.data();
+        stride = 8;
+      }
+      std::int64_t i = row_begin;
+      for (; i + 4 <= row_end; i += 4) {
+        gemm_micro<4>(a, pnl, stride, bias, c, i, j, k, n);
+      }
+      switch (row_end - i) {
+        case 3: gemm_micro<3>(a, pnl, stride, bias, c, i, j, k, n); break;
+        case 2: gemm_micro<2>(a, pnl, stride, bias, c, i, j, k, n); break;
+        case 1: gemm_micro<1>(a, pnl, stride, bias, c, i, j, k, n); break;
+        default: break;
+      }
+    }
+  }
+  if (full_cols < n) {
+    detail::gemm_ref_block(a, b, bias, c, row_begin, row_end, full_cols, n, k,
+                           n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM against B^T ([n, k] row-major): 8 output columns per step, each
+// column's dot product in its own double lane (single chain per element,
+// ascending p).  The 8 B rows are walked sequentially in p — 8 forward
+// streams, cache-friendly without packing.
+
+void gemm_nt_rows_avx2(const float* a, const float* b, const float* bias,
+                       float* c, std::int64_t row_begin, std::int64_t row_end,
+                       std::int64_t k, std::int64_t n) {
+  const std::int64_t full_cols = n - (n % 8);
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < full_cols; j += 8) {
+      const float* br0 = b + j * k;
+      const float* br1 = br0 + k;
+      const float* br2 = br1 + k;
+      const float* br3 = br2 + k;
+      const float* br4 = br3 + k;
+      const float* br5 = br4 + k;
+      const float* br6 = br5 + k;
+      const float* br7 = br6 + k;
+      __m256d acc0;
+      __m256d acc1;
+      if (bias != nullptr) {
+        acc0 = _mm256_cvtps_pd(_mm_loadu_ps(bias + j));
+        acc1 = _mm256_cvtps_pd(_mm_loadu_ps(bias + j + 4));
+      } else {
+        acc0 = _mm256_setzero_pd();
+        acc1 = _mm256_setzero_pd();
+      }
+      for (std::int64_t p = 0; p < k; ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        const __m128 f0 = _mm_setr_ps(br0[p], br1[p], br2[p], br3[p]);
+        const __m128 f1 = _mm_setr_ps(br4[p], br5[p], br6[p], br7[p]);
+        const __m256d avv = _mm256_set1_pd(av);
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(avv, _mm256_cvtps_pd(f0)));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(avv, _mm256_cvtps_pd(f1)));
+      }
+      _mm_storeu_ps(crow + j, _mm256_cvtpd_ps(acc0));
+      _mm_storeu_ps(crow + j + 4, _mm256_cvtpd_ps(acc1));
+    }
+    if (full_cols < n) {
+      detail::gemm_nt_ref_block(a, b, bias, c, i, i + 1, full_cols, n, k, n);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantization: SIMD ordered-key computation + branchless boundary count.
+
+/// Branchless boundary search: count keys <= key inside the bucket (SIMD
+/// 8-at-a-time, signed compare after bias), no early exit.  Returns the
+/// same index as the reference scan for every key by construction (both
+/// compute bucket_lo[b] + |{t : keys[t] <= key}|).
+std::size_t lookup_count(const QuantIndexView& v, std::uint32_t key) {
+  const std::uint32_t b = key >> (32 - v.bucket_bits);
+  const std::uint32_t lo = v.bucket_lo[b];
+  const std::uint32_t hi = v.bucket_lo[b + 1];
+  std::uint32_t t = lo;
+  std::size_t count = 0;
+  const __m256i biasv = _mm256_set1_epi32(static_cast<int>(0x80000000U));
+  const __m256i kv =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int>(key)), biasv);
+  for (; t + 8 <= hi; t += 8) {
+    const __m256i ks = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v.keys + t)),
+        biasv);
+    const __m256i gt = _mm256_cmpgt_epi32(ks, kv);
+    const auto mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(gt)));
+    count += 8U - static_cast<unsigned>(std::popcount(mask));
+  }
+  for (; t < hi; ++t) count += (v.keys[t] <= key) ? 1U : 0U;
+  return lo + count;
+}
+
+void nearest_indices_avx2(const QuantIndexView& v, const float* xs,
+                          std::uint32_t* out, std::size_t n) {
+  const __m256i sign = _mm256_set1_epi32(static_cast<int>(0x80000000U));
+  const __m256i expm = _mm256_set1_epi32(0x7F800000);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i bits =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + i));
+    // ordered_key, vectorized: negatives (sign-propagating shift gives an
+    // all-ones mask) flip entirely, positives set the sign bit.
+    const __m256i neg = _mm256_srai_epi32(bits, 31);
+    const __m256i key = _mm256_or_si256(_mm256_xor_si256(bits, neg),
+                                        _mm256_andnot_si256(neg, sign));
+    const __m256i bad =
+        _mm256_cmpeq_epi32(_mm256_and_si256(bits, expm), expm);
+    alignas(32) std::uint32_t keys[8];
+    alignas(32) std::uint32_t bads[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(keys), key);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(bads), bad);
+    for (int l = 0; l < 8; ++l) {
+      out[i + static_cast<std::size_t>(l)] =
+          bads[l] != 0
+              ? kInvalidIndex
+              : static_cast<std::uint32_t>(lookup_count(v, keys[l]));
+    }
+  }
+  for (; i < n; ++i) {
+    const auto bits = std::bit_cast<std::uint32_t>(xs[i]);
+    out[i] = quant::is_finite_bits(bits)
+                 ? static_cast<std::uint32_t>(
+                       lookup_count(v, quant::ordered_key(bits)))
+                 : kInvalidIndex;
+  }
+}
+
+double quantize_chunk_avx2(const QuantIndexView& v, float* xs,
+                           std::size_t n) {
+  // Two passes per block: SIMD index computation, then the shared scalar
+  // apply pass continuing one element-order error accumulator — the same
+  // addition sequence as the single-pass scalar kernel.
+  constexpr std::size_t kBlock = 512;
+  std::uint32_t idx[kBlock];
+  double se = 0.0;
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t len = std::min(kBlock, n - base);
+    nearest_indices_avx2(v, xs + base, idx, len);
+    detail::quantize_apply(v, xs + base, idx, len, se);
+  }
+  return se;
+}
+
+}  // namespace
+
+// Referenced by dispatch.cpp (only when LOGPOSIT_HAVE_AVX2 is defined).
+const KernelTable* avx2_kernels_impl() {
+  static constexpr KernelTable kTable{"avx2", gemm_rows_avx2,
+                                      gemm_nt_rows_avx2, quantize_chunk_avx2,
+                                      nearest_indices_avx2};
+  return &kTable;
+}
+
+}  // namespace lp::kernels
+
+#endif  // defined(__AVX2__)

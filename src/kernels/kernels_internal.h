@@ -1,0 +1,44 @@
+// Internals shared between the kernel translation units.  The reference
+// block helpers live in kernels_scalar.cpp (compiled WITHOUT -mavx2) and
+// are called by the SIMD kernels for edge tiles; keeping them out-of-line
+// in a baseline-ISA TU guarantees the compiler cannot re-vectorize or
+// contract them differently per caller.
+#pragma once
+
+#include "kernels/kernels.h"
+
+namespace lp::kernels::detail {
+
+/// Reference GEMM over the sub-block rows [row_begin, row_end) x columns
+/// [col_begin, col_end): per output element a double accumulator seeded
+/// from bias, contributions added in ascending-k order with zero A entries
+/// skipped.  Exactly the seed's arithmetic sequence — the definition the
+/// SIMD tiles must match bit-for-bit.
+void gemm_ref_block(const float* a, const float* b, const float* bias,
+                    float* c, std::int64_t row_begin, std::int64_t row_end,
+                    std::int64_t col_begin, std::int64_t col_end,
+                    std::int64_t k, std::int64_t n);
+
+/// Reference for the B-transposed layout (B is [n,k] row-major); same
+/// accumulation contract as gemm_ref_block, so both layouts round
+/// identically.
+void gemm_nt_ref_block(const float* a, const float* b, const float* bias,
+                       float* c, std::int64_t row_begin, std::int64_t row_end,
+                       std::int64_t col_begin, std::int64_t col_end,
+                       std::int64_t k, std::int64_t n);
+
+/// Reference boundary search: index of the nearest table value for an
+/// ordered key (bucket jump + short scan / upper_bound).  Any search that
+/// counts boundary keys <= key returns the same index; the AVX2 path uses
+/// a branchless SIMD count and is pinned to this by test_kernels.
+[[nodiscard]] std::size_t qindex_lookup(const QuantIndexView& v,
+                                        std::uint32_t key);
+
+/// Second pass of a two-pass quantize: apply precomputed nearest indices
+/// (kInvalidIndex = non-finite input) to xs[0..n), continuing the
+/// element-order squared-error accumulation in `se`.  Shared by the SIMD
+/// quantize kernels so their error arithmetic is the scalar code itself.
+void quantize_apply(const QuantIndexView& v, float* xs,
+                    const std::uint32_t* idx, std::size_t n, double& se);
+
+}  // namespace lp::kernels::detail

@@ -1,0 +1,160 @@
+// Portable reference kernels.  This TU is compiled with the baseline ISA
+// and -ffp-contract=off: the arithmetic here (double accumulators,
+// ascending-k mul-then-add, zero-skip) is the definition every SIMD table
+// must reproduce bit-for-bit.
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "core/quant_rule.h"
+#include "kernels/kernels_internal.h"
+
+namespace lp::kernels {
+
+namespace detail {
+
+void gemm_ref_block(const float* a, const float* b, const float* bias,
+                    float* c, std::int64_t row_begin, std::int64_t row_end,
+                    std::int64_t col_begin, std::int64_t col_end,
+                    std::int64_t k, std::int64_t n) {
+  const std::int64_t w = col_end - col_begin;
+  if (w <= 0 || row_end <= row_begin) return;
+  std::vector<double> acc(static_cast<std::size_t>(w));
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * k;
+    if (bias != nullptr) {
+      for (std::int64_t j = 0; j < w; ++j) {
+        acc[static_cast<std::size_t>(j)] = bias[col_begin + j];
+      }
+    } else {
+      std::fill(acc.begin(), acc.end(), 0.0);
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const float* brow = b + p * n + col_begin;
+      for (std::int64_t j = 0; j < w; ++j) {
+        acc[static_cast<std::size_t>(j)] += av * brow[j];
+      }
+    }
+    float* crow = c + i * n + col_begin;
+    for (std::int64_t j = 0; j < w; ++j) {
+      crow[j] = static_cast<float>(acc[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+void gemm_nt_ref_block(const float* a, const float* b, const float* bias,
+                       float* c, std::int64_t row_begin, std::int64_t row_end,
+                       std::int64_t col_begin, std::int64_t col_end,
+                       std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = col_begin; j < col_end; ++j) {
+      const float* brow = b + j * k;
+      double s = (bias != nullptr) ? bias[j] : 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        s += av * brow[p];
+      }
+      crow[j] = static_cast<float>(s);
+    }
+  }
+}
+
+std::size_t qindex_lookup(const QuantIndexView& v, std::uint32_t key) {
+  const std::uint32_t b = key >> (32 - v.bucket_bits);
+  const std::uint32_t* first = v.keys + v.bucket_lo[b];
+  const std::uint32_t* last = v.keys + v.bucket_lo[b + 1];
+  // Buckets hold a handful of keys for the paper's narrow formats; a
+  // linear scan beats binary-search branches there.  Wide (12+ bit)
+  // formats can have dense buckets, so fall back above a small span.
+  if (last - first > 16) {
+    return static_cast<std::size_t>(std::upper_bound(first, last, key) -
+                                    v.keys);
+  }
+  while (first < last && *first <= key) ++first;
+  return static_cast<std::size_t>(first - v.keys);
+}
+
+void quantize_apply(const QuantIndexView& v, float* xs,
+                    const std::uint32_t* idx, std::size_t n, double& se) {
+  for (std::size_t i = 0; i < n; ++i) {
+    float& x = xs[i];
+    if (idx[i] == kInvalidIndex) {
+      // q = NaN poisons the error accumulator, matching the scalar
+      // quantize path's behaviour for non-finite inputs.
+      const double d = static_cast<double>(x) -
+                       std::numeric_limits<double>::quiet_NaN();
+      se += d * d;
+      x = std::numeric_limits<float>::quiet_NaN();
+      continue;
+    }
+    const double d = static_cast<double>(x) - v.values_d[idx[i]];
+    se += d * d;
+    x = v.values_f[idx[i]];
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+void gemm_rows_scalar(const float* a, const float* b, const float* bias,
+                      float* c, std::int64_t row_begin, std::int64_t row_end,
+                      std::int64_t k, std::int64_t n) {
+  detail::gemm_ref_block(a, b, bias, c, row_begin, row_end, 0, n, k, n);
+}
+
+void gemm_nt_rows_scalar(const float* a, const float* b, const float* bias,
+                         float* c, std::int64_t row_begin,
+                         std::int64_t row_end, std::int64_t k,
+                         std::int64_t n) {
+  detail::gemm_nt_ref_block(a, b, bias, c, row_begin, row_end, 0, n, k, n);
+}
+
+double quantize_chunk_scalar(const QuantIndexView& v, float* xs,
+                             std::size_t n) {
+  double se = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float& x = xs[i];
+    const auto bits = std::bit_cast<std::uint32_t>(x);
+    if (!quant::is_finite_bits(bits)) {
+      const double d = static_cast<double>(x) -
+                       std::numeric_limits<double>::quiet_NaN();
+      se += d * d;
+      x = std::numeric_limits<float>::quiet_NaN();
+      continue;
+    }
+    const std::size_t idx = detail::qindex_lookup(v, quant::ordered_key(bits));
+    const double d = static_cast<double>(x) - v.values_d[idx];
+    se += d * d;
+    x = v.values_f[idx];
+  }
+  return se;
+}
+
+void nearest_indices_scalar(const QuantIndexView& v, const float* xs,
+                            std::uint32_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto bits = std::bit_cast<std::uint32_t>(xs[i]);
+    out[i] = quant::is_finite_bits(bits)
+                 ? static_cast<std::uint32_t>(
+                       detail::qindex_lookup(v, quant::ordered_key(bits)))
+                 : kInvalidIndex;
+  }
+}
+
+}  // namespace
+
+const KernelTable& scalar_kernels() {
+  static constexpr KernelTable kTable{
+      "scalar", gemm_rows_scalar, gemm_nt_rows_scalar, quantize_chunk_scalar,
+      nearest_indices_scalar};
+  return kTable;
+}
+
+}  // namespace lp::kernels

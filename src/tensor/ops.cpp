@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/number_format.h"
+#include "kernels/kernels.h"
 #include "util/thread_pool.h"
 
 namespace lp {
@@ -35,45 +36,22 @@ void for_row_blocks(
   parallel_for(pool, 0, count, balanced_grain(count, pool.thread_count()), body);
 }
 
-/// GEMM row block: C[i,:] = bias + A[i,:] * B for i in [row_begin, row_end),
-/// ikj loop order so the innermost loop streams both B and the accumulator
-/// row.  Accumulation is double per output element, contributions added in
-/// ascending-k order with zero A entries skipped — the exact arithmetic
-/// sequence matmul_nt's dot products produce, so both weight layouts round
-/// identically (see MatMul.NtBitIdenticalAdversarialMagnitudes).
-void gemm_rows(const float* a, const float* b, const float* bias, float* c,
-               std::int64_t row_begin, std::int64_t row_end, std::int64_t k,
-               std::int64_t n) {
-  std::vector<double> acc(static_cast<std::size_t>(n));
-  for (std::int64_t i = row_begin; i < row_end; ++i) {
-    const float* arow = a + i * k;
-    if (bias != nullptr) {
-      for (std::int64_t j = 0; j < n; ++j) acc[static_cast<std::size_t>(j)] = bias[j];
-    } else {
-      std::fill(acc.begin(), acc.end(), 0.0);
-    }
-    for (std::int64_t p = 0; p < k; ++p) {
-      const double av = arow[p];
-      if (av == 0.0) continue;
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        acc[static_cast<std::size_t>(j)] += av * brow[j];
-      }
-    }
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      crow[j] = static_cast<float>(acc[static_cast<std::size_t>(j)]);
-    }
-  }
-}
-
-/// Parallel GEMM over M-row blocks.  Rows are independent, so the split is
-/// free to depend on the pool size without affecting results.
+/// Parallel GEMM over M-row blocks: the thread pool splits rows, the
+/// dispatched kernel (src/kernels — scalar reference or AVX2 blocked
+/// micro-kernel, selected at runtime) runs inside each block.  Every
+/// kernel accumulates each output element in double, contributions added
+/// in ascending-k order with zero A entries skipped — the exact arithmetic
+/// sequence matmul_nt's dot products produce, so both weight layouts and
+/// all dispatch variants round identically (see
+/// MatMul.NtBitIdenticalAdversarialMagnitudes and tests/test_kernels.cpp).
+/// Rows are independent, so the split is free to depend on the pool size
+/// without affecting results.
 void gemm_parallel(const float* a, const float* b, const float* bias, float* c,
                    std::int64_t m, std::int64_t k, std::int64_t n) {
+  const kernels::KernelTable& kt = kernels::dispatch();
   for_row_blocks(m * k * n, kGemmSerialBelow, m,
                  [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
-                   gemm_rows(a, b, bias, c, row_begin, row_end, k, n);
+                   kt.gemm_rows(a, b, bias, c, row_begin, row_end, k, n);
                  });
 }
 
@@ -102,26 +80,16 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b, const Tensor* bias) {
   const std::int64_t n = b.dim(0);
   if (bias != nullptr) LP_CHECK(bias->rank() == 1 && bias->dim(0) == n);
   Tensor c({m, n});
-  // Same accumulation contract as gemm_rows: double accumulator, ascending-k
-  // contributions, zero A entries skipped — so matmul(A,B) and
-  // matmul_nt(A,B^T) are bit-identical.
-  auto rows = [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
-    for (std::int64_t i = row_begin; i < row_end; ++i) {
-      const float* arow = a.raw() + i * k;
-      float* crow = c.raw() + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* brow = b.raw() + j * k;
-        double s = (bias != nullptr) ? (*bias)[j] : 0.0;
-        for (std::int64_t p = 0; p < k; ++p) {
-          const double av = arow[p];
-          if (av == 0.0) continue;
-          s += av * brow[p];
-        }
-        crow[j] = static_cast<float>(s);
-      }
-    }
-  };
-  for_row_blocks(m * k * n, kGemmSerialBelow, m, rows);
+  // Same accumulation contract as gemm_parallel: double accumulator,
+  // ascending-k contributions, zero A entries skipped — so matmul(A,B) and
+  // matmul_nt(A,B^T) are bit-identical under every dispatch variant.
+  const kernels::KernelTable& kt = kernels::dispatch();
+  const float* bias_raw = bias != nullptr ? bias->raw() : nullptr;
+  for_row_blocks(m * k * n, kGemmSerialBelow, m,
+                 [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
+                   kt.gemm_nt_rows(a.raw(), b.raw(), bias_raw, c.raw(),
+                                   row_begin, row_end, k, n);
+                 });
   return c;
 }
 

@@ -1,0 +1,358 @@
+// Bit-equality contract of the kernel dispatch layer: every table in
+// kernels::available_kernels() must reproduce the scalar reference
+// bit-for-bit — GEMM (both B layouts), quantize chunks, and nearest
+// indices — on adversarial inputs: denormals, ±inf-adjacent magnitudes,
+// NaN/inf, structural zeros under infinities (the zero-skip), tie
+// midpoints, and sizes that are not multiples of the vector width.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/lp_codec.h"
+#include "core/lp_format.h"
+#include "core/quant_index.h"
+#include "kernels/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace lp;
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kDenorm = 1e-42F;  // subnormal
+constexpr float kHuge = 3.0e38F;   // just below FLT_MAX
+
+/// Adversarial fill: gaussians spanning many magnitudes with special
+/// values (zeros, denormals, ±huge) injected at deterministic positions.
+void fill_adversarial(float* data, std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double mag = std::pow(10.0, rng.uniform(-42.0, 38.0));
+    data[i] = static_cast<float>(rng.gaussian() * mag);
+  }
+  for (std::int64_t i = 0; i < n; i += 7) data[i] = 0.0F;
+  for (std::int64_t i = 3; i < n; i += 11) data[i] = kDenorm;
+  for (std::int64_t i = 5; i < n; i += 13) data[i] = -kHuge;
+  for (std::int64_t i = 8; i < n; i += 17) data[i] = kHuge;
+  if (n > 2) data[2] = -0.0F;
+}
+
+bool bitwise_equal(const float* a, const float* b, std::int64_t n) {
+  return std::memcmp(a, b, static_cast<std::size_t>(n) * sizeof(float)) == 0;
+}
+
+struct GemmShape {
+  std::int64_t m, k, n;
+};
+
+const GemmShape kShapes[] = {{1, 1, 1},  {2, 3, 5},   {3, 7, 9},
+                             {5, 16, 8}, {4, 17, 33}, {7, 64, 31},
+                             {8, 129, 40}};
+
+class KernelTablesTest : public ::testing::Test {
+ protected:
+  std::vector<const kernels::KernelTable*> tables_ =
+      kernels::available_kernels();
+};
+
+TEST_F(KernelTablesTest, ScalarAlwaysFirstAndComplete) {
+  ASSERT_FALSE(tables_.empty());
+  EXPECT_EQ(tables_[0], &kernels::scalar_kernels());
+  for (const auto* t : tables_) {
+    EXPECT_NE(t->name, nullptr);
+    EXPECT_NE(t->gemm_rows, nullptr);
+    EXPECT_NE(t->gemm_nt_rows, nullptr);
+    EXPECT_NE(t->quantize_chunk, nullptr);
+    EXPECT_NE(t->nearest_indices, nullptr);
+  }
+}
+
+TEST_F(KernelTablesTest, ByNameAndSelection) {
+  EXPECT_EQ(kernels::by_name("scalar"), &kernels::scalar_kernels());
+  EXPECT_EQ(kernels::by_name("not-a-kernel"), nullptr);
+  EXPECT_STREQ(kernels::select_kernels("scalar").name, "scalar");
+  // Unknown names warn and fall back to automatic selection.
+  const kernels::KernelTable& fb = kernels::select_kernels("not-a-kernel");
+  EXPECT_EQ(&fb, &kernels::select_kernels(nullptr));
+  EXPECT_EQ(&fb, &kernels::select_kernels(""));
+  // dispatch() must return a table this host can run.
+  bool found = false;
+  for (const auto* t : tables_) found = found || t == &kernels::dispatch();
+  EXPECT_TRUE(found);
+}
+
+TEST_F(KernelTablesTest, DispatchHonorsLpKernelEnv) {
+  // Guards the CI LP_KERNEL A/B legs against passing vacuously: when the
+  // requested table is usable on this host, dispatch() must BE that table
+  // (a silent fallback to scalar would make the avx2 leg meaningless).
+  const char* requested = std::getenv("LP_KERNEL");
+  if (requested == nullptr || *requested == '\0') {
+    GTEST_SKIP() << "LP_KERNEL not set";
+  }
+  // "Usable" is defined by available_kernels() membership, so a future
+  // table (avx512, ...) tightens this guard automatically.
+  const kernels::KernelTable* t = kernels::by_name(requested);
+  const bool usable = t != nullptr && std::find(tables_.begin(), tables_.end(),
+                                                t) != tables_.end();
+  if (!usable) GTEST_SKIP() << "LP_KERNEL=" << requested << " not usable here";
+  EXPECT_STREQ(kernels::dispatch().name, requested);
+}
+
+TEST_F(KernelTablesTest, Avx2CompiledInOnCapableX86Builds) {
+#if defined(__x86_64__)
+  // gcc and clang both accept -mavx2 on x86-64, so a capable CPU paired
+  // with a missing AVX2 table means the build-system probe regressed and
+  // the SIMD path silently vanished.
+  if (!kernels::cpu_supports_avx2()) GTEST_SKIP() << "CPU lacks AVX2";
+  EXPECT_NE(kernels::avx2_kernels(), nullptr);
+#else
+  GTEST_SKIP() << "not an x86-64 build";
+#endif
+}
+
+TEST_F(KernelTablesTest, Avx2TableRequiresCpuSupport) {
+  const kernels::KernelTable* avx2 = kernels::avx2_kernels();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 not compiled into this build";
+  EXPECT_STREQ(avx2->name, "avx2");
+  const bool listed =
+      tables_.size() > 1 && tables_[1] == avx2;
+  EXPECT_EQ(listed, kernels::cpu_supports_avx2());
+}
+
+// --- GEMM ------------------------------------------------------------------
+
+class GemmBitEquality : public KernelTablesTest {
+ protected:
+  /// Run both layouts of one shape under `table` and the scalar reference,
+  /// with bias present and absent, and require bitwise-equal outputs.
+  void check_shape(const kernels::KernelTable& table, const GemmShape& s,
+                   bool inject_inf) {
+    const auto mm = static_cast<std::size_t>(s.m);
+    std::vector<float> a(mm * static_cast<std::size_t>(s.k));
+    std::vector<float> b(static_cast<std::size_t>(s.k) *
+                         static_cast<std::size_t>(s.n));
+    std::vector<float> bias(static_cast<std::size_t>(s.n));
+    fill_adversarial(a.data(), s.m * s.k, 11);
+    fill_adversarial(b.data(), s.k * s.n, 23);
+    fill_adversarial(bias.data(), s.n, 31);
+    if (inject_inf && s.k >= 2) {
+      // Infinities in B at k-position 0; every row of A gets a structural
+      // zero there, so the scalar zero-skip keeps the products out of the
+      // accumulator.  A kernel that multiplies instead of skipping turns
+      // these into NaN and fails the bitwise compare.
+      for (std::int64_t j = 0; j < s.n; j += 2) {
+        b[static_cast<std::size_t>(j)] = (j % 4 == 0) ? kInf : -kInf;
+      }
+      for (std::int64_t i = 0; i < s.m; ++i) {
+        a[static_cast<std::size_t>(i * s.k)] = 0.0F;
+      }
+    }
+    std::vector<float> bt(b.size());  // B^T, [n, k] row-major
+    for (std::int64_t p = 0; p < s.k; ++p) {
+      for (std::int64_t j = 0; j < s.n; ++j) {
+        bt[static_cast<std::size_t>(j * s.k + p)] =
+            b[static_cast<std::size_t>(p * s.n + j)];
+      }
+    }
+    const std::size_t cn = mm * static_cast<std::size_t>(s.n);
+    std::vector<float> c_ref(cn), c_tab(cn);
+    for (const float* bp : {static_cast<const float*>(nullptr),
+                            static_cast<const float*>(bias.data())}) {
+      kernels::scalar_kernels().gemm_rows(a.data(), b.data(), bp, c_ref.data(),
+                                          0, s.m, s.k, s.n);
+      table.gemm_rows(a.data(), b.data(), bp, c_tab.data(), 0, s.m, s.k, s.n);
+      EXPECT_TRUE(bitwise_equal(c_ref.data(), c_tab.data(), s.m * s.n))
+          << table.name << " gemm_rows " << s.m << "x" << s.k << "x" << s.n
+          << (bp != nullptr ? " +bias" : "") << (inject_inf ? " +inf" : "");
+
+      kernels::scalar_kernels().gemm_nt_rows(a.data(), bt.data(), bp,
+                                             c_ref.data(), 0, s.m, s.k, s.n);
+      table.gemm_nt_rows(a.data(), bt.data(), bp, c_tab.data(), 0, s.m, s.k,
+                         s.n);
+      EXPECT_TRUE(bitwise_equal(c_ref.data(), c_tab.data(), s.m * s.n))
+          << table.name << " gemm_nt_rows " << s.m << "x" << s.k << "x" << s.n
+          << (bp != nullptr ? " +bias" : "") << (inject_inf ? " +inf" : "");
+    }
+  }
+};
+
+TEST_F(GemmBitEquality, AllTablesAllShapes) {
+  for (const auto* t : tables_) {
+    for (const GemmShape& s : kShapes) {
+      check_shape(*t, s, false);
+      check_shape(*t, s, true);
+    }
+  }
+}
+
+TEST_F(GemmBitEquality, SplitRowRangesMatchFullRange) {
+  // Kernels are handed arbitrary row blocks by the thread pool; uneven
+  // splits must still produce the full-range result bit-for-bit.
+  const GemmShape s{9, 33, 17};
+  std::vector<float> a(static_cast<std::size_t>(s.m * s.k));
+  std::vector<float> b(static_cast<std::size_t>(s.k * s.n));
+  fill_adversarial(a.data(), s.m * s.k, 5);
+  fill_adversarial(b.data(), s.k * s.n, 9);
+  std::vector<float> c_full(static_cast<std::size_t>(s.m * s.n));
+  std::vector<float> c_split(c_full.size());
+  for (const auto* t : tables_) {
+    t->gemm_rows(a.data(), b.data(), nullptr, c_full.data(), 0, s.m, s.k, s.n);
+    const std::int64_t cuts[] = {0, 1, 2, 5, 6, s.m};
+    for (std::size_t ci = 0; ci + 1 < std::size(cuts); ++ci) {
+      t->gemm_rows(a.data(), b.data(), nullptr, c_split.data(), cuts[ci],
+                   cuts[ci + 1], s.k, s.n);
+    }
+    EXPECT_TRUE(bitwise_equal(c_full.data(), c_split.data(), s.m * s.n))
+        << t->name;
+  }
+}
+
+TEST_F(GemmBitEquality, OpsLayerUsesDispatchedKernel) {
+  // Whatever dispatch() picked, matmul/matmul_nt must equal the scalar
+  // kernel applied by hand — pins the rewiring of src/tensor/ops.cpp.
+  const GemmShape s{6, 40, 21};
+  Tensor a({s.m, s.k});
+  Tensor b({s.k, s.n});
+  fill_adversarial(a.raw(), s.m * s.k, 41);
+  fill_adversarial(b.raw(), s.k * s.n, 43);
+  const Tensor c = matmul(a, b);
+  std::vector<float> c_ref(static_cast<std::size_t>(s.m * s.n));
+  kernels::scalar_kernels().gemm_rows(a.raw(), b.raw(), nullptr, c_ref.data(),
+                                      0, s.m, s.k, s.n);
+  EXPECT_TRUE(bitwise_equal(c.raw(), c_ref.data(), s.m * s.n));
+}
+
+// --- quantization ----------------------------------------------------------
+
+class QuantizeBitEquality : public KernelTablesTest {
+ protected:
+  /// Buffer mixing random magnitudes, exact table values, tie midpoints
+  /// and their float neighbours, denormals, ±inf, and NaN.
+  static std::vector<float> adversarial_floats(const std::vector<double>& vals,
+                                               std::size_t n,
+                                               std::uint64_t seed) {
+    std::vector<float> xs(n);
+    fill_adversarial(xs.data(), static_cast<std::int64_t>(n), seed);
+    Rng rng(seed + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (i % 9) {
+        case 2: {  // exact table value
+          const auto vi = static_cast<std::size_t>(rng.uniform(
+              0.0, static_cast<double>(vals.size()) - 0.5));
+          xs[i] = static_cast<float>(vals[vi]);
+          break;
+        }
+        case 4: {  // tie midpoint and neighbours
+          const auto vi = static_cast<std::size_t>(rng.uniform(
+              0.0, static_cast<double>(vals.size()) - 1.5));
+          const auto mid =
+              static_cast<float>(0.5 * (vals[vi] + vals[vi + 1]));
+          const float eps = (i % 2 == 0) ? 1.0F : -1.0F;
+          xs[i] = std::nextafter(mid, eps * kInf);
+          if (i % 18 == 4) xs[i] = mid;
+          break;
+        }
+        case 6:
+          xs[i] = (i % 12 == 6) ? kInf : -kInf;
+          break;
+        case 8:
+          xs[i] = kNan;
+          break;
+        default:
+          break;
+      }
+    }
+    return xs;
+  }
+
+  void check_format(const std::vector<double>& vals, bool with_nonfinite) {
+    const QuantIndex qi(vals);
+    const kernels::QuantIndexView view = qi.view();
+    for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                                std::size_t{8}, std::size_t{9},
+                                std::size_t{31}, std::size_t{257},
+                                std::size_t{1000}}) {
+      std::vector<float> base = adversarial_floats(vals, n, 77 + n);
+      if (!with_nonfinite) {
+        for (float& x : base) {
+          if (!std::isfinite(x)) x = 0.125F;
+        }
+      }
+      std::vector<float> ref = base;
+      const double se_ref =
+          kernels::scalar_kernels().quantize_chunk(view, ref.data(), n);
+      std::vector<std::uint32_t> idx_ref(n);
+      kernels::scalar_kernels().nearest_indices(view, base.data(),
+                                                idx_ref.data(), n);
+      for (const auto* t : tables_) {
+        std::vector<float> got = base;
+        const double se = t->quantize_chunk(view, got.data(), n);
+        EXPECT_TRUE(bitwise_equal(ref.data(), got.data(),
+                                  static_cast<std::int64_t>(n)))
+            << t->name << " n=" << n << " table=" << vals.size();
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(se_ref),
+                  std::bit_cast<std::uint64_t>(se))
+            << t->name << " n=" << n << " table=" << vals.size();
+        std::vector<std::uint32_t> idx(n);
+        t->nearest_indices(view, base.data(), idx.data(), n);
+        EXPECT_EQ(idx_ref, idx) << t->name << " n=" << n;
+      }
+    }
+  }
+};
+
+TEST_F(QuantizeBitEquality, NarrowLPFormat) {
+  const LPFormat fmt(LPConfig{4, 1, 2, 2.0});
+  check_format(fmt.all_values(), true);
+}
+
+TEST_F(QuantizeBitEquality, TypicalLPFormat) {
+  const LPFormat fmt(LPConfig{8, 1, 4, 3.0});
+  check_format(fmt.all_values(), true);
+  check_format(fmt.all_values(), false);
+}
+
+TEST_F(QuantizeBitEquality, WideFormatDenseBuckets) {
+  // 12-bit table: buckets exceed the scalar path's linear-scan span, so
+  // this exercises the upper_bound branch and the SIMD 8-wide count loop.
+  const CodeTable table(LPConfig{12, 2, 5, 0.5});
+  check_format(table.values(), true);
+}
+
+TEST_F(QuantizeBitEquality, NonFiniteOnlyBuffer) {
+  const LPFormat fmt(LPConfig{8, 1, 4, 3.0});
+  const QuantIndex qi(fmt.all_values());
+  const kernels::QuantIndexView view = qi.view();
+  std::vector<float> base = {kInf, -kInf, kNan, kInf, kNan, -kInf, kNan};
+  std::vector<float> ref = base;
+  const double se_ref = kernels::scalar_kernels().quantize_chunk(
+      view, ref.data(), ref.size());
+  EXPECT_TRUE(std::isnan(se_ref));
+  for (const auto* t : tables_) {
+    std::vector<float> got = base;
+    const double se = t->quantize_chunk(view, got.data(), got.size());
+    EXPECT_TRUE(bitwise_equal(ref.data(), got.data(),
+                              static_cast<std::int64_t>(got.size())))
+        << t->name;
+    EXPECT_TRUE(std::isnan(se)) << t->name;
+  }
+}
+
+TEST_F(QuantizeBitEquality, DenormalBoundariesExact) {
+  // A table whose decision boundaries sit in the subnormal range: the key
+  // math must be exact down there too.
+  const std::vector<double> vals = {-1e-39, -2e-42, 0.0, 3e-42, 5e-40, 1e-38};
+  check_format(vals, true);
+}
+
+}  // namespace
