@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <cstdlib>
+#include <string>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "lpa/systolic.h"
 #include "lpq/lpq.h"
 #include "nn/zoo.h"
+#include "runtime/session.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -272,6 +275,99 @@ void BM_QuantizeKernelAvx2(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantizeKernelAvx2);
 
+// --- runtime weight-code-cache benches ------------------------------------
+// One GA generation's fitness evaluations over a population whose members
+// share most per-layer genes with a common parent (exactly what LPQ's Step
+// 2/3 children look like).  Arg(0) = the pre-runtime path: every candidate
+// rebuilds both format tables and re-quantizes every layer.  Arg(1) = the
+// runtime path: InferenceSession::prepare_all quantizes only changed
+// layers, then evaluates the cached snapshots.  Outputs are bit-identical
+// (tests/test_runtime.cpp pins it); the acceptance target is >= 1.5x.
+
+struct GenerationFixture {
+  nn::Model model;
+  Tensor calib;
+  std::vector<lpq::Candidate> population;
+  lpq::FpReference ref;
+  lpq::FitnessOptions opts;
+
+  GenerationFixture()
+      : model([] {
+          // Weight-heavy, compute-light: double-width ResNet18 at a small
+          // input, so per-candidate cost is dominated by weight
+          // quantization — the work the cache elides — rather than the
+          // calibration forward (which both paths pay identically).
+          nn::ZooOptions o;
+          o.input_size = 16;
+          o.classes = 16;
+          o.width_mult = 2.0;
+          return nn::build_resnet18(o);
+        }()),
+        calib({2, 3, 16, 16}) {
+    Rng rng(12);
+    for (float& v : calib.data()) v = static_cast<float>(rng.gaussian());
+    ref = lpq::compute_fp_reference(model, calib);
+    // Parent + 7 children, each child regenerating one 4-layer block.
+    lpq::SearchSpace space;
+    const auto centers = lpq::sf_centers(model);
+    lpq::Candidate parent;
+    for (std::size_t s = 0; s < model.num_slots(); ++s) {
+      parent.layers.push_back(space.sample(rng, centers[s]));
+    }
+    population.push_back(parent);
+    for (int c = 1; c < 8; ++c) {
+      lpq::Candidate child = parent;
+      const std::size_t block = (static_cast<std::size_t>(c - 1) * 4) %
+                                model.num_slots();
+      for (std::size_t l = block;
+           l < std::min(block + 4, model.num_slots()); ++l) {
+        child.layers[l] = space.sample(rng, centers[l]);
+      }
+      population.push_back(std::move(child));
+    }
+  }
+};
+
+void BM_LpqGenerationEval(benchmark::State& state) {
+  const GenerationFixture fx;
+  const bool cached = state.range(0) != 0;
+  for (auto _ : state) {
+    double sum = 0.0;
+    if (cached) {
+      // Fresh session per iteration: measures one generation cold — every
+      // layer of the parent plus each child's changed block quantizes once,
+      // all shared genes hit the cache.
+      runtime::InferenceSession session(fx.model);
+      std::vector<std::vector<LPConfig>> w;
+      std::vector<std::vector<LPConfig>> a;
+      for (const auto& cand : fx.population) {
+        w.push_back(cand.layers);
+        a.push_back(lpq::act_configs(fx.model, cand, fx.opts.act_sf,
+                                     fx.ref.act_scale_centers));
+      }
+      const auto prepared = session.prepare_all(w, a);
+      for (std::size_t c = 0; c < fx.population.size(); ++c) {
+        sum += lpq::evaluate_fitness_prepared(prepared[c], fx.model,
+                                              fx.population[c], fx.calib,
+                                              fx.ref, fx.opts);
+      }
+    } else {
+      for (const auto& cand : fx.population) {
+        sum += lpq::evaluate_fitness(fx.model, cand, fx.calib, fx.ref,
+                                     fx.opts);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.population.size()));
+}
+BENCHMARK(BM_LpqGenerationEval)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"cached"})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PeMacDatapath(benchmark::State& state) {
   const LPConfig wcfg{4, 1, 2, 2.0};
   const LPConfig acfg{8, 2, 2, 0.0};
@@ -323,4 +419,22 @@ BENCHMARK(BM_QuantizedForward);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Record the kernel/pool configuration in the benchmark context so the
+  // CI JSON artifact states what it measured (the numbers are meaningless
+  // without knowing which kernel table and pool width produced them).
+  benchmark::AddCustomContext("lp_kernel", lp::kernels::dispatch().name);
+  benchmark::AddCustomContext(
+      "lp_threads",
+      std::to_string(lp::default_pool().thread_count()));
+  const char* threads_env = std::getenv("LP_THREADS");
+  benchmark::AddCustomContext("lp_threads_env",
+                              threads_env != nullptr ? threads_env : "");
+  benchmark::AddCustomContext(
+      "avx2_supported", lp::kernels::cpu_supports_avx2() ? "yes" : "no");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,9 +5,11 @@
 // ANT, BitFusion and AdaptivFloat.  Also demonstrates the bit-level PE
 // datapath on one real layer (the functional systolic GEMM).
 //
-// Usage: accelerator_sim [model]
+// Usage: accelerator_sim [model] [batch]
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "lpa/systolic.h"
 #include "nn/zoo.h"
@@ -17,14 +19,25 @@
 int main(int argc, char** argv) {
   using namespace lp;
   const std::string name = argc > 1 ? argv[1] : "resnet18";
+  const int batch = argc > 2 ? std::atoi(argv[2]) : 1;
+  if (batch < 1) {
+    std::fprintf(stderr, "invalid batch '%s' (need a positive integer)\n",
+                 argv[2]);
+    return 1;
+  }
 
   nn::ZooOptions zopts;
   zopts.input_size = 32;
   zopts.classes = 16;
   const nn::Model model = nn::build_model(name, zopts);
-  Tensor probe({1, 3, zopts.input_size, zopts.input_size});
+  // Trace at the serving batch size: the batch rides each workload's N
+  // dimension, so the simulated cycles/energy reflect batched serving,
+  // not a batch=1 assumption.  (Workload dims depend only on shapes —
+  // quantization preserves them — so the FP trace is the quantized trace.)
+  Tensor probe({batch, 3, zopts.input_size, zopts.input_size});
   const auto workloads = model.trace_workloads(probe);
-  std::printf("%s: %zu GEMM workloads\n", model.name().c_str(), workloads.size());
+  std::printf("%s: %zu GEMM workloads at batch %d\n", model.name().c_str(),
+              workloads.size(), batch);
 
   // A 2-bit-heavy LP assignment (what LPQ's hardware preset tends to find)
   // vs the per-datatype requirements of the baselines.

@@ -2,8 +2,9 @@
 //
 // Builds a (scaled) ResNet18 with distribution-matched synthetic weights,
 // generates a calibration/evaluation dataset, runs the genetic-algorithm
-// search, and reports per-layer LP parameters plus the accuracy of the
-// quantized model.
+// search, then serves the evaluation set through the quantized-inference
+// runtime: an InferenceSession snapshots the winning format assignment
+// into cached weight codes once and runs batched forwards against it.
 //
 // Usage: quantize_resnet [passes] [population]
 #include <cstdio>
@@ -12,6 +13,7 @@
 #include "data/dataset.h"
 #include "lpq/lpq.h"
 #include "nn/zoo.h"
+#include "runtime/session.h"
 
 int main(int argc, char** argv) {
   using namespace lp;
@@ -64,8 +66,20 @@ int main(int argc, char** argv) {
   }
 
   const auto stats = lpq::candidate_stats(model, result.best);
-  const auto spec = engine.make_spec(result.best);
-  const double q_acc = data::evaluate_quantized(model, spec.spec, ds);
+
+  // Serve evaluation through the runtime: quantize the weights once into
+  // the session's weight-code cache, then run the whole eval set as one
+  // batched forward.
+  runtime::InferenceSession session(model);
+  session.set_formats(result.best.layers,
+                      lpq::act_configs(model, result.best, params.fitness.act_sf,
+                                       engine.reference().act_scale_centers));
+  const Tensor logits = session.run(ds.eval_inputs).logits;
+  const double q_acc = data::top1_accuracy(logits, ds.eval_labels);
+  const auto& cache = session.stats();
+  std::printf("\nruntime: %zu cached weight tensors (%.2f MB), %llu quantize misses\n",
+              cache.entries, static_cast<double>(cache.bytes) / 1e6,
+              static_cast<unsigned long long>(cache.misses));
   std::printf("\nresults:\n");
   std::printf("  avg weight bits : %.2f\n", stats.avg_weight_bits);
   std::printf("  avg act bits    : %.2f\n", stats.avg_act_bits);

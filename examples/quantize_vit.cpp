@@ -12,6 +12,7 @@
 #include "data/dataset.h"
 #include "lpq/lpq.h"
 #include "nn/zoo.h"
+#include "runtime/session.h"
 
 int main(int argc, char** argv) {
   using namespace lp;
@@ -49,8 +50,15 @@ int main(int argc, char** argv) {
     lpq::LpqEngine engine(model, ds.calibration, params);
     const auto result = engine.run();
     const auto stats = lpq::candidate_stats(model, result.best);
-    const auto spec = engine.make_spec(result.best);
-    const double q_acc = data::evaluate_quantized(model, spec.spec, ds);
+    // Evaluation through the runtime session: weights quantize once into
+    // the cache, the eval set runs as one batched forward.
+    runtime::InferenceSession session(model);
+    session.set_formats(
+        result.best.layers,
+        lpq::act_configs(model, result.best, params.fitness.act_sf,
+                         engine.reference().act_scale_centers));
+    const double q_acc = data::top1_accuracy(session.run(ds.eval_inputs).logits,
+                                             ds.eval_labels);
     std::printf("%-22s W%.1f/A%.1f  size %.3f MB  top-1 %.2f%% (drop %+.2f%%)\n",
                 hw_preset ? "hardware preset {2,4,8}" : "free search [2..8]",
                 stats.avg_weight_bits, stats.avg_act_bits, stats.size_mb,

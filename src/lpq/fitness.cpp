@@ -133,22 +133,18 @@ double kl_loss(const Tensor& q_logits, const Tensor& f_logits) {
 
 }  // namespace
 
-OwnedQuantSpec build_quant_spec(const nn::Model& model, const Candidate& cand,
-                                ActSfMode mode,
-                                const std::vector<double>& act_scale_centers) {
+std::vector<LPConfig> act_configs(const nn::Model& model, const Candidate& cand,
+                                  ActSfMode mode,
+                                  const std::vector<double>& act_scale_centers) {
   LP_CHECK(cand.layers.size() == model.num_slots());
-  OwnedQuantSpec out;
-  out.spec.resize(model.num_slots());
-
   // Map each slot to its weighted-node index (for act scale centers).
   const std::vector<int> slot_node = model.slot_node_map();
 
+  std::vector<LPConfig> out;
+  out.reserve(cand.layers.size());
   double chained_sf = 0.0;
   for (std::size_t s = 0; s < cand.layers.size(); ++s) {
     const LPConfig& w = cand.layers[s];
-    out.storage.push_back(std::make_unique<LPFormat>(w));
-    out.spec.weight_fmt[s] = out.storage.back().get();
-
     double act_sf;
     if (mode == ActSfMode::kChained) {
       chained_sf += w.sf;
@@ -159,7 +155,22 @@ OwnedQuantSpec build_quant_spec(const nn::Model& model, const Candidate& cand,
     }
     LPConfig a = activation_config(w, 0.0);
     a.sf = act_sf;
-    out.storage.push_back(std::make_unique<LPFormat>(a));
+    out.push_back(a);
+  }
+  return out;
+}
+
+OwnedQuantSpec build_quant_spec(const nn::Model& model, const Candidate& cand,
+                                ActSfMode mode,
+                                const std::vector<double>& act_scale_centers) {
+  const std::vector<LPConfig> acts =
+      act_configs(model, cand, mode, act_scale_centers);
+  OwnedQuantSpec out;
+  out.spec.resize(model.num_slots());
+  for (std::size_t s = 0; s < cand.layers.size(); ++s) {
+    out.storage.push_back(std::make_unique<LPFormat>(cand.layers[s]));
+    out.spec.weight_fmt[s] = out.storage.back().get();
+    out.storage.push_back(std::make_unique<LPFormat>(acts[s]));
     out.spec.act_fmt[s] = out.storage.back().get();
   }
   return out;
@@ -222,6 +233,19 @@ double evaluate_fitness(const nn::Model& model, const Candidate& cand,
   const double lcr = compression_ratio(model, cand, ref);
   // Lower is better for both terms.  The loss can be ~0 at high precision;
   // add a floor so LCR still differentiates candidates there.
+  return (loss + 1e-6) * std::pow(lcr, opts.lambda);
+}
+
+double evaluate_fitness_prepared(const runtime::QuantizedModel& prepared,
+                                 const nn::Model& model, const Candidate& cand,
+                                 const Tensor& calibration,
+                                 const FpReference& ref,
+                                 const FitnessOptions& opts) {
+  const bool need_pooled = opts.kind == FitnessKind::kGlobalLocalContrastive;
+  const auto fwd = prepared.run(calibration, need_pooled);
+  const double loss = representation_loss(fwd, ref, opts);
+  const double lcr = compression_ratio(model, cand, ref);
+  // Same objective as evaluate_fitness (see comment there).
   return (loss + 1e-6) * std::pow(lcr, opts.lambda);
 }
 

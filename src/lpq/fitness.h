@@ -13,6 +13,7 @@
 #include "core/lp_format.h"
 #include "lpq/candidate.h"
 #include "nn/model.h"
+#include "runtime/quantized_model.h"
 
 namespace lp::lpq {
 
@@ -39,6 +40,13 @@ struct OwnedQuantSpec {
 /// holds -log2(mean|act|) per weighted node (from
 /// Model::measure_act_scales), used when mode == kCalibrated.
 [[nodiscard]] OwnedQuantSpec build_quant_spec(
+    const nn::Model& model, const Candidate& cand, ActSfMode mode,
+    const std::vector<double>& act_scale_centers);
+
+/// Per-slot activation configs for a candidate — the config list
+/// build_quant_spec instantiates, exposed separately so the runtime
+/// session can intern formats instead of rebuilding them per evaluation.
+[[nodiscard]] std::vector<LPConfig> act_configs(
     const nn::Model& model, const Candidate& cand, ActSfMode mode,
     const std::vector<double>& act_scale_centers);
 
@@ -72,11 +80,23 @@ struct FitnessOptions {
                                        const FpReference& ref);
 
 /// Full fitness LF = L * LCR^lambda (lower is better).  Runs the quantized
-/// forward on `calibration`.
+/// forward on `calibration`.  This is the uncached reference path: it
+/// rebuilds both format tables and re-quantizes every layer's weights per
+/// call.  The engine evaluates through evaluate_fitness_prepared instead,
+/// which is bit-identical (tests/test_runtime.cpp pins it).
 [[nodiscard]] double evaluate_fitness(const nn::Model& model,
                                       const Candidate& cand,
                                       const Tensor& calibration,
                                       const FpReference& ref,
                                       const FitnessOptions& opts);
+
+/// Fitness of a candidate whose formats/weights were pre-quantized into a
+/// runtime snapshot (see runtime::InferenceSession::prepare_all).  `cand`
+/// supplies the layer widths for the compression term; `prepared` must be
+/// the snapshot of exactly this candidate.
+[[nodiscard]] double evaluate_fitness_prepared(
+    const runtime::QuantizedModel& prepared, const nn::Model& model,
+    const Candidate& cand, const Tensor& calibration, const FpReference& ref,
+    const FitnessOptions& opts);
 
 }  // namespace lp::lpq

@@ -43,7 +43,8 @@ LpqEngine::LpqEngine(const nn::Model& model, Tensor calibration, LpqParams param
       sf_centers_(sf_centers(model)), blocks_(make_blocks(model, params)),
       rng_(params.seed),
       pool_(params.threads > 0 ? std::make_unique<ThreadPool>(params.threads)
-                               : nullptr) {
+                               : nullptr),
+      session_(model) {
   LP_CHECK_MSG(params_.population >= 4, "population must be at least 4");
   LP_CHECK_MSG(calibration_.dim(0) >= 2,
                "contrastive fitness needs at least 2 calibration samples");
@@ -70,22 +71,47 @@ void LpqEngine::evaluate_batch(std::vector<Candidate*>& todo) {
     if (!c->evaluated) work.push_back(c);
   }
   if (work.empty()) return;
+
+  // Snapshot every candidate through the runtime session first: one serial
+  // prepare pass quantizes only the (layer, format) pairs the weight-code
+  // cache has never seen — children share most genes with the best parent,
+  // so across a generation almost every layer is a cache hit.  The
+  // snapshots are bit-identical to the uncached forward_quantized path.
+  std::vector<std::vector<LPConfig>> weight_cfgs;
+  std::vector<std::vector<LPConfig>> act_cfgs;
+  weight_cfgs.reserve(work.size());
+  act_cfgs.reserve(work.size());
+  for (const Candidate* c : work) {
+    weight_cfgs.push_back(c->layers);
+    act_cfgs.push_back(act_configs(model_, *c, params_.fitness.act_sf,
+                                   ref_.act_scale_centers));
+  }
+  const std::vector<runtime::QuantizedModel> prepared =
+      session_.prepare_all(weight_cfgs, act_cfgs);
+
   // Each candidate writes only its own slot, so chunk claiming order cannot
-  // affect results: threads=N is bit-identical to threads=1.
+  // affect results: threads=N is bit-identical to threads=1.  No RNG draws
+  // happen here (see rng_ in lpq.h).
   ThreadPool& pool = pool_ ? *pool_ : default_pool();
   pool.run_chunks(static_cast<std::int64_t>(work.size()), [&](std::int64_t i) {
     Candidate* c = work[static_cast<std::size_t>(i)];
-    c->fitness = evaluate_fitness(model_, *c, calibration_, ref_,
-                                  params_.fitness);
+    c->fitness = evaluate_fitness_prepared(
+        prepared[static_cast<std::size_t>(i)], model_, *c, calibration_, ref_,
+        params_.fitness);
     c->evaluated = true;
   });
 }
 
 void LpqEngine::sort_population() {
-  std::sort(population_.begin(), population_.end(),
-            [](const Candidate& a, const Candidate& b) {
-              return a.fitness < b.fitness;
-            });
+  // stable_sort, not sort: candidates with exactly equal fitness (e.g.
+  // duplicate children) keep their insertion order, which is itself
+  // deterministic.  std::sort leaves tied order implementation-defined, so
+  // parent selection and the truncation boundary could differ between
+  // standard libraries (gcc vs clang CI legs) for the same seed.
+  std::stable_sort(population_.begin(), population_.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.fitness < b.fitness;
+                   });
 }
 
 LpqResult LpqEngine::run(const Callback& callback) {

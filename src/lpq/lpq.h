@@ -21,6 +21,7 @@
 
 #include "lpq/candidate.h"
 #include "lpq/fitness.h"
+#include "runtime/session.h"
 #include "util/thread_pool.h"
 
 namespace lp::lpq {
@@ -83,6 +84,13 @@ class LpqEngine {
     return blocks_;
   }
 
+  /// The runtime session backing fitness evaluation.  Its weight-code
+  /// cache is what lets a generation skip re-quantizing layers whose
+  /// format genes did not change; stats() exposes the hit/miss counters.
+  [[nodiscard]] const runtime::InferenceSession& session() const {
+    return session_;
+  }
+
  private:
   [[nodiscard]] Candidate random_candidate(Rng& rng) const;
   void evaluate_batch(std::vector<Candidate*>& todo);
@@ -95,8 +103,15 @@ class LpqEngine {
   std::vector<double> sf_centers_;
   std::vector<std::vector<std::size_t>> blocks_;
   std::vector<Candidate> population_;
+  /// The engine's only RNG.  Every draw — initialization, Step 2
+  /// re-generation, Step 3 diversity children — happens on the caller's
+  /// thread in population/block/cycle order; the parallel phase
+  /// (evaluate_batch) draws nothing.  That draw-order discipline is what
+  /// makes a search deterministic for a fixed seed regardless of
+  /// LP_THREADS (pinned by tests/test_parallel.cpp).
   Rng rng_;
   std::unique_ptr<ThreadPool> pool_;  ///< only when params.threads > 0
+  runtime::InferenceSession session_; ///< format + weight-code caches
 };
 
 /// Headline statistics of a quantization candidate.

@@ -50,6 +50,14 @@ class Model {
       const Tensor& input, const std::vector<Tensor>& weights,
       const QuantSpec& act_spec, bool capture_pooled = false) const;
 
+  /// Zero-copy variant: per-slot borrowed weight pointers (null entries
+  /// fall back to the FP weights).  This is the entry point the runtime
+  /// layer uses so one cached quantized tensor can serve many runs without
+  /// per-run copies.  The pointed-to tensors must outlive the call.
+  [[nodiscard]] ForwardResult forward_with_weights(
+      const Tensor& input, std::span<const Tensor* const> weights,
+      const QuantSpec& act_spec, bool capture_pooled = false) const;
+
   /// Record the GEMM workload list for one example input (batch included
   /// in the N dimensions).
   [[nodiscard]] std::vector<LayerWorkload> trace_workloads(

@@ -59,6 +59,11 @@ struct QuantSpec {
 struct RunCtx {
   /// Quantized weight copies, indexed by slot; empty = use FP weights.
   const std::vector<Tensor>* weight_override = nullptr;
+  /// Borrowed per-slot weight pointers (null entries = FP weights).  The
+  /// zero-copy variant of weight_override used by the runtime layer, whose
+  /// weight-code cache shares one quantized tensor across many runs.
+  /// Checked before weight_override.
+  std::span<const Tensor* const> weight_ptr_override;
   /// Activation formats per slot; null entries = no activation quant.
   const QuantSpec* quant = nullptr;
   /// When non-null, weighted nodes append per-sample Kurtosis-3 pooled
@@ -77,6 +82,10 @@ struct RunCtx {
 
   /// Resolve the weight tensor for a slot.
   [[nodiscard]] const Tensor& weight(int slot, const Tensor& fp) const {
+    if (slot >= 0 && static_cast<std::size_t>(slot) < weight_ptr_override.size() &&
+        weight_ptr_override[static_cast<std::size_t>(slot)] != nullptr) {
+      return *weight_ptr_override[static_cast<std::size_t>(slot)];
+    }
     if (weight_override != nullptr && slot >= 0 &&
         static_cast<std::size_t>(slot) < weight_override->size() &&
         !(*weight_override)[static_cast<std::size_t>(slot)].empty()) {

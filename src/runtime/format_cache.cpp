@@ -1,0 +1,50 @@
+#include "runtime/format_cache.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace lp::runtime {
+
+std::shared_ptr<const LPFormat> FormatCache::get(const LPConfig& cfg) {
+  const FormatKey key = FormatKey::of(cfg);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    it = map_.emplace(key, Entry{std::make_shared<const LPFormat>(cfg), tick_})
+             .first;
+  }
+  it->second.last_used = tick_;
+  return it->second.fmt;
+}
+
+std::shared_ptr<const LPFormat> FormatCache::find(const LPConfig& cfg) const {
+  const auto it = map_.find(FormatKey::of(cfg));
+  return it == map_.end() ? nullptr : it->second.fmt;
+}
+
+void FormatCache::put(const LPConfig& cfg, std::shared_ptr<const LPFormat> fmt) {
+  const auto [it, inserted] =
+      map_.emplace(FormatKey::of(cfg), Entry{std::move(fmt), tick_});
+  it->second.last_used = tick_;
+}
+
+void FormatCache::next_generation(std::size_t max_entries) {
+  if (map_.size() > max_entries) {
+    std::vector<std::pair<std::uint64_t, FormatKey>> victims;
+    for (const auto& [key, entry] : map_) {
+      if (entry.last_used < tick_) victims.emplace_back(entry.last_used, key);
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second < b.second;
+              });
+    for (const auto& [tick, key] : victims) {
+      if (map_.size() <= max_entries) break;
+      map_.erase(key);
+    }
+  }
+  ++tick_;
+}
+
+}  // namespace lp::runtime

@@ -1,0 +1,98 @@
+// Shared LPFormat instances, one per distinct LPConfig.
+//
+// Building an LPFormat is not free: the CodeTable decodes and sorts all
+// 2^n codes and the QuantIndex resolves every decision boundary with a
+// binary search over float key space.  An LPQ generation asks for the same
+// handful of configs hundreds of times (children copy most genes from the
+// best parent), so the runtime interns formats here and hands out shared
+// pointers.  Lookup keys compare sf by bit pattern — two configs are "the
+// same format" only when every field, including the continuous scale
+// factor, is exactly equal.
+//
+// Because sf is continuous, a long search interns a new format for almost
+// every fresh gene; next_generation() bounds that growth with the same
+// generational-LRU sweep the weight cache uses (entries touched in the
+// current generation are never evicted, and shared ownership keeps
+// formats referenced by live snapshots valid after eviction).
+//
+// Not internally synchronized: InferenceSession confines all cache
+// mutation — including recency stamps — to its serial prepare phase;
+// find() is read-only and safe to call from the parallel build passes.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/lp_format.h"
+
+namespace lp::runtime {
+
+/// Exact-match hash key for an LPConfig.
+struct FormatKey {
+  std::int32_t n = 0;
+  std::int32_t es = 0;
+  std::int32_t rs = 0;
+  std::uint64_t sf_bits = 0;
+
+  [[nodiscard]] static FormatKey of(const LPConfig& c) {
+    return {c.n, c.es, c.rs, std::bit_cast<std::uint64_t>(c.sf)};
+  }
+
+  friend bool operator==(const FormatKey&, const FormatKey&) = default;
+
+  /// Total order for deterministic eviction sweeps (field-wise, not hash).
+  friend bool operator<(const FormatKey& a, const FormatKey& b) {
+    if (a.n != b.n) return a.n < b.n;
+    if (a.es != b.es) return a.es < b.es;
+    if (a.rs != b.rs) return a.rs < b.rs;
+    return a.sf_bits < b.sf_bits;
+  }
+};
+
+struct FormatKeyHash {
+  std::size_t operator()(const FormatKey& k) const {
+    // SplitMix64 finalizer over the packed fields.
+    std::uint64_t x = k.sf_bits;
+    x ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.n)) << 40) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.es)) << 20) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.rs));
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+class FormatCache {
+ public:
+  /// The interned format for `cfg`, building it on first request; marks
+  /// the entry as used in the current generation.  Serial phase only.
+  [[nodiscard]] std::shared_ptr<const LPFormat> get(const LPConfig& cfg);
+
+  /// Read-only lookup: null when the config has never been interned.
+  /// Does not touch recency, so it is safe from parallel build passes.
+  [[nodiscard]] std::shared_ptr<const LPFormat> find(const LPConfig& cfg) const;
+
+  /// Intern an externally built format (from a parallel build pass) and
+  /// mark it used.  A config already present keeps its existing instance.
+  void put(const LPConfig& cfg, std::shared_ptr<const LPFormat> fmt);
+
+  /// Advance the generation and evict oldest-generation entries (ties
+  /// broken by key order — deterministic) until at most `max_entries`
+  /// remain.  Entries used in the current generation are never evicted.
+  void next_generation(std::size_t max_entries);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const LPFormat> fmt;
+    std::uint64_t last_used = 0;
+  };
+
+  std::unordered_map<FormatKey, Entry, FormatKeyHash> map_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace lp::runtime

@@ -1,0 +1,22 @@
+#include "runtime/quantized_model.h"
+
+namespace lp::runtime {
+
+nn::ForwardResult QuantizedModel::run(const Tensor& input,
+                                      bool capture_pooled) const {
+  LP_CHECK_MSG(model_ != nullptr, "empty QuantizedModel");
+  return model_->forward_with_weights(input, weight_ptrs_, act_spec_,
+                                      capture_pooled);
+}
+
+std::vector<nn::LayerWorkload> QuantizedModel::trace_workloads(
+    const Tensor& input) const {
+  LP_CHECK_MSG(model_ != nullptr, "empty QuantizedModel");
+  // Workload dims depend only on weight/input shapes, and quantization
+  // preserves shapes — so the plain FP trace yields exactly the dims this
+  // snapshot executes (batch folded into N by the batched `input`),
+  // without paying a quantized forward for a diagnostic.
+  return model_->trace_workloads(input);
+}
+
+}  // namespace lp::runtime

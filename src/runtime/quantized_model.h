@@ -1,0 +1,70 @@
+// QuantizedModel — an immutable snapshot of an nn::Model under one
+// per-layer format assignment: shared pre-quantized weight tensors (from
+// the session's weight-code cache) plus interned activation formats.
+//
+// A snapshot is cheap to build (pointer copies once the cache is warm) and
+// cheap to copy, so the LPQ engine materializes one per candidate and
+// evaluates them concurrently; shared ownership keeps every referenced
+// tensor alive even if the cache evicts it mid-flight.  run() executes the
+// fused per-node quantize -> GEMM -> activation pipeline on the default
+// thread pool and the dispatched SIMD kernels, bit-identical to
+// Model::forward_quantized with the equivalent QuantSpec.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/model.h"
+#include "runtime/format_cache.h"
+
+namespace lp::runtime {
+
+class QuantizedModel {
+ public:
+  QuantizedModel() = default;
+
+  /// Batched forward through the snapshot.  `input` carries the batch in
+  /// dim 0; every activation-format application inside is one
+  /// quantize_batch pass over the whole batched node output.
+  [[nodiscard]] nn::ForwardResult run(const Tensor& input,
+                                      bool capture_pooled = false) const;
+
+  /// GEMM workloads this snapshot executes for `input` (batch folded into
+  /// each workload's N dimension) — feed to sim::simulate.
+  [[nodiscard]] std::vector<nn::LayerWorkload> trace_workloads(
+      const Tensor& input) const;
+
+  [[nodiscard]] const nn::Model& model() const {
+    LP_CHECK_MSG(model_ != nullptr, "empty QuantizedModel");
+    return *model_;
+  }
+  [[nodiscard]] bool empty() const { return model_ == nullptr; }
+
+  /// Per-slot quantized weights (null = slot runs its FP weights).
+  [[nodiscard]] const std::vector<std::shared_ptr<const Tensor>>& weights()
+      const {
+    return weights_;
+  }
+  /// Per-slot weight formats aligned with weights() (null = FP slot).
+  [[nodiscard]] const std::vector<std::shared_ptr<const LPFormat>>&
+  weight_formats() const {
+    return weight_fmts_;
+  }
+  /// Per-slot activation formats (null = unquantized activations).
+  [[nodiscard]] const std::vector<std::shared_ptr<const LPFormat>>&
+  act_formats() const {
+    return act_fmts_;
+  }
+
+ private:
+  friend class InferenceSession;
+
+  const nn::Model* model_ = nullptr;
+  std::vector<std::shared_ptr<const Tensor>> weights_;
+  std::vector<std::shared_ptr<const LPFormat>> weight_fmts_;
+  std::vector<std::shared_ptr<const LPFormat>> act_fmts_;
+  std::vector<const Tensor*> weight_ptrs_;  ///< aligned view of weights_
+  nn::QuantSpec act_spec_;                  ///< act_fmt filled, weights null
+};
+
+}  // namespace lp::runtime

@@ -1,0 +1,225 @@
+#include "runtime/session.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "tensor/ops.h"
+#include "util/thread_pool.h"
+
+namespace lp::runtime {
+namespace {
+
+/// (slot, format) pair key for the per-prepare missing set.
+struct PairKey {
+  std::size_t slot = 0;
+  FormatKey fmt;
+  friend bool operator==(const PairKey&, const PairKey&) = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& k) const {
+    return FormatKeyHash{}(k.fmt) ^ (k.slot * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+using MissingSet = std::unordered_set<PairKey, PairKeyHash>;
+
+}  // namespace
+
+InferenceSession::InferenceSession(const nn::Model& model, SessionOptions opts)
+    : model_(&model), opts_(opts), weights_(opts.weight_cache_bytes) {
+  LP_CHECK(model_->num_slots() > 0);
+}
+
+void InferenceSession::prepare_missing(
+    std::span<const std::vector<LPConfig>> weight_cfgs,
+    std::span<const std::vector<LPConfig>> act_cfgs) {
+  const std::size_t n = model_->num_slots();
+
+  // Distinct formats and (slot, weight format) pairs not yet cached, in
+  // first-appearance order (candidate-major, slot-minor) — the work lists
+  // for the parallel build below.  Order is a pure function of the request,
+  // so the cache contents stay deterministic for any pool size.
+  std::vector<LPConfig> missing_fmts;
+  MissingSet seen_fmts;
+  auto note_format = [&](const LPConfig& cfg) {
+    if (formats_.find(cfg) != nullptr) return;
+    if (seen_fmts.insert(PairKey{0, FormatKey::of(cfg)}).second) {
+      missing_fmts.push_back(cfg);
+    }
+  };
+  std::vector<std::pair<std::size_t, LPConfig>> missing_weights;
+  MissingSet seen_pairs;
+  for (std::size_t c = 0; c < weight_cfgs.size(); ++c) {
+    LP_CHECK_MSG(weight_cfgs[c].size() == n,
+                 "candidate " << c << " has " << weight_cfgs[c].size()
+                              << " layer configs but model has " << n
+                              << " slots");
+    for (std::size_t s = 0; s < n; ++s) {
+      const LPConfig& w = weight_cfgs[c][s];
+      note_format(w);
+      if (weights_.contains(s, w)) continue;
+      if (seen_pairs.insert(PairKey{s, FormatKey::of(w)}).second) {
+        missing_weights.emplace_back(s, w);
+      }
+    }
+    if (c < act_cfgs.size() && !act_cfgs[c].empty()) {
+      LP_CHECK(act_cfgs[c].size() == n);
+      for (const LPConfig& a : act_cfgs[c]) note_format(a);
+    }
+  }
+
+  ThreadPool& pool = default_pool();
+
+  // Build missing format tables in parallel (each entry writes only its
+  // own slot), then intern serially.
+  std::vector<std::shared_ptr<const LPFormat>> built(missing_fmts.size());
+  pool.run_chunks(static_cast<std::int64_t>(missing_fmts.size()),
+                  [&](std::int64_t i) {
+                    const auto u = static_cast<std::size_t>(i);
+                    built[u] = std::make_shared<const LPFormat>(missing_fmts[u]);
+                  });
+  for (std::size_t i = 0; i < missing_fmts.size(); ++i) {
+    formats_.put(missing_fmts[i], std::move(built[i]));
+  }
+
+  // Quantize missing weight tensors in parallel.  Each entry copies the FP
+  // slot weights and runs the batched quantize path — exactly what
+  // nn::quantize_weights does — so cached codes are bit-identical to the
+  // uncached flow.  The format map is read-only here (built above).
+  std::vector<std::shared_ptr<const Tensor>> quantized(missing_weights.size());
+  const auto& slots = model_->slot_list();
+  pool.run_chunks(static_cast<std::int64_t>(missing_weights.size()),
+                  [&](std::int64_t i) {
+                    const auto u = static_cast<std::size_t>(i);
+                    const auto& [slot, cfg] = missing_weights[u];
+                    const std::shared_ptr<const LPFormat> fmt = formats_.find(cfg);
+                    auto copy = std::make_shared<Tensor>(slots[slot]->weight);
+                    quantize_inplace(*copy, *fmt);
+                    quantized[u] = std::move(copy);
+                  });
+  for (std::size_t i = 0; i < missing_weights.size(); ++i) {
+    weights_.insert(missing_weights[i].first, missing_weights[i].second,
+                    std::move(quantized[i]));
+  }
+}
+
+QuantizedModel InferenceSession::assemble(std::span<const LPConfig> weight_cfgs,
+                                          std::span<const LPConfig> act_cfgs) {
+  const std::size_t n = model_->num_slots();
+  LP_CHECK(weight_cfgs.size() == n);
+  LP_CHECK(act_cfgs.empty() || act_cfgs.size() == n);
+
+  QuantizedModel qm;
+  qm.model_ = model_;
+  qm.weights_.resize(n);
+  qm.weight_fmts_.resize(n);
+  qm.act_fmts_.resize(n);
+  qm.weight_ptrs_.assign(n, nullptr);
+  qm.act_spec_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    // get() (not find()) so assembly stamps format recency for the
+    // generational sweep; this phase is serial, so stamping is safe.
+    qm.weight_fmts_[s] = formats_.get(weight_cfgs[s]);
+    qm.weights_[s] = weights_.find(s, weight_cfgs[s]);
+    LP_CHECK_MSG(qm.weights_[s] != nullptr, "slot " << s << " not prepared");
+    qm.weight_ptrs_[s] = qm.weights_[s].get();
+    if (!act_cfgs.empty()) {
+      qm.act_fmts_[s] = formats_.get(act_cfgs[s]);
+      qm.act_spec_.act_fmt[s] = qm.act_fmts_[s].get();
+    }
+  }
+  return qm;
+}
+
+QuantizedModel InferenceSession::prepare(std::span<const LPConfig> weight_cfgs,
+                                         std::span<const LPConfig> act_cfgs) {
+  const std::vector<std::vector<LPConfig>> w{
+      std::vector<LPConfig>(weight_cfgs.begin(), weight_cfgs.end())};
+  const std::vector<std::vector<LPConfig>> a{
+      std::vector<LPConfig>(act_cfgs.begin(), act_cfgs.end())};
+  prepare_missing(w, a);
+  QuantizedModel qm = assemble(weight_cfgs, act_cfgs);
+  weights_.next_generation();
+  formats_.next_generation(opts_.format_cache_entries);
+  return qm;
+}
+
+std::vector<QuantizedModel> InferenceSession::prepare_all(
+    std::span<const std::vector<LPConfig>> weight_cfgs,
+    std::span<const std::vector<LPConfig>> act_cfgs) {
+  prepare_missing(weight_cfgs, act_cfgs);
+  std::vector<QuantizedModel> out;
+  out.reserve(weight_cfgs.size());
+  for (std::size_t c = 0; c < weight_cfgs.size(); ++c) {
+    const std::span<const LPConfig> acts =
+        c < act_cfgs.size() ? std::span<const LPConfig>(act_cfgs[c])
+                            : std::span<const LPConfig>();
+    out.push_back(assemble(weight_cfgs[c], acts));
+  }
+  weights_.next_generation();
+  formats_.next_generation(opts_.format_cache_entries);
+  return out;
+}
+
+void InferenceSession::set_formats(std::span<const LPConfig> weight_cfgs,
+                                   std::span<const LPConfig> act_cfgs) {
+  current_ = prepare(weight_cfgs, act_cfgs);
+}
+
+const QuantizedModel& InferenceSession::current() const {
+  LP_CHECK_MSG(current_.has_value(), "call set_formats() first");
+  return *current_;
+}
+
+nn::ForwardResult InferenceSession::run(const Tensor& batch,
+                                        bool capture_pooled) const {
+  return current().run(batch, capture_pooled);
+}
+
+Tensor InferenceSession::run_batched(std::span<const Tensor> inputs) const {
+  return current().run(stack_batches(inputs)).logits;
+}
+
+Tensor stack_batches(std::span<const Tensor> inputs) {
+  LP_CHECK_MSG(!inputs.empty(), "stack_batches over no inputs");
+  // Target rank = the highest rank present; rank-(r-1) inputs are single
+  // samples and contribute one batch row, rank-r inputs are batches and
+  // contribute dim(0) rows.
+  std::size_t rank = 0;
+  for (const Tensor& t : inputs) rank = std::max(rank, t.rank());
+  LP_CHECK(rank >= 1);
+
+  // Non-batch dims from the first input (its own dims if it is a sample).
+  const Tensor& first = inputs[0];
+  const std::size_t skip0 = first.rank() == rank ? 1 : 0;
+  std::vector<std::int64_t> tail(first.shape().begin() +
+                                     static_cast<std::ptrdiff_t>(skip0),
+                                 first.shape().end());
+
+  std::int64_t total = 0;
+  for (const Tensor& t : inputs) {
+    const bool sample = t.rank() + 1 == rank;
+    LP_CHECK_MSG(sample || t.rank() == rank, "stack_batches rank mismatch");
+    for (std::size_t d = 0; d < tail.size(); ++d) {
+      LP_CHECK_MSG(t.dim(d + (sample ? 0 : 1)) == tail[d],
+                   "stack_batches shape mismatch");
+    }
+    total += sample ? 1 : t.dim(0);
+  }
+
+  std::vector<std::int64_t> shape;
+  shape.reserve(rank);
+  shape.push_back(total);
+  shape.insert(shape.end(), tail.begin(), tail.end());
+  Tensor out(std::move(shape));
+  float* dst = out.raw();
+  for (const Tensor& t : inputs) {
+    std::copy_n(t.raw(), t.numel(), dst);
+    dst += t.numel();
+  }
+  return out;
+}
+
+}  // namespace lp::runtime

@@ -1,0 +1,118 @@
+// InferenceSession — the quantized-inference runtime.
+//
+// The seed-era flow ("quantize then run once") rebuilt every format table
+// and re-quantized every weight tensor for each quantized forward.  That
+// is the dominant cost of an LPQ generation: a genetic-search population
+// shares most per-layer genes with the best parent, so nearly all of that
+// work recomputes bytes the previous evaluation already produced.  The
+// session separates format conversion from the inference datapath the way
+// the paper's LPA (and PDPU / Deep Positron) do in hardware:
+//
+//   * a FormatCache interns one LPFormat (code table + quant index) per
+//     distinct LPConfig,
+//   * a WeightCodeCache keeps pre-quantized weight tensors keyed by
+//     (slot, format) under a byte budget,
+//   * prepare()/prepare_all() snapshot candidates into QuantizedModels,
+//     quantizing only (slot, format) pairs never seen before,
+//   * set_formats()/run() serve batched inference against the current
+//     snapshot — changing one layer's format gene re-quantizes only that
+//     layer.
+//
+// Determinism contract: all cache mutation happens in the serial prepare
+// phase; the parallel work inside it (building missing format tables,
+// quantizing missing weight tensors) writes disjoint per-entry slots in an
+// order fixed by the request list, never by thread scheduling.  Snapshots
+// are therefore bit-identical to the uncached Model::forward_quantized
+// path for any LP_THREADS / LP_KERNEL combination (tests/test_runtime.cpp
+// pins this).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "runtime/quantized_model.h"
+#include "runtime/weight_cache.h"
+
+namespace lp::runtime {
+
+struct SessionOptions {
+  /// Byte budget for cached quantized weight copies.
+  std::size_t weight_cache_bytes = WeightCodeCache::kDefaultBudgetBytes;
+  /// Entry cap for interned formats.  sf is continuous, so a long search
+  /// interns a fresh format for almost every new gene; the cap bounds that
+  /// growth with the same generational sweep as the weight cache.
+  std::size_t format_cache_entries = 4096;
+};
+
+class InferenceSession {
+ public:
+  /// The model must outlive the session.
+  explicit InferenceSession(const nn::Model& model, SessionOptions opts = {});
+
+  /// Snapshot one assignment.  `weight_cfgs`/`act_cfgs` are per-slot
+  /// (act_cfgs may be empty = no activation quantization).  Quantizes only
+  /// layers whose (slot, weight format) pair is not already cached.
+  [[nodiscard]] QuantizedModel prepare(std::span<const LPConfig> weight_cfgs,
+                                       std::span<const LPConfig> act_cfgs);
+
+  /// Population variant: snapshot many assignments at once.  All missing
+  /// (slot, format) pairs across the population are deduplicated and
+  /// quantized in a single parallel pass, then every candidate snapshot is
+  /// assembled from the cache — candidates sharing layer genes share the
+  /// quantized bytes.  One generation tick for the whole batch.
+  [[nodiscard]] std::vector<QuantizedModel> prepare_all(
+      std::span<const std::vector<LPConfig>> weight_cfgs,
+      std::span<const std::vector<LPConfig>> act_cfgs);
+
+  /// Serving API: make `weight_cfgs`/`act_cfgs` the session's current
+  /// assignment.  Only layers whose format gene changed are re-quantized.
+  void set_formats(std::span<const LPConfig> weight_cfgs,
+                   std::span<const LPConfig> act_cfgs);
+
+  /// Batched forward through the current assignment (set_formats first).
+  /// The batch rides dim 0; per-layer activation formats are applied in
+  /// one quantize_batch pass over each node's whole batched output.
+  [[nodiscard]] nn::ForwardResult run(const Tensor& batch,
+                                      bool capture_pooled = false) const;
+
+  /// Multi-request variant: stacks equal-shaped inputs (samples or
+  /// mini-batches) into one batch and executes a single fused forward, so
+  /// per-layer table lookups and activation quantization amortize across
+  /// every request.  Returns the stacked logits ([total_batch, classes]).
+  [[nodiscard]] Tensor run_batched(std::span<const Tensor> inputs) const;
+
+  /// The current snapshot (set_formats first).
+  [[nodiscard]] const QuantizedModel& current() const;
+
+  [[nodiscard]] const nn::Model& model() const { return *model_; }
+  /// Weight-cache counters (hits/misses/evictions/bytes).
+  [[nodiscard]] const CacheStats& stats() const { return weights_.stats(); }
+  /// Number of distinct interned formats (weight + activation).
+  [[nodiscard]] std::size_t format_count() const { return formats_.size(); }
+
+ private:
+  /// One candidate's resolved per-slot assignment during prepare.
+  [[nodiscard]] QuantizedModel assemble(std::span<const LPConfig> weight_cfgs,
+                                        std::span<const LPConfig> act_cfgs);
+  void prepare_missing(std::span<const std::vector<LPConfig>> weight_cfgs,
+                       std::span<const std::vector<LPConfig>> act_cfgs);
+
+  const nn::Model* model_;
+  SessionOptions opts_;
+  FormatCache formats_;
+  WeightCodeCache weights_;
+  std::optional<QuantizedModel> current_;
+};
+
+/// Stack inputs along dim 0 ([...] -> [sum_N, ...]).  Dim 0 of each input
+/// is its batch size; trailing dims must match.  An input whose rank is
+/// one less than the highest rank present is treated as a single sample
+/// and contributes one row.  Note a uniform-rank list is necessarily
+/// interpreted as batches — when stacking bare samples, shape them
+/// [1, ...] (or include one batch so the sample rank is distinguishable).
+/// Exposed for tests.
+[[nodiscard]] Tensor stack_batches(std::span<const Tensor> inputs);
+
+}  // namespace lp::runtime

@@ -1,0 +1,66 @@
+#include "runtime/weight_cache.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace lp::runtime {
+namespace {
+
+std::size_t payload_bytes(const Tensor& t) {
+  return static_cast<std::size_t>(t.numel()) * sizeof(float);
+}
+
+}  // namespace
+
+std::shared_ptr<const Tensor> WeightCodeCache::find(std::size_t slot,
+                                                    const LPConfig& cfg) {
+  const auto it = entries_.find(SlotKey{slot, FormatKey::of(cfg)});
+  if (it == entries_.end()) return nullptr;
+  it->second.last_used = tick_;
+  ++stats_.hits;
+  return it->second.weights;
+}
+
+void WeightCodeCache::insert(std::size_t slot, const LPConfig& cfg,
+                             std::shared_ptr<const Tensor> weights) {
+  LP_CHECK(weights != nullptr);
+  ++stats_.misses;
+  const SlotKey key{slot, FormatKey::of(cfg)};
+  auto [it, inserted] = entries_.emplace(key, Entry{std::move(weights), tick_});
+  if (!inserted) {
+    it->second.last_used = tick_;
+    return;  // already cached (same bits); keep the existing copy
+  }
+  stats_.bytes += payload_bytes(*it->second.weights);
+  stats_.entries = entries_.size();
+}
+
+void WeightCodeCache::next_generation() {
+  evict_to_budget();
+  ++tick_;
+}
+
+void WeightCodeCache::evict_to_budget() {
+  if (stats_.bytes <= budget_bytes_) return;
+  // Collect evictable entries (not used this tick), oldest ticks first;
+  // within a tick the map's key order breaks ties deterministically.
+  std::vector<std::pair<std::uint64_t, SlotKey>> victims;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.last_used < tick_) victims.emplace_back(entry.last_used, key);
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  for (const auto& [tick, key] : victims) {
+    if (stats_.bytes <= budget_bytes_) break;
+    const auto it = entries_.find(key);
+    stats_.bytes -= payload_bytes(*it->second.weights);
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+  stats_.entries = entries_.size();
+}
+
+}  // namespace lp::runtime

@@ -1,0 +1,96 @@
+// Weight-code cache: pre-quantized weight tensors keyed by (slot, format).
+//
+// Quantizing a layer's weights — one full quantize_batch pass over the
+// weight tensor — is the dominant cost of an LPQ fitness evaluation once
+// GEMM is SIMD-dispatched.  A GA generation re-evaluates candidates that
+// share most of their per-layer genes with the current best parent, so the
+// same (slot, format) pair is requested over and over.  This cache keeps
+// each quantized copy alive as a shared tensor; hits are pointer copies.
+//
+// Eviction is generational LRU under a byte budget: every prepare pass on
+// the owning session advances a tick, entries remember the last tick that
+// touched them, and the sweep drops oldest ticks first (ties broken by
+// slot then format key, so eviction order never depends on hash-map
+// iteration order).  Entries touched in the current tick are never evicted
+// — a single generation's working set may exceed the budget, but reuse
+// within the generation is always preserved.  Snapshots hold shared
+// ownership, so eviction never invalidates a live QuantizedModel.
+//
+// Not internally synchronized: mutation is confined to the session's
+// serial prepare phase.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "runtime/format_cache.h"
+#include "tensor/tensor.h"
+
+namespace lp::runtime {
+
+struct CacheStats {
+  std::uint64_t hits = 0;        ///< lookups served from the cache
+  std::uint64_t misses = 0;      ///< lookups that required quantization
+  std::uint64_t evictions = 0;   ///< entries dropped by the byte budget
+  std::size_t entries = 0;       ///< live entries
+  std::size_t bytes = 0;         ///< live payload bytes
+};
+
+class WeightCodeCache {
+ public:
+  /// Default budget: 256 MB of quantized weight copies.
+  static constexpr std::size_t kDefaultBudgetBytes = 256U << 20;
+
+  explicit WeightCodeCache(std::size_t budget_bytes = kDefaultBudgetBytes)
+      : budget_bytes_(budget_bytes) {}
+
+  /// Cached quantized weights for (slot, cfg), or null.  A hit marks the
+  /// entry as used in the current tick and counts toward stats().hits
+  /// (lookups served from the cache — including entries quantized earlier
+  /// in the same prepare pass; misses counts pairs that had to be
+  /// quantized, so the invalidation delta per format-gene change is exact).
+  [[nodiscard]] std::shared_ptr<const Tensor> find(std::size_t slot,
+                                                   const LPConfig& cfg);
+
+  /// Presence probe without touching counters or recency.
+  [[nodiscard]] bool contains(std::size_t slot, const LPConfig& cfg) const {
+    return entries_.find(SlotKey{slot, FormatKey::of(cfg)}) != entries_.end();
+  }
+
+  /// Insert a freshly quantized copy (counted as a miss).
+  void insert(std::size_t slot, const LPConfig& cfg,
+              std::shared_ptr<const Tensor> weights);
+
+  /// Advance the generation tick and sweep oldest-tick entries until the
+  /// payload fits the budget again (current-tick entries are kept).
+  void next_generation();
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct SlotKey {
+    std::size_t slot = 0;
+    FormatKey fmt;
+    friend bool operator<(const SlotKey& a, const SlotKey& b) {
+      if (a.slot != b.slot) return a.slot < b.slot;
+      return a.fmt < b.fmt;
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const Tensor> weights;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_to_budget();
+
+  // Ordered map: the eviction sweep iterates in key order, which makes the
+  // set of survivors a pure function of the lookup/insert history.
+  std::map<SlotKey, Entry> entries_;
+  std::size_t budget_bytes_;
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace lp::runtime

@@ -68,13 +68,20 @@ LayerSim simulate_layer(const lpa::AcceleratorModel& accel,
   const double act_storage_bytes =
       static_cast<double>(wl.k * wl.n) * ((ls.a_bits + 7) / 8);
   const double sram_act = act_storage_bytes * static_cast<double>(m_tiles);
-  const double out_bytes = static_cast<double>(wl.m * wl.n);
+  // Outputs are the next layer's activations and are stored at this
+  // layer's activation width, byte-aligned like the input buffer.  (The
+  // seed charged one byte per output regardless of a_bits, undercounting
+  // 16-bit activation traffic.)
+  const double out_bytes =
+      static_cast<double>(wl.m * wl.n) * ((ls.a_bits + 7) / 8);
   // Partial sums spill at 16 bits between K tiles.
   const double psum_bytes =
       static_cast<double>(wl.m * wl.n) * 2.0 *
       static_cast<double>(std::max<std::int64_t>(0, k_tiles - 1)) * 2.0;
   const double sram_bytes = w_bytes + sram_act + out_bytes + psum_bytes;
   const double dram_bytes = w_bytes + act_storage_bytes + out_bytes;
+  ls.sram_bytes = sram_bytes;
+  ls.dram_bytes = dram_bytes;
 
   // --- energy ---
   double e = static_cast<double>(ls.macs) * accel.mac_energy(ls.w_bits);

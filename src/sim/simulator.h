@@ -24,7 +24,9 @@ struct LayerSim {
   double energy_pj = 0.0;
   int w_bits = 8;   ///< width actually executed (snapped to supported)
   int a_bits = 8;
-  double utilization = 0.0;  ///< MACs / (cycles * peak MACs/cycle)
+  double utilization = 0.0;   ///< MACs / (cycles * peak MACs/cycle)
+  double sram_bytes = 0.0;    ///< on-chip traffic (weights, acts, psums)
+  double dram_bytes = 0.0;    ///< off-chip traffic (weights, acts, outputs)
 };
 
 struct SimResult {

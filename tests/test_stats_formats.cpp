@@ -7,6 +7,8 @@
 #include <memory>
 
 #include "core/accuracy_profile.h"
+#include "core/quant_index.h"
+#include "core/quant_rule.h"
 #include "formats/adaptivfloat.h"
 #include "formats/flint.h"
 #include "formats/lns.h"
@@ -259,6 +261,70 @@ TEST(NumberFormatBatch, BitExactWithScalarAcrossFormats) {
             << fmt->name() << " input " << xs[i] << " got " << batch[i]
             << " want " << ref;
       }
+    }
+  }
+}
+
+TEST(NumberFormatBatch, FuzzScalarBatchAndIndexAgreeAcrossFormats) {
+  // Round-trip audit of every format family against the shared nearest/tie
+  // rule (core/quant_rule.h): the scalar quantize(), the batched
+  // quantize_batch()/QuantIndex path, and nearest_indices() must agree
+  // bit-for-bit on wide log-magnitude fuzz — including posit es boundaries
+  // (es = n-3), AdaptivFloat tables pushed into the float-subnormal range,
+  // flint's posit-lattice scaling, and inputs down in the denormals.
+  std::vector<std::unique_ptr<NumberFormat>> fmts;
+  fmts.push_back(std::make_unique<PositFormat>(8, 0));
+  fmts.push_back(std::make_unique<PositFormat>(8, 2));
+  fmts.push_back(std::make_unique<PositFormat>(6, 3));   // es == n-3 cap
+  fmts.push_back(std::make_unique<PositFormat>(2, 0));   // minimal width
+  fmts.push_back(std::make_unique<PositFormat>(16, 2));
+  fmts.push_back(std::make_unique<FlintFormat>(8, 1.0));
+  fmts.push_back(std::make_unique<FlintFormat>(8, 0.0123));
+  fmts.push_back(std::make_unique<AdaptivFloatFormat>(8, 4, 10));
+  fmts.push_back(std::make_unique<AdaptivFloatFormat>(8, 4, 160));  // denormal
+  fmts.push_back(std::make_unique<AdaptivFloatFormat>(8, 4, -115)); // > FLT_MAX
+  fmts.push_back(std::make_unique<LnsFormat>(8, 3, 120.0));
+  fmts.push_back(std::make_unique<MiniFloatFormat>(MiniFloatFormat::e5m2()));
+  fmts.push_back(std::make_unique<UniformIntFormat>(8, 1e-43));  // denormal grid
+  Rng rng(808);
+  for (const auto& fmt : fmts) {
+    const auto values = fmt->all_values();
+    std::vector<float> xs;
+    for (int i = 0; i < 4000; ++i) {
+      const double mag = std::exp2(rng.uniform(-150.0, 130.0));
+      xs.push_back(static_cast<float>(rng.coin(0.5) ? mag : -mag));
+    }
+    xs.push_back(1e-44F);   // float denormals
+    xs.push_back(-1e-44F);
+    std::vector<float> batch = xs;
+    (void)fmt->quantize_batch(batch);
+    std::vector<std::uint32_t> idx(xs.size());
+    const QuantIndex index(values);
+    index.nearest_indices(xs, idx);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double scalar = fmt->quantize(xs[i]);
+      if (!std::isfinite(xs[i])) {
+        // +-inf (from double magnitudes beyond float range): all three
+        // paths must agree on the non-finite convention.
+        EXPECT_TRUE(std::isnan(scalar)) << fmt->name();
+        EXPECT_TRUE(std::isnan(batch[i])) << fmt->name();
+        EXPECT_EQ(idx[i], QuantIndex::kInvalid) << fmt->name();
+        continue;
+      }
+      // Scalar path must follow the shared rule exactly.
+      const double rule = values[quant::nearest_index(values, xs[i])];
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(scalar),
+                std::bit_cast<std::uint64_t>(rule))
+          << fmt->name() << " scalar diverges from quant_rule at " << xs[i];
+      // Batched path must match the scalar path bit-for-bit.
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(batch[i]),
+                std::bit_cast<std::uint32_t>(static_cast<float>(scalar)))
+          << fmt->name() << " batch diverges at " << xs[i];
+      // Index path must select the same table entry.
+      ASSERT_LT(idx[i], values.size()) << fmt->name();
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(values[idx[i]]),
+                std::bit_cast<std::uint64_t>(scalar))
+          << fmt->name() << " nearest_indices diverges at " << xs[i];
     }
   }
 }
