@@ -12,6 +12,7 @@
 
 #include "core/lp_codec.h"
 #include "core/lp_format.h"
+#include "core/packed_codes.h"
 #include "core/quant_index.h"
 #include "kernels/kernels.h"
 #include "lpa/datapath.h"
@@ -243,6 +244,137 @@ void BM_GemmKernelAvx2(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmKernelAvx2)->Unit(benchmark::kMillisecond);
 
+// --- packed-code GEMM benches ----------------------------------------------
+// The LUT-decoding datapath against the float kernels on the same shapes.
+// Outputs are bit-identical (tests/test_codes.cpp pins it); the packed
+// operand streams 4-8x fewer weight bytes, and the acceptance bar is "no
+// slowdown vs float B-packing".  Arg is the LP width n (4 = nibble-packed
+// codes, 8 = byte codes, 12 = unpacked 16-bit codes).
+
+LPConfig bench_cfg(int n) {
+  return n == 4 ? LPConfig{4, 1, 2, 2.0}
+         : n == 8 ? LPConfig{8, 1, 4, 3.0}
+                  : LPConfig{12, 2, 5, 0.5};
+}
+
+/// Mid-stack ResNet conv-as-GEMM shape with the *weight* matrix as the
+/// coded A operand — the exact layout conv2d_codes executes.  `coded` Arg
+/// 0 runs the float kernel on the decoded weights: the apples-to-apples
+/// baseline, since quantized weights carry structural zeros whose skip
+/// branch costs both paths identically.
+void run_gemm_codes_bench(benchmark::State& state,
+                          const kernels::KernelTable& kt) {
+  constexpr std::int64_t m = 128, k = 1152, n = 196;
+  const bool coded = state.range(1) != 0;
+  const LPFormat fmt(bench_cfg(static_cast<int>(state.range(0))));
+  const auto lut = build_decode_table(fmt);
+  Rng rng(4);
+  std::vector<float> w(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto& v : w) v = static_cast<float>(rng.gaussian(0.0, 0.1));
+  for (auto& v : b) v = static_cast<float>(rng.gaussian());
+  const auto packed = PackedCodes::pack(w, {m, k}, fmt, lut);
+  const kernels::PackedCodesView view = packed->view();
+  std::vector<float> wq(w);
+  for (std::size_t i = 0; i < wq.size(); ++i) {
+    wq[i] = packed->decode_at(static_cast<std::int64_t>(i));
+  }
+  for (auto _ : state) {
+    if (coded) {
+      kt.gemm_codes_rows(view, b.data(), nullptr, c.data(), 0, m, k, n);
+    } else {
+      kt.gemm_rows(wq.data(), b.data(), nullptr, c.data(), 0, m, k, n);
+    }
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+  state.counters["weight_bytes_packed"] =
+      static_cast<double>(packed->payload_bytes());
+  state.counters["weight_bytes_float"] =
+      static_cast<double>(packed->logical_bytes());
+}
+
+void BM_GemmCodesScalar(benchmark::State& state) {
+  run_gemm_codes_bench(state, kernels::scalar_kernels());
+}
+BENCHMARK(BM_GemmCodesScalar)
+    ->Args({8, 0})->Args({4, 1})->Args({8, 1})->Args({12, 1})
+    ->ArgNames({"n", "coded"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GemmCodesAvx2(benchmark::State& state) {
+  const kernels::KernelTable* kt = kernels::avx2_kernels();
+  if (kt == nullptr || !kernels::cpu_supports_avx2()) {
+    state.SkipWithError("AVX2 unavailable on this host");
+    return;
+  }
+  run_gemm_codes_bench(state, *kt);
+}
+BENCHMARK(BM_GemmCodesAvx2)
+    ->Args({8, 0})->Args({4, 0})->Args({4, 1})->Args({8, 1})->Args({12, 1})
+    ->ArgNames({"n", "coded"})
+    ->Unit(benchmark::kMillisecond);
+
+/// ViT-ish linear shape ([tokens, k] x W[n, k]^T) with W as the coded B^T
+/// operand — the layout matmul_nt_codes executes.  `coded` Arg 0 runs the
+/// float gemm_nt kernel on the decoded weights as the in-process baseline.
+void run_gemm_codes_nt_bench(benchmark::State& state,
+                             const kernels::KernelTable& kt) {
+  constexpr std::int64_t m = 196, k = 512, n = 256;
+  const bool coded = state.range(1) != 0;
+  const LPFormat fmt(bench_cfg(static_cast<int>(state.range(0))));
+  const auto lut = build_decode_table(fmt);
+  Rng rng(9);
+  std::vector<float> w(static_cast<std::size_t>(n * k));
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto& v : w) v = static_cast<float>(rng.gaussian(0.0, 0.1));
+  for (auto& v : a) v = static_cast<float>(rng.gaussian());
+  const auto packed = PackedCodes::pack(w, {n, k}, fmt, lut);
+  const kernels::PackedCodesView view = packed->view();
+  std::vector<float> wq(w);
+  for (std::size_t i = 0; i < wq.size(); ++i) {
+    wq[i] = packed->decode_at(static_cast<std::int64_t>(i));
+  }
+  for (auto _ : state) {
+    if (coded) {
+      kt.gemm_codes_nt_rows(a.data(), view, nullptr, c.data(), 0, m, k, n);
+    } else {
+      kt.gemm_nt_rows(a.data(), wq.data(), nullptr, c.data(), 0, m, k, n);
+    }
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+  state.counters["weight_bytes_packed"] =
+      static_cast<double>(packed->payload_bytes());
+  state.counters["weight_bytes_float"] =
+      static_cast<double>(packed->logical_bytes());
+}
+
+void BM_GemmCodesNtScalar(benchmark::State& state) {
+  run_gemm_codes_nt_bench(state, kernels::scalar_kernels());
+}
+BENCHMARK(BM_GemmCodesNtScalar)
+    ->Args({8, 0})->Args({4, 1})->Args({8, 1})->Args({12, 1})
+    ->ArgNames({"n", "coded"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GemmCodesNtAvx2(benchmark::State& state) {
+  const kernels::KernelTable* kt = kernels::avx2_kernels();
+  if (kt == nullptr || !kernels::cpu_supports_avx2()) {
+    state.SkipWithError("AVX2 unavailable on this host");
+    return;
+  }
+  run_gemm_codes_nt_bench(state, *kt);
+}
+BENCHMARK(BM_GemmCodesNtAvx2)
+    ->Args({8, 0})->Args({4, 1})->Args({8, 1})->Args({12, 1})
+    ->ArgNames({"n", "coded"})
+    ->Unit(benchmark::kMillisecond);
+
 /// Quantize-kernel A/B on one 1M-element buffer (quantization is
 /// idempotent, so work per iteration is stable after the first pass).
 void run_quantize_kernel_bench(benchmark::State& state,
@@ -331,6 +463,7 @@ struct GenerationFixture {
 void BM_LpqGenerationEval(benchmark::State& state) {
   const GenerationFixture fx;
   const bool cached = state.range(0) != 0;
+  runtime::CacheStats last_stats;
   for (auto _ : state) {
     double sum = 0.0;
     if (cached) {
@@ -351,6 +484,7 @@ void BM_LpqGenerationEval(benchmark::State& state) {
                                               fx.population[c], fx.calib,
                                               fx.ref, fx.opts);
       }
+      last_stats = session.stats();
     } else {
       for (const auto& cand : fx.population) {
         sum += lpq::evaluate_fitness(fx.model, cand, fx.calib, fx.ref,
@@ -361,11 +495,89 @@ void BM_LpqGenerationEval(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(fx.population.size()));
+  if (cached) {
+    // Cache-compression counters for the JSON artifact: physical packed
+    // bytes vs the float32-equivalent bytes the pre-packed cache stored.
+    state.counters["cache_bytes_physical"] =
+        static_cast<double>(last_stats.bytes);
+    state.counters["cache_bytes_logical"] =
+        static_cast<double>(last_stats.logical_bytes);
+    state.counters["cache_compression_x"] =
+        last_stats.bytes == 0
+            ? 0.0
+            : static_cast<double>(last_stats.logical_bytes) /
+                  static_cast<double>(last_stats.bytes);
+  }
 }
 BENCHMARK(BM_LpqGenerationEval)
     ->Arg(0)
     ->Arg(1)
     ->ArgNames({"cached"})
+    ->Unit(benchmark::kMillisecond);
+
+/// Eviction-pressure variant: one persistent session alternates between
+/// two gene-sets (a search revisiting formats) under a deliberately small
+/// byte budget, expressed as a divisor of one float32 weight set.  The
+/// flip means a generation's entries are *not* re-touched the next tick,
+/// so the cache must retain the union working set across generations or
+/// pay re-quantization misses on every revisit.  budget_div=1 gives the
+/// budget the float-era cache needed for a single candidate — both
+/// populations (~4.7 weight sets logical) only stay resident because
+/// packed codes compress them ~4-5x, so steady state runs hit-dominated
+/// with zero evictions (the float path lost these hits); budget_div=4
+/// shrinks the budget below even the packed working set, and the
+/// eviction/miss counters show the churn.
+void BM_LpqGenerationEvalSmallBudget(benchmark::State& state) {
+  const GenerationFixture fx;
+  const std::size_t float_set_bytes =
+      static_cast<std::size_t>(fx.model.weight_param_count()) * sizeof(float);
+  runtime::SessionOptions sopts;
+  sopts.weight_cache_bytes =
+      float_set_bytes / static_cast<std::size_t>(state.range(0));
+  runtime::InferenceSession session(fx.model, sopts);
+  std::vector<std::vector<std::vector<LPConfig>>> w(2);
+  std::vector<std::vector<std::vector<LPConfig>>> a(2);
+  for (int v = 0; v < 2; ++v) {
+    for (const auto& cand : fx.population) {
+      lpq::Candidate shifted = cand;
+      for (auto& cfg : shifted.layers) cfg.sf += static_cast<double>(v);
+      w[static_cast<std::size_t>(v)].push_back(shifted.layers);
+      a[static_cast<std::size_t>(v)].push_back(
+          lpq::act_configs(fx.model, shifted, fx.opts.act_sf,
+                           fx.ref.act_scale_centers));
+    }
+  }
+  std::size_t flip = 0;
+  for (auto _ : state) {
+    const std::size_t v = flip++ & 1;
+    double sum = 0.0;
+    const auto prepared = session.prepare_all(w[v], a[v]);
+    for (std::size_t c = 0; c < fx.population.size(); ++c) {
+      sum += lpq::evaluate_fitness_prepared(prepared[c], fx.model,
+                                            fx.population[c], fx.calib,
+                                            fx.ref, fx.opts);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.population.size()));
+  const runtime::CacheStats st = session.stats();
+  state.counters["cache_hits"] = static_cast<double>(st.hits);
+  state.counters["cache_misses"] = static_cast<double>(st.misses);
+  state.counters["cache_evictions"] = static_cast<double>(st.evictions);
+  state.counters["cache_bytes_physical"] = static_cast<double>(st.bytes);
+  state.counters["cache_bytes_logical"] =
+      static_cast<double>(st.logical_bytes);
+  state.counters["cache_hit_rate"] =
+      st.hits + st.misses == 0
+          ? 0.0
+          : static_cast<double>(st.hits) /
+                static_cast<double>(st.hits + st.misses);
+}
+BENCHMARK(BM_LpqGenerationEvalSmallBudget)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgNames({"budget_div"})
     ->Unit(benchmark::kMillisecond);
 
 void BM_PeMacDatapath(benchmark::State& state) {

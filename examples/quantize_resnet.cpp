@@ -77,9 +77,19 @@ int main(int argc, char** argv) {
   const Tensor logits = session.run(ds.eval_inputs).logits;
   const double q_acc = data::top1_accuracy(logits, ds.eval_labels);
   const auto& cache = session.stats();
-  std::printf("\nruntime: %zu cached weight tensors (%.2f MB), %llu quantize misses\n",
-              cache.entries, static_cast<double>(cache.bytes) / 1e6,
+  const double ratio =
+      cache.bytes > 0 ? static_cast<double>(cache.logical_bytes) /
+                            static_cast<double>(cache.bytes)
+                      : 0.0;
+  std::printf("\nruntime: %zu cached weight payloads (%zu packed), "
+              "%llu quantize misses\n",
+              cache.entries, cache.packed_entries,
               static_cast<unsigned long long>(cache.misses));
+  std::printf("  cache bytes     : %.2f MB physical (codes + %.3f MB decode "
+              "LUTs) vs %.2f MB decoded-equivalent — %.1fx compression\n",
+              static_cast<double>(cache.bytes) / 1e6,
+              static_cast<double>(cache.lut_bytes) / 1e6,
+              static_cast<double>(cache.logical_bytes) / 1e6, ratio);
   std::printf("\nresults:\n");
   std::printf("  avg weight bits : %.2f\n", stats.avg_weight_bits);
   std::printf("  avg act bits    : %.2f\n", stats.avg_act_bits);

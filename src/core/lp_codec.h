@@ -75,6 +75,15 @@ class CodeTable {
   void encode_batch(std::span<const float> xs,
                     std::span<std::uint32_t> out) const;
 
+  /// out[i] = index into values() of the value nearest xs[i]
+  /// (QuantIndex::kInvalid for non-finite inputs) — the dense code
+  /// indices the packed-weight path stores, as opposed to the hardware
+  /// bit patterns encode_batch emits.  Spans must have equal length.
+  void nearest_value_indices(std::span<const float> xs,
+                             std::span<std::uint32_t> out) const {
+    index_.nearest_indices(xs, out);
+  }
+
   /// Batched decode_value: out[i] = value of code codes[i] (NaN for NaR),
   /// served from a per-code LUT built at construction.  Codes are masked
   /// to the low n bits.  Spans must have equal length.

@@ -25,6 +25,12 @@ class LPFormat final : public NumberFormat {
     return table_.values();
   }
 
+  bool quantize_codes_batch(std::span<const float> xs,
+                            std::span<std::uint32_t> out) const override {
+    table_.nearest_value_indices(xs, out);
+    return true;
+  }
+
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] int bits() const override { return table_.config().n; }

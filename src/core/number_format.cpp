@@ -37,6 +37,19 @@ double NumberFormat::quantize_batch(std::span<float> xs) const {
                      });
 }
 
+std::vector<float> NumberFormat::decode_table() const {
+  const std::vector<double> values = all_values();
+  std::vector<float> table;
+  table.reserve(values.size());
+  for (const double v : values) table.push_back(static_cast<float>(v));
+  return table;
+}
+
+bool NumberFormat::quantize_codes_batch(std::span<const float>,
+                                        std::span<std::uint32_t>) const {
+  return false;  // no enumerated index path; callers use the float path
+}
+
 void EnumeratedFormat::set_values(std::vector<double> values) {
   std::sort(values.begin(), values.end());
   values.erase(std::unique(values.begin(), values.end()), values.end());

@@ -34,6 +34,21 @@ class NumberFormat {
   /// accuracy-profile benches; may be large for wide formats.
   [[nodiscard]] virtual std::vector<double> all_values() const = 0;
 
+  /// Dense decode LUT for the packed-code weight path: entry i is the
+  /// float cast of all_values()[i] — exactly the float quantize_batch
+  /// stores for an input that lands on that value (at most 2^bits()
+  /// entries).  quantize_codes_batch emits indices into this table.
+  [[nodiscard]] virtual std::vector<float> decode_table() const;
+
+  /// Batched code emission: out[i] = decode-table index of the value
+  /// nearest xs[i], or kernels::kInvalidIndex for non-finite inputs.
+  /// Spans must have equal length.  Returns false — without touching
+  /// `out` — when the format has no enumerated index path; callers fall
+  /// back to the float quantize_batch path.  An empty call probes
+  /// support.
+  virtual bool quantize_codes_batch(std::span<const float> xs,
+                                    std::span<std::uint32_t> out) const;
+
   /// Human-readable name, e.g. "LP<4,1,2,sf=0.31>".
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -51,6 +66,11 @@ class EnumeratedFormat : public NumberFormat {
     return index_.quantize(xs);
   }
   [[nodiscard]] std::vector<double> all_values() const final { return values_; }
+  bool quantize_codes_batch(std::span<const float> xs,
+                            std::span<std::uint32_t> out) const final {
+    index_.nearest_indices(xs, out);
+    return true;
+  }
 
  protected:
   /// Derived constructors call this with the (unsorted, possibly

@@ -1,0 +1,100 @@
+#include "core/packed_codes.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/number_format.h"
+#include "core/quant_index.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace lp {
+
+std::shared_ptr<const DecodeTable> build_decode_table(const NumberFormat& fmt) {
+  if (!fmt.quantize_codes_batch({}, {})) return nullptr;  // no code path
+  std::vector<float> table = fmt.decode_table();
+  if (table.empty() || table.size() > PackedCodes::kMaxLutSize) return nullptr;
+  return std::make_shared<const DecodeTable>(std::move(table));
+}
+
+std::optional<PackedCodes> PackedCodes::pack(
+    std::span<const float> data, std::vector<std::int64_t> shape,
+    const NumberFormat& fmt, std::shared_ptr<const DecodeTable> lut) {
+  if (lut == nullptr || lut->empty() || lut->size() > kMaxLutSize) {
+    return std::nullopt;
+  }
+  if (!fmt.quantize_codes_batch({}, {})) return std::nullopt;
+  std::int64_t numel = 1;
+  for (const std::int64_t d : shape) numel *= d;
+  LP_CHECK_MSG(numel == static_cast<std::int64_t>(data.size()),
+               "packed-code shape/data mismatch: " << numel << " vs "
+                                                   << data.size());
+
+  // Nearest-value indices, chunk-parallel (fixed boundaries, disjoint
+  // writes — identical for any pool size).  A non-finite element makes the
+  // tensor unpackable: the float path quantizes it to NaN, which no code
+  // index can represent.
+  const std::size_t n = data.size();
+  std::vector<std::uint32_t> idx(n);
+  std::atomic<bool> packable{true};
+  const std::uint32_t lut_size = static_cast<std::uint32_t>(lut->size());
+  constexpr std::size_t kChunk = QuantIndex::kQuantChunk;
+  ThreadPool& pool = default_pool();
+  const std::int64_t chunks =
+      static_cast<std::int64_t>((n + kChunk - 1) / kChunk);
+  pool.run_chunks(chunks, [&](std::int64_t c) {
+    const std::size_t begin = static_cast<std::size_t>(c) * kChunk;
+    const std::size_t len = std::min(kChunk, n - begin);
+    const std::span<std::uint32_t> out(idx.data() + begin, len);
+    (void)fmt.quantize_codes_batch(data.subspan(begin, len), out);
+    for (const std::uint32_t v : out) {
+      if (v >= lut_size) {
+        packable.store(false, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  if (!packable.load(std::memory_order_relaxed)) return std::nullopt;
+
+  PackedCodes out;
+  out.shape_ = std::move(shape);
+  out.numel_ = numel;
+  out.bits_ = lut_size <= 16 ? 4 : lut_size <= 256 ? 8 : 16;
+  out.lut_ = std::move(lut);
+  const std::size_t bytes = out.bits_ == 4   ? (n + 1) / 2
+                            : out.bits_ == 8 ? n
+                                             : n * 2;
+  out.data_.assign(bytes, 0);
+  std::uint8_t* dst = out.data_.data();
+  // Pack over disjoint byte ranges (a 4-bit byte covers elements 2b and
+  // 2b+1, so byte-granular chunks never share an element).
+  parallel_for(pool, 0, static_cast<std::int64_t>(bytes), 1 << 16,
+               [&](std::int64_t b0, std::int64_t b1, std::int64_t) {
+                 switch (out.bits_) {
+                   case 4:
+                     for (std::int64_t b = b0; b < b1; ++b) {
+                       const std::size_t e = static_cast<std::size_t>(b) * 2;
+                       std::uint32_t byte = idx[e] & 0xFU;
+                       if (e + 1 < n) byte |= (idx[e + 1] & 0xFU) << 4;
+                       dst[b] = static_cast<std::uint8_t>(byte);
+                     }
+                     break;
+                   case 8:
+                     for (std::int64_t b = b0; b < b1; ++b) {
+                       dst[b] = static_cast<std::uint8_t>(
+                           idx[static_cast<std::size_t>(b)]);
+                     }
+                     break;
+                   default:
+                     for (std::int64_t b = b0; b < b1; ++b) {
+                       const std::size_t e = static_cast<std::size_t>(b) / 2;
+                       dst[b] = static_cast<std::uint8_t>(
+                           (b & 1) != 0 ? idx[e] >> 8 : idx[e] & 0xFFU);
+                     }
+                     break;
+                 }
+               });
+  return out;
+}
+
+}  // namespace lp

@@ -1,0 +1,100 @@
+// Packed weight-code storage — the software analogue of keeping n<=8-bit
+// LP codes in accelerator SRAM and decoding them inside the datapath
+// (paper Section 5; PDPU and Deep Positron make the same move).
+//
+// A PackedCodes holds one quantized weight tensor as dense decode-table
+// *indices* (4/8/16 bits each, bit-packed for 4) plus a shared pointer to
+// the format's decode LUT.  Expanding index i through the LUT yields the
+// exact float the float-path quantized tensor stores at that element —
+// the alignment contract between NumberFormat::quantize_codes_batch and
+// NumberFormat::decode_table() — so the LUT-decoding GEMM kernels
+// (src/kernels) are bit-identical to decode-then-GEMM by construction.
+//
+// The payload is 4-8x smaller than the float tensor it replaces, which is
+// the whole point: the runtime's byte-budgeted weight cache holds 4-8x
+// more (slot, format) pairs, and the GEMM B-stream reads 4-8x fewer
+// bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "kernels/kernels.h"
+
+namespace lp {
+
+class NumberFormat;
+
+/// Dense decode LUT: entry i is the float value of code index i.  Shared
+/// (one instance per format) across every PackedCodes of that format.
+using DecodeTable = std::vector<float>;
+
+class PackedCodes {
+ public:
+  /// Largest decode table the packed path serves (16-bit codes); wider
+  /// formats stay on the float fallback.
+  static constexpr std::size_t kMaxLutSize = 1U << 16;
+
+  /// Quantize `data` (logical shape `shape`) into packed codes.  Returns
+  /// nullopt — callers fall back to the float path — when the format has
+  /// no batched code path, the LUT is missing/too large, or any element
+  /// is non-finite (the float path quantizes those to NaN, which no code
+  /// can represent).  Runs chunk-parallel on the default pool; all chunk
+  /// writes are disjoint, so the result is identical for any pool size.
+  [[nodiscard]] static std::optional<PackedCodes> pack(
+      std::span<const float> data, std::vector<std::int64_t> shape,
+      const NumberFormat& fmt, std::shared_ptr<const DecodeTable> lut);
+
+  [[nodiscard]] const std::vector<std::int64_t>& shape() const {
+    return shape_;
+  }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const { return shape_[i]; }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::int64_t numel() const { return numel_; }
+
+  /// Bits per stored code: 4, 8, or 16.
+  [[nodiscard]] int code_bits() const { return bits_; }
+  /// Bytes of the packed code array (excludes the shared LUT).
+  [[nodiscard]] std::size_t payload_bytes() const { return data_.size(); }
+  /// Bytes of the float tensor this replaces (the decoded equivalent).
+  [[nodiscard]] std::size_t logical_bytes() const {
+    return static_cast<std::size_t>(numel_) * sizeof(float);
+  }
+  [[nodiscard]] const std::shared_ptr<const DecodeTable>& lut() const {
+    return lut_;
+  }
+
+  /// Kernel-layer view starting at logical element `elem_offset` (grouped
+  /// convolutions slice per-group weight blocks).  Valid while this
+  /// object is alive.
+  [[nodiscard]] kernels::PackedCodesView view(
+      std::int64_t elem_offset = 0) const {
+    return {data_.data(), elem_offset, bits_, lut_->data(),
+            static_cast<std::uint32_t>(lut_->size())};
+  }
+
+  /// Decoded value of element i — the float the float path would store.
+  [[nodiscard]] float decode_at(std::int64_t i) const {
+    return kernels::packed_decode_at(view(), i);
+  }
+
+ private:
+  PackedCodes() = default;
+
+  std::vector<std::int64_t> shape_;
+  std::int64_t numel_ = 0;
+  int bits_ = 8;
+  std::vector<std::uint8_t> data_;
+  std::shared_ptr<const DecodeTable> lut_;
+};
+
+/// Build the shared decode LUT for a format, or null when the format
+/// cannot serve the packed path (no batched code emission, or a value
+/// table beyond PackedCodes::kMaxLutSize).
+[[nodiscard]] std::shared_ptr<const DecodeTable> build_decode_table(
+    const NumberFormat& fmt);
+
+}  // namespace lp

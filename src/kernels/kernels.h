@@ -55,6 +55,67 @@ using GemmRowsFn = void (*)(const float* a, const float* b, const float* bias,
                             std::int64_t row_end, std::int64_t k,
                             std::int64_t n);
 
+/// View of a packed weight-code matrix for the LUT-decoding GEMM kernels:
+/// `data` is a row-major stream of codes, each `bits` wide (4 = two codes
+/// per byte, low nibble first; 8 = one byte; 16 = little-endian uint16),
+/// starting `offset` *elements* into the stream (grouped convolutions
+/// slice one weight tensor at arbitrary element offsets, which for 4-bit
+/// codes need not be byte-aligned).  `lut` decodes a code to its float
+/// value — the exact float the quantized-weight tensor of the float path
+/// stores, which is what makes decode-in-the-kernel bit-identical to
+/// decode-then-GEMM.
+struct PackedCodesView {
+  const std::uint8_t* data = nullptr;
+  std::int64_t offset = 0;
+  int bits = 8;  ///< 4, 8, or 16
+  const float* lut = nullptr;
+  std::uint32_t lut_size = 0;
+};
+
+/// Code at logical element i of the view.
+[[nodiscard]] inline std::uint32_t packed_code_at(const PackedCodesView& v,
+                                                  std::int64_t i) {
+  const std::int64_t e = v.offset + i;
+  switch (v.bits) {
+    case 4:
+      return (v.data[e >> 1] >> ((e & 1) * 4)) & 0xFU;
+    case 8:
+      return v.data[e];
+    default: {
+      const std::int64_t b = e * 2;
+      return static_cast<std::uint32_t>(v.data[b]) |
+             (static_cast<std::uint32_t>(v.data[b + 1]) << 8);
+    }
+  }
+}
+
+/// Decoded value at logical element i of the view.
+[[nodiscard]] inline float packed_decode_at(const PackedCodesView& v,
+                                            std::int64_t i) {
+  return v.lut[packed_code_at(v, i)];
+}
+
+/// GEMM row-block kernel with a *coded* A operand (the conv-as-GEMM
+/// layout, where the weight matrix is A): C[i,:] = bias + decode(A)[i,:]
+/// * B, same shapes and accumulation contract as GemmRowsFn.  Decoding
+/// happens inside the datapath; the result is bit-identical to expanding
+/// A through the LUT and calling gemm_rows.
+using GemmCodesRowsFn = void (*)(const PackedCodesView& a, const float* b,
+                                 const float* bias, float* c,
+                                 std::int64_t row_begin, std::int64_t row_end,
+                                 std::int64_t k, std::int64_t n);
+
+/// GEMM row-block kernel against a *coded* B^T operand (the
+/// linear/attention layout, B [n,k] row-major holding W): C[i,:] = bias +
+/// A[i,:] * decode(B)^T, bit-identical to expanding B through the LUT and
+/// calling gemm_nt_rows.  SIMD variants LUT-expand the codes into packed
+/// 8-column B panels during packing.
+using GemmCodesNtRowsFn = void (*)(const float* a, const PackedCodesView& b,
+                                   const float* bias, float* c,
+                                   std::int64_t row_begin,
+                                   std::int64_t row_end, std::int64_t k,
+                                   std::int64_t n);
+
 /// Quantize xs[0..n) in place against the index view (non-finite inputs
 /// become quiet NaN) and return the squared error accumulated in element
 /// order — the same addition sequence as the scalar reference, so partials
@@ -71,6 +132,8 @@ struct KernelTable {
   const char* name;  ///< "scalar", "avx2", ... (the LP_KERNEL spelling)
   GemmRowsFn gemm_rows;
   GemmRowsFn gemm_nt_rows;
+  GemmCodesRowsFn gemm_codes_rows;
+  GemmCodesNtRowsFn gemm_codes_nt_rows;
   QuantizeChunkFn quantize_chunk;
   NearestIndicesFn nearest_indices;
 };

@@ -123,6 +123,143 @@ void gemm_rows_avx2(const float* a, const float* b, const float* bias,
 }
 
 // ---------------------------------------------------------------------------
+// Packed-code decode: expand a run of codes into their LUT float values.
+//
+// The decoded floats are the *same* floats the quantized-weight tensor of
+// the float path stores, so everything downstream (cvtps_pd, mul, add) is
+// the identical IEEE operation sequence — decode placement cannot affect
+// results.  Strategy by code width:
+//   * 4-bit: the whole LUT (<= 16 floats) lives in two ymm registers; a
+//     pair of cross-lane permutes selected by index bit 3 is an in-register
+//     LUT (the pshufb trick, lifted to 32-bit lanes via vpermd/vpermps).
+//   * 8-bit: vpgatherdd-style float gather over the <= 256-entry table.
+//   * 16-bit: same gather over the <= 65536-entry table.
+// Nibble extraction stays scalar (arbitrary element offsets from grouped
+// convolutions are not byte-aligned); the LUT application is the vector
+// part worth keeping in registers.
+
+void decode_elems_avx2(const PackedCodesView& v, std::int64_t elem_begin,
+                       std::int64_t count, float* dst) {
+  std::int64_t i = 0;
+  if (v.bits == 4) {
+    alignas(32) float lut16[16] = {};
+    std::memcpy(lut16, v.lut, v.lut_size * sizeof(float));
+    const __m256 lo = _mm256_load_ps(lut16);
+    const __m256 hi = _mm256_load_ps(lut16 + 8);
+    for (; i + 8 <= count; i += 8) {
+      alignas(32) std::uint32_t idx[8];
+      for (int l = 0; l < 8; ++l) {
+        idx[l] = packed_code_at(v, elem_begin + i + l);
+      }
+      const __m256i iv =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(idx));
+      const __m256 a = _mm256_permutevar8x32_ps(lo, iv);
+      const __m256 b = _mm256_permutevar8x32_ps(hi, iv);
+      // Bit 3 of the index picks the upper half; shifted to the sign
+      // position it drives blendv's per-lane select.
+      const __m256 sel = _mm256_castsi256_ps(_mm256_slli_epi32(iv, 28));
+      _mm256_storeu_ps(dst + i, _mm256_blendv_ps(a, b, sel));
+    }
+  } else if (v.bits == 8) {
+    const std::uint8_t* src = v.data + v.offset + elem_begin;
+    for (; i + 8 <= count; i += 8) {
+      const __m128i bytes = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(src + i));
+      const __m256i iv = _mm256_cvtepu8_epi32(bytes);
+      _mm256_storeu_ps(dst + i, _mm256_i32gather_ps(v.lut, iv, 4));
+    }
+  } else {
+    const std::uint8_t* src = v.data + (v.offset + elem_begin) * 2;
+    for (; i + 8 <= count; i += 8) {
+      const __m128i words = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(src + i * 2));
+      const __m256i iv = _mm256_cvtepu16_epi32(words);
+      _mm256_storeu_ps(dst + i, _mm256_i32gather_ps(v.lut, iv, 4));
+    }
+  }
+  for (; i < count; ++i) dst[i] = packed_decode_at(v, elem_begin + i);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM with a coded A operand (conv-as-GEMM; the weight matrix is A).
+// The A row block is LUT-expanded once per call (SIMD decode, O(rows*k));
+// re-decoding per 8-column panel would multiply the nibble-extraction
+// cost by n/8.  The expanded floats are exactly what the float kernel
+// reads from its A tensor, so delegating to gemm_rows_avx2 — edge tiles
+// included — is bit-identical to decode-then-gemm by the decode contract,
+// and keeps a single copy of the pack/tile heuristics.
+
+void gemm_codes_rows_avx2(const PackedCodesView& a, const float* b,
+                          const float* bias, float* c, std::int64_t row_begin,
+                          std::int64_t row_end, std::int64_t k,
+                          std::int64_t n) {
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return;
+  std::vector<float> a_block(static_cast<std::size_t>(rows * k));
+  decode_elems_avx2(a, row_begin * k, rows * k, a_block.data());
+  gemm_rows_avx2(a_block.data(), b, bias, c + row_begin * n, 0, rows, k, n);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM with a coded B^T operand (linear/attention layout; B [n,k] holds W
+// as codes).  Per 8-column panel the 8 coded B rows are LUT-expanded once
+// into a packed float panel, then every A row of the block sweeps it with
+// gemm_nt_rows_avx2's exact accumulation — the decode cost amortizes over
+// the row block while the loads the arithmetic sees are the same values
+// the float kernel reads from its [n,k] tensor.
+
+void gemm_codes_nt_rows_avx2(const float* a, const PackedCodesView& b,
+                             const float* bias, float* c,
+                             std::int64_t row_begin, std::int64_t row_end,
+                             std::int64_t k, std::int64_t n) {
+  const std::int64_t full_cols = n - (n % 8);
+  if (full_cols > 0 && row_end > row_begin) {
+    std::vector<float> rows8(static_cast<std::size_t>(k) * 8);
+    for (std::int64_t j = 0; j < full_cols; j += 8) {
+      for (int r = 0; r < 8; ++r) {
+        decode_elems_avx2(b, (j + r) * k, k, rows8.data() + r * k);
+      }
+      const float* br0 = rows8.data();
+      const float* br1 = br0 + k;
+      const float* br2 = br1 + k;
+      const float* br3 = br2 + k;
+      const float* br4 = br3 + k;
+      const float* br5 = br4 + k;
+      const float* br6 = br5 + k;
+      const float* br7 = br6 + k;
+      for (std::int64_t i = row_begin; i < row_end; ++i) {
+        const float* arow = a + i * k;
+        __m256d acc0;
+        __m256d acc1;
+        if (bias != nullptr) {
+          acc0 = _mm256_cvtps_pd(_mm_loadu_ps(bias + j));
+          acc1 = _mm256_cvtps_pd(_mm_loadu_ps(bias + j + 4));
+        } else {
+          acc0 = _mm256_setzero_pd();
+          acc1 = _mm256_setzero_pd();
+        }
+        for (std::int64_t p = 0; p < k; ++p) {
+          const double av = arow[p];
+          if (av == 0.0) continue;
+          const __m128 f0 = _mm_setr_ps(br0[p], br1[p], br2[p], br3[p]);
+          const __m128 f1 = _mm_setr_ps(br4[p], br5[p], br6[p], br7[p]);
+          const __m256d avv = _mm256_set1_pd(av);
+          acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(avv, _mm256_cvtps_pd(f0)));
+          acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(avv, _mm256_cvtps_pd(f1)));
+        }
+        float* crow = c + i * n;
+        _mm_storeu_ps(crow + j, _mm256_cvtpd_ps(acc0));
+        _mm_storeu_ps(crow + j + 4, _mm256_cvtpd_ps(acc1));
+      }
+    }
+  }
+  if (full_cols < n) {
+    detail::gemm_codes_nt_ref_block(a, b, bias, c, row_begin, row_end,
+                                    full_cols, n, k, n);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // GEMM against B^T ([n, k] row-major): 8 output columns per step, each
 // column's dot product in its own double lane (single chain per element,
 // ascending p).  The 8 B rows are walked sequentially in p — 8 forward
@@ -255,9 +392,10 @@ double quantize_chunk_avx2(const QuantIndexView& v, float* xs,
 
 // Referenced by dispatch.cpp (only when LOGPOSIT_HAVE_AVX2 is defined).
 const KernelTable* avx2_kernels_impl() {
-  static constexpr KernelTable kTable{"avx2", gemm_rows_avx2,
-                                      gemm_nt_rows_avx2, quantize_chunk_avx2,
-                                      nearest_indices_avx2};
+  static constexpr KernelTable kTable{
+      "avx2",           gemm_rows_avx2,         gemm_nt_rows_avx2,
+      gemm_codes_rows_avx2, gemm_codes_nt_rows_avx2, quantize_chunk_avx2,
+      nearest_indices_avx2};
   return &kTable;
 }
 

@@ -27,6 +27,24 @@ void gemm_nt_ref_block(const float* a, const float* b, const float* bias,
                        std::int64_t col_begin, std::int64_t col_end,
                        std::int64_t k, std::int64_t n);
 
+/// Reference for a coded A operand (conv-as-GEMM: the weight matrix is
+/// A): decode each A element through the view's LUT at the point of use,
+/// otherwise gemm_ref_block's exact arithmetic sequence (double
+/// accumulator, ascending-k, zero decoded values skipped).
+void gemm_codes_ref_block(const PackedCodesView& a, const float* b,
+                          const float* bias, float* c, std::int64_t row_begin,
+                          std::int64_t row_end, std::int64_t col_begin,
+                          std::int64_t col_end, std::int64_t k,
+                          std::int64_t n);
+
+/// Reference for a coded B^T operand (linear/attention: B [n,k] row-major
+/// holds W as codes); same accumulation contract as gemm_nt_ref_block.
+void gemm_codes_nt_ref_block(const float* a, const PackedCodesView& b,
+                             const float* bias, float* c,
+                             std::int64_t row_begin, std::int64_t row_end,
+                             std::int64_t col_begin, std::int64_t col_end,
+                             std::int64_t k, std::int64_t n);
+
 /// Reference boundary search: index of the nearest table value for an
 /// ordered key (bucket jump + short scan / upper_bound).  Any search that
 /// counts boundary keys <= key returns the same index; the AVX2 path uses

@@ -65,6 +65,57 @@ void gemm_nt_ref_block(const float* a, const float* b, const float* bias,
   }
 }
 
+void gemm_codes_ref_block(const PackedCodesView& a, const float* b,
+                          const float* bias, float* c, std::int64_t row_begin,
+                          std::int64_t row_end, std::int64_t col_begin,
+                          std::int64_t col_end, std::int64_t k,
+                          std::int64_t n) {
+  const std::int64_t w = col_end - col_begin;
+  if (w <= 0 || row_end <= row_begin) return;
+  std::vector<double> acc(static_cast<std::size_t>(w));
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    if (bias != nullptr) {
+      for (std::int64_t j = 0; j < w; ++j) {
+        acc[static_cast<std::size_t>(j)] = bias[col_begin + j];
+      }
+    } else {
+      std::fill(acc.begin(), acc.end(), 0.0);
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const double av = packed_decode_at(a, i * k + p);
+      if (av == 0.0) continue;
+      const float* brow = b + p * n + col_begin;
+      for (std::int64_t j = 0; j < w; ++j) {
+        acc[static_cast<std::size_t>(j)] += av * brow[j];
+      }
+    }
+    float* crow = c + i * n + col_begin;
+    for (std::int64_t j = 0; j < w; ++j) {
+      crow[j] = static_cast<float>(acc[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+void gemm_codes_nt_ref_block(const float* a, const PackedCodesView& b,
+                             const float* bias, float* c,
+                             std::int64_t row_begin, std::int64_t row_end,
+                             std::int64_t col_begin, std::int64_t col_end,
+                             std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = col_begin; j < col_end; ++j) {
+      double s = (bias != nullptr) ? bias[j] : 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        s += av * packed_decode_at(b, j * k + p);
+      }
+      crow[j] = static_cast<float>(s);
+    }
+  }
+}
+
 std::size_t qindex_lookup(const QuantIndexView& v, std::uint32_t key) {
   const std::uint32_t b = key >> (32 - v.bucket_bits);
   const std::uint32_t* first = v.keys + v.bucket_lo[b];
@@ -116,6 +167,39 @@ void gemm_nt_rows_scalar(const float* a, const float* b, const float* bias,
   detail::gemm_nt_ref_block(a, b, bias, c, row_begin, row_end, 0, n, k, n);
 }
 
+void gemm_codes_rows_scalar(const PackedCodesView& a, const float* b,
+                            const float* bias, float* c,
+                            std::int64_t row_begin, std::int64_t row_end,
+                            std::int64_t k, std::int64_t n) {
+  detail::gemm_codes_ref_block(a, b, bias, c, row_begin, row_end, 0, n, k, n);
+}
+
+void gemm_codes_nt_rows_scalar(const float* a, const PackedCodesView& b,
+                               const float* bias, float* c,
+                               std::int64_t row_begin, std::int64_t row_end,
+                               std::int64_t k, std::int64_t n) {
+  // Decode each coded B row once and sweep every A row over it (j outer,
+  // i inner) — the reference block's i-outer order would re-decode row j
+  // per output row.  Each c[i,j] is an independent dot product with the
+  // same ascending-p arithmetic, so the interchange cannot affect results.
+  std::vector<float> brow(static_cast<std::size_t>(k));
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      brow[static_cast<std::size_t>(p)] = packed_decode_at(b, j * k + p);
+    }
+    for (std::int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a + i * k;
+      double s = (bias != nullptr) ? bias[j] : 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        s += av * brow[static_cast<std::size_t>(p)];
+      }
+      c[i * n + j] = static_cast<float>(s);
+    }
+  }
+}
+
 double quantize_chunk_scalar(const QuantIndexView& v, float* xs,
                              std::size_t n) {
   double se = 0.0;
@@ -152,7 +236,8 @@ void nearest_indices_scalar(const QuantIndexView& v, const float* xs,
 
 const KernelTable& scalar_kernels() {
   static constexpr KernelTable kTable{
-      "scalar", gemm_rows_scalar, gemm_nt_rows_scalar, quantize_chunk_scalar,
+      "scalar",           gemm_rows_scalar,         gemm_nt_rows_scalar,
+      gemm_codes_rows_scalar, gemm_codes_nt_rows_scalar, quantize_chunk_scalar,
       nearest_indices_scalar};
   return kTable;
 }

@@ -117,6 +117,21 @@ ForwardResult Model::forward_with_weights(const Tensor& input,
   return run(input, ctx, capture_pooled);
 }
 
+ForwardResult Model::forward_with_weights(
+    const Tensor& input, std::span<const Tensor* const> weights,
+    std::span<const PackedCodes* const> codes, const QuantSpec& act_spec,
+    bool capture_pooled) const {
+  LP_CHECK_MSG(finalized_, "call finalize() first");
+  LP_CHECK(weights.size() == slots_.size());
+  LP_CHECK(codes.size() == slots_.size());
+  LP_CHECK(act_spec.act_fmt.size() == slots_.size());
+  RunCtx ctx;
+  ctx.weight_ptr_override = weights;
+  ctx.weight_code_override = codes;
+  ctx.quant = &act_spec;
+  return run(input, ctx, capture_pooled);
+}
+
 std::vector<LayerWorkload> Model::trace_workloads(const Tensor& input) const {
   std::vector<LayerWorkload> workloads;
   RunCtx ctx;

@@ -58,6 +58,16 @@ class Model {
       const Tensor& input, std::span<const Tensor* const> weights,
       const QuantSpec& act_spec, bool capture_pooled = false) const;
 
+  /// Packed-code variant: slots with a non-null `codes` entry run the
+  /// LUT-decoding GEMM datapath (bit-identical to decoding first); null
+  /// code entries fall back to `weights`, then to the FP weights.  This
+  /// is what the runtime layer calls once its weight-code cache holds
+  /// packed payloads.  Pointed-to objects must outlive the call.
+  [[nodiscard]] ForwardResult forward_with_weights(
+      const Tensor& input, std::span<const Tensor* const> weights,
+      std::span<const PackedCodes* const> codes, const QuantSpec& act_spec,
+      bool capture_pooled = false) const;
+
   /// Record the GEMM workload list for one example input (batch included
   /// in the N dimensions).
   [[nodiscard]] std::vector<LayerWorkload> trace_workloads(

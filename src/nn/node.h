@@ -20,6 +20,10 @@
 #include "core/number_format.h"
 #include "tensor/tensor.h"
 
+namespace lp {
+class PackedCodes;
+}
+
 namespace lp::nn {
 
 /// One quantizable weight tensor.  Biases stay full precision (the paper
@@ -64,6 +68,12 @@ struct RunCtx {
   /// weight-code cache shares one quantized tensor across many runs.
   /// Checked before weight_override.
   std::span<const Tensor* const> weight_ptr_override;
+  /// Borrowed per-slot packed weight codes (null entries fall through to
+  /// the float overrides above).  When a slot has codes, weighted nodes
+  /// run the LUT-decoding GEMM kernels instead of expanding the weights
+  /// to float32 — bit-identical output, 4-8x fewer weight bytes streamed.
+  /// Checked before both float overrides.
+  std::span<const PackedCodes* const> weight_code_override;
   /// Activation formats per slot; null entries = no activation quant.
   const QuantSpec* quant = nullptr;
   /// When non-null, weighted nodes append per-sample Kurtosis-3 pooled
@@ -92,6 +102,18 @@ struct RunCtx {
       return (*weight_override)[static_cast<std::size_t>(slot)];
     }
     return fp;
+  }
+
+  /// Packed codes for a slot, or null (no codes — use weight()).  When
+  /// non-null the slot's weight() entry resolves to the FP weights, whose
+  /// shape the codes share, so shape-only uses (workload tracing) stay on
+  /// the tensor while the compute runs on the codes.
+  [[nodiscard]] const PackedCodes* weight_codes(int slot) const {
+    if (slot >= 0 &&
+        static_cast<std::size_t>(slot) < weight_code_override.size()) {
+      return weight_code_override[static_cast<std::size_t>(slot)];
+    }
+    return nullptr;
   }
 
   [[nodiscard]] const NumberFormat* act_format(int slot) const {

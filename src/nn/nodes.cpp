@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/packed_codes.h"
 #include "util/stats.h"
 
 namespace lp::nn {
@@ -90,7 +91,10 @@ Tensor Conv2dNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) cons
                               w.dim(1) * w.dim(2) * w.dim(3),
                               in.dim(0) * ho * wo, s});
   }
-  Tensor out = conv2d(*x[0], w, slot_.bias.empty() ? nullptr : &slot_.bias, spec_);
+  const Tensor* bias = slot_.bias.empty() ? nullptr : &slot_.bias;
+  const PackedCodes* codes = ctx.weight_codes(s);
+  Tensor out = codes != nullptr ? conv2d_codes(*x[0], *codes, bias, spec_)
+                                : conv2d(*x[0], w, bias, spec_);
   apply_act(out, act_);
   quantize_activations(out, ctx.act_format(s));
   capture_pooled(ctx, out);
@@ -118,7 +122,10 @@ Tensor LinearNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) cons
   if (ctx.workloads != nullptr) {
     ctx.workloads->push_back({name(), w.dim(0), w.dim(1), in2.dim(0), s});
   }
-  Tensor out = matmul_nt(in2, w, slot_.bias.empty() ? nullptr : &slot_.bias);
+  const Tensor* bias = slot_.bias.empty() ? nullptr : &slot_.bias;
+  const PackedCodes* codes = ctx.weight_codes(s);
+  Tensor out = codes != nullptr ? matmul_nt_codes(in2, *codes, bias)
+                                : matmul_nt(in2, w, bias);
   if (in.rank() == 3) out = out.reshaped({in.dim(0), in.dim(1), w.dim(0)});
   apply_act(out, act_);
   quantize_activations(out, ctx.act_format(s));
@@ -164,8 +171,11 @@ Tensor AttentionNode::attend(const Tensor& tokens, const RunCtx& ctx) const {
       ctx.workloads->push_back({name() + '.' + "qkv"[i], w.dim(0), w.dim(1),
                                 b * t, s0 + i});
     }
-    qkv[static_cast<std::size_t>(i)] =
-        matmul_nt(flat, w, sl.bias.empty() ? nullptr : &sl.bias);
+    const Tensor* bias = sl.bias.empty() ? nullptr : &sl.bias;
+    const PackedCodes* codes = ctx.weight_codes(s0 + i);
+    qkv[static_cast<std::size_t>(i)] = codes != nullptr
+                                           ? matmul_nt_codes(flat, *codes, bias)
+                                           : matmul_nt(flat, w, bias);
     quantize_activations(qkv[static_cast<std::size_t>(i)],
                          ctx.act_format(s0 + i));
   }
@@ -208,7 +218,10 @@ Tensor AttentionNode::attend(const Tensor& tokens, const RunCtx& ctx) const {
   if (ctx.workloads != nullptr) {
     ctx.workloads->push_back({name() + ".o", wo.dim(0), wo.dim(1), b * t, s0 + 3});
   }
-  Tensor out = matmul_nt(concat, wo, so.bias.empty() ? nullptr : &so.bias);
+  const Tensor* obias = so.bias.empty() ? nullptr : &so.bias;
+  const PackedCodes* ocodes = ctx.weight_codes(s0 + 3);
+  Tensor out = ocodes != nullptr ? matmul_nt_codes(concat, *ocodes, obias)
+                                 : matmul_nt(concat, wo, obias);
   quantize_activations(out, ctx.act_format(s0 + 3));
   return out.reshaped({b, t, d});
 }
@@ -416,7 +429,10 @@ Tensor PatchMergeNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) 
   if (ctx.workloads != nullptr) {
     ctx.workloads->push_back({name(), w.dim(0), w.dim(1), gathered.dim(0), s});
   }
-  Tensor out = matmul_nt(gathered, w, slot_.bias.empty() ? nullptr : &slot_.bias);
+  const Tensor* bias = slot_.bias.empty() ? nullptr : &slot_.bias;
+  const PackedCodes* codes = ctx.weight_codes(s);
+  Tensor out = codes != nullptr ? matmul_nt_codes(gathered, *codes, bias)
+                                : matmul_nt(gathered, w, bias);
   quantize_activations(out, ctx.act_format(s));
   Tensor shaped = out.reshaped({b, oh * ow, w.dim(0)});
   capture_pooled(ctx, shaped);

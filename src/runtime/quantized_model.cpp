@@ -5,8 +5,8 @@ namespace lp::runtime {
 nn::ForwardResult QuantizedModel::run(const Tensor& input,
                                       bool capture_pooled) const {
   LP_CHECK_MSG(model_ != nullptr, "empty QuantizedModel");
-  return model_->forward_with_weights(input, weight_ptrs_, act_spec_,
-                                      capture_pooled);
+  return model_->forward_with_weights(input, weight_ptrs_, code_ptrs_,
+                                      act_spec_, capture_pooled);
 }
 
 std::vector<nn::LayerWorkload> QuantizedModel::trace_workloads(

@@ -1,19 +1,22 @@
 // QuantizedModel — an immutable snapshot of an nn::Model under one
-// per-layer format assignment: shared pre-quantized weight tensors (from
+// per-layer format assignment: shared packed weight-code payloads (from
 // the session's weight-code cache) plus interned activation formats.
 //
 // A snapshot is cheap to build (pointer copies once the cache is warm) and
 // cheap to copy, so the LPQ engine materializes one per candidate and
 // evaluates them concurrently; shared ownership keeps every referenced
-// tensor alive even if the cache evicts it mid-flight.  run() executes the
-// fused per-node quantize -> GEMM -> activation pipeline on the default
-// thread pool and the dispatched SIMD kernels, bit-identical to
-// Model::forward_quantized with the equivalent QuantSpec.
+// payload alive even if the cache evicts it mid-flight.  run() executes
+// the fused per-node quantize -> GEMM -> activation pipeline on the
+// default thread pool and the dispatched SIMD kernels; slots with packed
+// codes run the LUT-decoding GEMM datapath (slots the packed path cannot
+// serve carry a pre-quantized float tensor instead) — in either case
+// bit-identical to Model::forward_quantized with the equivalent QuantSpec.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "core/packed_codes.h"
 #include "nn/model.h"
 #include "runtime/format_cache.h"
 
@@ -40,7 +43,14 @@ class QuantizedModel {
   }
   [[nodiscard]] bool empty() const { return model_ == nullptr; }
 
-  /// Per-slot quantized weights (null = slot runs its FP weights).
+  /// Per-slot packed weight codes (null = slot runs the float payload in
+  /// weights(), or its FP weights when both are null).
+  [[nodiscard]] const std::vector<std::shared_ptr<const PackedCodes>>& codes()
+      const {
+    return codes_;
+  }
+  /// Per-slot quantized float weights — only filled for slots the packed
+  /// path could not serve (null everywhere codes() is non-null).
   [[nodiscard]] const std::vector<std::shared_ptr<const Tensor>>& weights()
       const {
     return weights_;
@@ -60,11 +70,13 @@ class QuantizedModel {
   friend class InferenceSession;
 
   const nn::Model* model_ = nullptr;
+  std::vector<std::shared_ptr<const PackedCodes>> codes_;
   std::vector<std::shared_ptr<const Tensor>> weights_;
   std::vector<std::shared_ptr<const LPFormat>> weight_fmts_;
   std::vector<std::shared_ptr<const LPFormat>> act_fmts_;
-  std::vector<const Tensor*> weight_ptrs_;  ///< aligned view of weights_
-  nn::QuantSpec act_spec_;                  ///< act_fmt filled, weights null
+  std::vector<const PackedCodes*> code_ptrs_;  ///< aligned view of codes_
+  std::vector<const Tensor*> weight_ptrs_;     ///< aligned view of weights_
+  nn::QuantSpec act_spec_;                     ///< act_fmt filled, weights null
 };
 
 }  // namespace lp::runtime

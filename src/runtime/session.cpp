@@ -84,24 +84,47 @@ void InferenceSession::prepare_missing(
     formats_.put(missing_fmts[i], std::move(built[i]));
   }
 
-  // Quantize missing weight tensors in parallel.  Each entry copies the FP
-  // slot weights and runs the batched quantize path — exactly what
-  // nn::quantize_weights does — so cached codes are bit-identical to the
-  // uncached flow.  The format map is read-only here (built above).
-  std::vector<std::shared_ptr<const Tensor>> quantized(missing_weights.size());
+  // Intern decode LUTs for the missing weight formats (serial — cache
+  // mutation) so the parallel pass below only reads them.
+  std::vector<std::shared_ptr<const DecodeTable>> pair_luts(
+      missing_weights.size());
+  for (std::size_t i = 0; i < missing_weights.size(); ++i) {
+    const LPConfig& cfg = missing_weights[i].second;
+    pair_luts[i] = weights_.decode_lut(cfg, *formats_.find(cfg));
+  }
+
+  // Quantize missing weight payloads in parallel.  The packed path emits
+  // nearest-value code indices straight from the FP weights — the same
+  // indices whose LUT entries quantize_batch writes — so decoding the
+  // cached codes reproduces the float flow bit-for-bit; slots the packed
+  // path cannot serve (no enumerated code table, or non-finite weight
+  // elements) copy and quantize a float tensor exactly as before.  The
+  // format and LUT maps are read-only here (built above).
+  std::vector<WeightPayload> payloads(missing_weights.size());
   const auto& slots = model_->slot_list();
   pool.run_chunks(static_cast<std::int64_t>(missing_weights.size()),
                   [&](std::int64_t i) {
                     const auto u = static_cast<std::size_t>(i);
                     const auto& [slot, cfg] = missing_weights[u];
                     const std::shared_ptr<const LPFormat> fmt = formats_.find(cfg);
-                    auto copy = std::make_shared<Tensor>(slots[slot]->weight);
+                    const Tensor& w = slots[slot]->weight;
+                    if (pair_luts[u] != nullptr) {
+                      auto packed =
+                          PackedCodes::pack(w.data(), w.shape(), *fmt,
+                                            pair_luts[u]);
+                      if (packed.has_value()) {
+                        payloads[u].codes = std::make_shared<const PackedCodes>(
+                            std::move(*packed));
+                        return;
+                      }
+                    }
+                    auto copy = std::make_shared<Tensor>(w);
                     quantize_inplace(*copy, *fmt);
-                    quantized[u] = std::move(copy);
+                    payloads[u].floats = std::move(copy);
                   });
   for (std::size_t i = 0; i < missing_weights.size(); ++i) {
     weights_.insert(missing_weights[i].first, missing_weights[i].second,
-                    std::move(quantized[i]));
+                    std::move(payloads[i]));
   }
 }
 
@@ -113,17 +136,22 @@ QuantizedModel InferenceSession::assemble(std::span<const LPConfig> weight_cfgs,
 
   QuantizedModel qm;
   qm.model_ = model_;
+  qm.codes_.resize(n);
   qm.weights_.resize(n);
   qm.weight_fmts_.resize(n);
   qm.act_fmts_.resize(n);
+  qm.code_ptrs_.assign(n, nullptr);
   qm.weight_ptrs_.assign(n, nullptr);
   qm.act_spec_.resize(n);
   for (std::size_t s = 0; s < n; ++s) {
     // get() (not find()) so assembly stamps format recency for the
     // generational sweep; this phase is serial, so stamping is safe.
     qm.weight_fmts_[s] = formats_.get(weight_cfgs[s]);
-    qm.weights_[s] = weights_.find(s, weight_cfgs[s]);
-    LP_CHECK_MSG(qm.weights_[s] != nullptr, "slot " << s << " not prepared");
+    WeightPayload payload = weights_.find(s, weight_cfgs[s]);
+    LP_CHECK_MSG(!payload.empty(), "slot " << s << " not prepared");
+    qm.codes_[s] = std::move(payload.codes);
+    qm.weights_[s] = std::move(payload.floats);
+    qm.code_ptrs_[s] = qm.codes_[s].get();
     qm.weight_ptrs_[s] = qm.weights_[s].get();
     if (!act_cfgs.empty()) {
       qm.act_fmts_[s] = formats_.get(act_cfgs[s]);

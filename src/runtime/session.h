@@ -10,8 +10,10 @@
 //
 //   * a FormatCache interns one LPFormat (code table + quant index) per
 //     distinct LPConfig,
-//   * a WeightCodeCache keeps pre-quantized weight tensors keyed by
-//     (slot, format) under a byte budget,
+//   * a WeightCodeCache keeps packed weight codes (n-bit indices plus one
+//     decode LUT per format — see core/packed_codes.h) keyed by
+//     (slot, format) under a byte budget, 4-8x denser than the float
+//     tensors they decode to; the GEMM kernels expand them in-datapath,
 //   * prepare()/prepare_all() snapshot candidates into QuantizedModels,
 //     quantizing only (slot, format) pairs never seen before,
 //   * set_formats()/run() serve batched inference against the current

@@ -1,43 +1,108 @@
 #include "runtime/weight_cache.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace lp::runtime {
 namespace {
 
-std::size_t payload_bytes(const Tensor& t) {
-  return static_cast<std::size_t>(t.numel()) * sizeof(float);
+std::size_t physical_bytes(const WeightPayload& p) {
+  if (p.codes != nullptr) return p.codes->payload_bytes();
+  return static_cast<std::size_t>(p.floats->numel()) * sizeof(float);
+}
+
+std::size_t decoded_bytes(const WeightPayload& p) {
+  if (p.codes != nullptr) return p.codes->logical_bytes();
+  return static_cast<std::size_t>(p.floats->numel()) * sizeof(float);
+}
+
+std::size_t lut_payload_bytes(const DecodeTable& lut) {
+  return lut.size() * sizeof(float);
 }
 
 }  // namespace
 
-std::shared_ptr<const Tensor> WeightCodeCache::find(std::size_t slot,
-                                                    const LPConfig& cfg) {
+WeightPayload WeightCodeCache::find(std::size_t slot, const LPConfig& cfg) {
   const auto it = entries_.find(SlotKey{slot, FormatKey::of(cfg)});
-  if (it == entries_.end()) return nullptr;
+  if (it == entries_.end()) return {};
   it->second.last_used = tick_;
   ++stats_.hits;
-  return it->second.weights;
+  return it->second.payload;
 }
 
 void WeightCodeCache::insert(std::size_t slot, const LPConfig& cfg,
-                             std::shared_ptr<const Tensor> weights) {
-  LP_CHECK(weights != nullptr);
+                             WeightPayload payload) {
+  LP_CHECK(!payload.empty());
   ++stats_.misses;
   const SlotKey key{slot, FormatKey::of(cfg)};
-  auto [it, inserted] = entries_.emplace(key, Entry{std::move(weights), tick_});
+  const std::size_t phys = physical_bytes(payload);
+  const std::size_t log = decoded_bytes(payload);
+  const bool packed = payload.packed();
+  auto [it, inserted] =
+      entries_.emplace(key, Entry{std::move(payload), tick_, phys, log});
   if (!inserted) {
     it->second.last_used = tick_;
     return;  // already cached (same bits); keep the existing copy
   }
-  stats_.bytes += payload_bytes(*it->second.weights);
+  if (packed) {
+    // The payload must carry the LUT decode_lut() interned for this
+    // format — that is what find() hands to live snapshots and what the
+    // byte accounting charged once.
+    const auto lit = luts_.find(key.fmt);
+    LP_CHECK_MSG(lit != luts_.end() &&
+                     lit->second.lut == it->second.payload.codes->lut(),
+                 "packed payload with an un-interned decode LUT");
+    ++lit->second.refs;
+    ++stats_.packed_entries;
+  }
+  stats_.bytes += phys;
+  stats_.logical_bytes += log;
   stats_.entries = entries_.size();
+}
+
+std::shared_ptr<const DecodeTable> WeightCodeCache::decode_lut(
+    const LPConfig& cfg, const NumberFormat& fmt) {
+  const FormatKey key = FormatKey::of(cfg);
+  const auto it = luts_.find(key);
+  if (it != luts_.end()) {
+    it->second.last_used = tick_;
+    return it->second.lut;
+  }
+  std::shared_ptr<const DecodeTable> lut = build_decode_table(fmt);
+  if (lut != nullptr) {
+    const std::size_t b = lut_payload_bytes(*lut);
+    stats_.bytes += b;
+    stats_.lut_bytes += b;
+  }
+  luts_.emplace(key, LutRec{lut, 0, tick_});
+  return lut;
 }
 
 void WeightCodeCache::next_generation() {
   evict_to_budget();
+  sweep_stale_luts();
   ++tick_;
+}
+
+void WeightCodeCache::erase_entry(const SlotKey& key, const Entry& entry) {
+  stats_.bytes -= entry.phys_bytes;
+  stats_.logical_bytes -= entry.log_bytes;
+  if (entry.payload.packed()) {
+    --stats_.packed_entries;
+    const auto lit = luts_.find(key.fmt);
+    if (lit != luts_.end() && --lit->second.refs == 0) {
+      // Last entry of this format gone: its decode LUT goes with it.
+      if (lit->second.lut != nullptr) {
+        const std::size_t b = lut_payload_bytes(*lit->second.lut);
+        stats_.bytes -= b;
+        stats_.lut_bytes -= b;
+      }
+      luts_.erase(lit);
+    }
+  }
+  entries_.erase(key);
+  ++stats_.evictions;
 }
 
 void WeightCodeCache::evict_to_budget() {
@@ -56,11 +121,27 @@ void WeightCodeCache::evict_to_budget() {
   for (const auto& [tick, key] : victims) {
     if (stats_.bytes <= budget_bytes_) break;
     const auto it = entries_.find(key);
-    stats_.bytes -= payload_bytes(*it->second.weights);
-    entries_.erase(it);
-    ++stats_.evictions;
+    erase_entry(key, it->second);
   }
   stats_.entries = entries_.size();
+}
+
+void WeightCodeCache::sweep_stale_luts() {
+  // A LUT interned for a format whose every tensor fell back to floats
+  // (non-finite weights) has refs == 0 and would otherwise linger charged
+  // against the budget forever.  Null records (formats the packed path
+  // cannot serve) cost nothing and stay as a negative cache.
+  for (auto it = luts_.begin(); it != luts_.end();) {
+    if (it->second.refs == 0 && it->second.lut != nullptr &&
+        it->second.last_used < tick_) {
+      const std::size_t b = lut_payload_bytes(*it->second.lut);
+      stats_.bytes -= b;
+      stats_.lut_bytes -= b;
+      it = luts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace lp::runtime

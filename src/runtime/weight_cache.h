@@ -1,11 +1,22 @@
-// Weight-code cache: pre-quantized weight tensors keyed by (slot, format).
+// Weight-code cache: packed quantized weight payloads keyed by
+// (slot, format).
 //
 // Quantizing a layer's weights — one full quantize_batch pass over the
 // weight tensor — is the dominant cost of an LPQ fitness evaluation once
 // GEMM is SIMD-dispatched.  A GA generation re-evaluates candidates that
 // share most of their per-layer genes with the current best parent, so the
 // same (slot, format) pair is requested over and over.  This cache keeps
-// each quantized copy alive as a shared tensor; hits are pointer copies.
+// each quantized copy alive as a shared payload; hits are pointer copies.
+//
+// Entries are PackedCodes — n-bit code indices (bit-packed for 4-bit) plus
+// one decode LUT shared per format — exactly what the paper's accelerator
+// keeps in SRAM, so the same byte budget holds 4-8x more (slot, format)
+// pairs than the float tensors it used to store.  Slots the packed path
+// cannot serve (a format without an enumerated code table, or weights with
+// non-finite elements, which quantize to NaN) fall back to a float
+// tensor.  stats() reports physical bytes (codes + fallbacks + LUTs — the
+// LUTs are charged so many live formats cannot silently overshoot the
+// budget), the float32-equivalent logical bytes, and the LUT share.
 //
 // Eviction is generational LRU under a byte budget: every prepare pass on
 // the owning session advances a tick, entries remember the last tick that
@@ -13,8 +24,9 @@
 // slot then format key, so eviction order never depends on hash-map
 // iteration order).  Entries touched in the current tick are never evicted
 // — a single generation's working set may exceed the budget, but reuse
-// within the generation is always preserved.  Snapshots hold shared
-// ownership, so eviction never invalidates a live QuantizedModel.
+// within the generation is always preserved.  A decode LUT lives as long
+// as any entry of its format (dropping with the last one); snapshots hold
+// shared ownership, so eviction never invalidates a live QuantizedModel.
 //
 // Not internally synchronized: mutation is confined to the session's
 // serial prepare phase.
@@ -24,6 +36,7 @@
 #include <map>
 #include <memory>
 
+#include "core/packed_codes.h"
 #include "runtime/format_cache.h"
 #include "tensor/tensor.h"
 
@@ -34,36 +47,60 @@ struct CacheStats {
   std::uint64_t misses = 0;      ///< lookups that required quantization
   std::uint64_t evictions = 0;   ///< entries dropped by the byte budget
   std::size_t entries = 0;       ///< live entries
-  std::size_t bytes = 0;         ///< live payload bytes
+  std::size_t bytes = 0;         ///< live physical bytes: codes + float fallbacks + decode LUTs
+  std::size_t logical_bytes = 0; ///< float32-equivalent bytes of live entries
+  std::size_t lut_bytes = 0;     ///< portion of `bytes` held by decode LUTs
+  std::size_t packed_entries = 0;///< entries stored as packed codes (rest are float fallbacks)
+};
+
+/// One cached weight payload: packed codes (the common path for every
+/// n <= 16 LP format) or a pre-quantized float tensor (fallback).
+/// Decoding `codes` yields bit-for-bit the floats `floats` would hold.
+struct WeightPayload {
+  std::shared_ptr<const PackedCodes> codes;
+  std::shared_ptr<const Tensor> floats;
+
+  [[nodiscard]] bool packed() const { return codes != nullptr; }
+  [[nodiscard]] bool empty() const {
+    return codes == nullptr && floats == nullptr;
+  }
 };
 
 class WeightCodeCache {
  public:
-  /// Default budget: 256 MB of quantized weight copies.
+  /// Default budget: 256 MB of cached weight payloads.  Packed codes make
+  /// this hold 4-8x more (slot, format) pairs than float storage did.
   static constexpr std::size_t kDefaultBudgetBytes = 256U << 20;
 
   explicit WeightCodeCache(std::size_t budget_bytes = kDefaultBudgetBytes)
       : budget_bytes_(budget_bytes) {}
 
-  /// Cached quantized weights for (slot, cfg), or null.  A hit marks the
+  /// Cached payload for (slot, cfg), or an empty payload.  A hit marks the
   /// entry as used in the current tick and counts toward stats().hits
   /// (lookups served from the cache — including entries quantized earlier
   /// in the same prepare pass; misses counts pairs that had to be
   /// quantized, so the invalidation delta per format-gene change is exact).
-  [[nodiscard]] std::shared_ptr<const Tensor> find(std::size_t slot,
-                                                   const LPConfig& cfg);
+  [[nodiscard]] WeightPayload find(std::size_t slot, const LPConfig& cfg);
 
   /// Presence probe without touching counters or recency.
   [[nodiscard]] bool contains(std::size_t slot, const LPConfig& cfg) const {
     return entries_.find(SlotKey{slot, FormatKey::of(cfg)}) != entries_.end();
   }
 
-  /// Insert a freshly quantized copy (counted as a miss).
-  void insert(std::size_t slot, const LPConfig& cfg,
-              std::shared_ptr<const Tensor> weights);
+  /// Insert a freshly quantized payload (counted as a miss).  A packed
+  /// payload must carry the LUT decode_lut() returned for its config.
+  void insert(std::size_t slot, const LPConfig& cfg, WeightPayload payload);
+
+  /// Shared decode LUT for cfg, built from `fmt` on first request and
+  /// charged against the budget, or null when the format cannot serve the
+  /// packed path (callers then quantize a float fallback).  Serial phase
+  /// only.
+  [[nodiscard]] std::shared_ptr<const DecodeTable> decode_lut(
+      const LPConfig& cfg, const NumberFormat& fmt);
 
   /// Advance the generation tick and sweep oldest-tick entries until the
-  /// payload fits the budget again (current-tick entries are kept).
+  /// payload fits the budget again (current-tick entries are kept).  Also
+  /// drops decode LUTs no live entry references.
   void next_generation();
 
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
@@ -79,15 +116,25 @@ class WeightCodeCache {
     }
   };
   struct Entry {
-    std::shared_ptr<const Tensor> weights;
+    WeightPayload payload;
+    std::uint64_t last_used = 0;
+    std::size_t phys_bytes = 0;
+    std::size_t log_bytes = 0;
+  };
+  struct LutRec {
+    std::shared_ptr<const DecodeTable> lut;  ///< null = format can't pack
+    std::size_t refs = 0;                    ///< live entries of this format
     std::uint64_t last_used = 0;
   };
 
   void evict_to_budget();
+  void erase_entry(const SlotKey& key, const Entry& entry);
+  void sweep_stale_luts();
 
-  // Ordered map: the eviction sweep iterates in key order, which makes the
-  // set of survivors a pure function of the lookup/insert history.
+  // Ordered maps: the eviction sweep iterates in key order, which makes
+  // the set of survivors a pure function of the lookup/insert history.
   std::map<SlotKey, Entry> entries_;
+  std::map<FormatKey, LutRec> luts_;
   std::size_t budget_bytes_;
   std::uint64_t tick_ = 0;
   CacheStats stats_;

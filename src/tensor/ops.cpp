@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/number_format.h"
+#include "core/packed_codes.h"
 #include "kernels/kernels.h"
 #include "util/thread_pool.h"
 
@@ -55,6 +56,18 @@ void gemm_parallel(const float* a, const float* b, const float* bias, float* c,
                  });
 }
 
+/// gemm_parallel with a packed-code A operand (the conv weight layout):
+/// same pool split, the kernel LUT-decodes A inside the row block.
+void gemm_codes_parallel(const kernels::PackedCodesView& a, const float* b,
+                         const float* bias, float* c, std::int64_t m,
+                         std::int64_t k, std::int64_t n) {
+  const kernels::KernelTable& kt = kernels::dispatch();
+  for_row_blocks(m * k * n, kGemmSerialBelow, m,
+                 [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
+                   kt.gemm_codes_rows(a, b, bias, c, row_begin, row_end, k, n);
+                 });
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b, const Tensor* bias) {
@@ -90,6 +103,39 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b, const Tensor* bias) {
                    kt.gemm_nt_rows(a.raw(), b.raw(), bias_raw, c.raw(),
                                    row_begin, row_end, k, n);
                  });
+  return c;
+}
+
+Tensor matmul_nt_codes(const Tensor& a, const PackedCodes& b,
+                       const Tensor* bias) {
+  LP_CHECK(a.rank() == 2 && b.rank() == 2);
+  LP_CHECK_MSG(a.dim(1) == b.dim(1), "matmul_nt_codes inner dims "
+                                         << a.dim(1) << " vs " << b.dim(1));
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(0);
+  if (bias != nullptr) LP_CHECK(bias->rank() == 1 && bias->dim(0) == n);
+  Tensor c({m, n});
+  const kernels::KernelTable& kt = kernels::dispatch();
+  const kernels::PackedCodesView bv = b.view();
+  const float* bias_raw = bias != nullptr ? bias->raw() : nullptr;
+  auto body = [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
+    kt.gemm_codes_nt_rows(a.raw(), bv, bias_raw, c.raw(), row_begin, row_end,
+                          k, n);
+  };
+  // The coded-nt kernels decode the whole B operand per row-block call
+  // (O(n*k)); a block must carry enough A rows to amortize that, or a
+  // short A split into one-row blocks pays the decode m times over.  Rows
+  // are independent, so coarsening the grain cannot affect results.
+  constexpr std::int64_t kMinDecodeRows = 16;
+  if (m * k * n < kGemmSerialBelow || m <= kMinDecodeRows) {
+    body(0, m, 0);
+  } else {
+    ThreadPool& pool = default_pool();
+    const std::int64_t grain = std::max(
+        balanced_grain(m, pool.thread_count()), kMinDecodeRows);
+    parallel_for(pool, 0, m, grain, body);
+  }
   return c;
 }
 
@@ -145,21 +191,31 @@ Tensor im2col(const Tensor& input, std::int64_t c_begin, std::int64_t c_count,
   return cols;
 }
 
-Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
-              const Conv2dSpec& spec) {
-  LP_CHECK(input.rank() == 4 && weight.rank() == 4);
+namespace {
+
+/// Shared conv2d body for float and packed-code weights: im2col per
+/// group, one GEMM per group via `group_gemm(g, k, cols, result)` (which
+/// computes result[cg_out, col_width] = W_g * cols), scatter back to
+/// NCHW.  `wd` is the weight's [Cout, Cin/groups, kh, kw] shape — the
+/// two storage forms share it, and everything outside the GEMM call is
+/// identical, so the coded path is bit-identical by construction.
+template <typename GroupGemm>
+Tensor conv2d_core(const Tensor& input, const std::int64_t (&wd)[4],
+                   const Tensor* bias, const Conv2dSpec& spec,
+                   GroupGemm&& group_gemm) {
+  LP_CHECK(input.rank() == 4);
   const std::int64_t n = input.dim(0);
   const std::int64_t cin = input.dim(1);
   const std::int64_t h = input.dim(2);
   const std::int64_t w = input.dim(3);
-  const std::int64_t cout = weight.dim(0);
-  const std::int64_t kh = weight.dim(2);
-  const std::int64_t kw = weight.dim(3);
+  const std::int64_t cout = wd[0];
+  const std::int64_t kh = wd[2];
+  const std::int64_t kw = wd[3];
   LP_CHECK(spec.groups >= 1);
   LP_CHECK_MSG(cin % spec.groups == 0 && cout % spec.groups == 0,
                "groups must divide channels");
-  LP_CHECK_MSG(weight.dim(1) == cin / spec.groups,
-               "weight Cin/groups mismatch: " << weight.dim(1) << " vs "
+  LP_CHECK_MSG(wd[1] == cin / spec.groups,
+               "weight Cin/groups mismatch: " << wd[1] << " vs "
                                               << cin / spec.groups);
   if (bias != nullptr) LP_CHECK(bias->rank() == 1 && bias->dim(0) == cout);
 
@@ -172,13 +228,10 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
   Tensor out({n, cout, ho, wo});
   for (std::int64_t g = 0; g < spec.groups; ++g) {
     const Tensor cols = im2col(input, g * cg_in, cg_in, kh, kw, spec);
-    // Weight slice for this group as a [cg_out, cg_in*kh*kw] matrix.
-    const float* wslice = weight.raw() + g * cg_out * cg_in * kh * kw;
     const std::int64_t k = cg_in * kh * kw;
-    // result[cg_out, col_width] = wslice * cols
+    // result[cg_out, col_width] = W_g * cols
     std::vector<float> result(static_cast<std::size_t>(cg_out * col_width), 0.0F);
-    gemm_parallel(wslice, cols.raw(), nullptr, result.data(), cg_out, k,
-                  col_width);
+    group_gemm(g, k, cols, result.data(), cg_out, col_width);
     // Scatter back into NCHW (columns are ordered batch-major per im2col).
     // Output channels write disjoint planes — parallel over oc.
     auto scatter = [&](std::int64_t oc_begin, std::int64_t oc_end,
@@ -196,6 +249,40 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
     for_row_blocks(cg_out * col_width, kRowsSerialBelow, cg_out, scatter);
   }
   return out;
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
+              const Conv2dSpec& spec) {
+  LP_CHECK(weight.rank() == 4);
+  const std::int64_t wd[4] = {weight.dim(0), weight.dim(1), weight.dim(2),
+                              weight.dim(3)};
+  return conv2d_core(
+      input, wd, bias, spec,
+      [&](std::int64_t g, std::int64_t k, const Tensor& cols, float* result,
+          std::int64_t cg_out, std::int64_t col_width) {
+        // Weight slice for this group as a [cg_out, k] matrix.
+        const float* wslice = weight.raw() + g * cg_out * k;
+        gemm_parallel(wslice, cols.raw(), nullptr, result, cg_out, k,
+                      col_width);
+      });
+}
+
+Tensor conv2d_codes(const Tensor& input, const PackedCodes& weight,
+                    const Tensor* bias, const Conv2dSpec& spec) {
+  LP_CHECK(weight.rank() == 4);
+  const std::int64_t wd[4] = {weight.dim(0), weight.dim(1), weight.dim(2),
+                              weight.dim(3)};
+  return conv2d_core(
+      input, wd, bias, spec,
+      [&](std::int64_t g, std::int64_t k, const Tensor& cols, float* result,
+          std::int64_t cg_out, std::int64_t col_width) {
+        // The group's weight slice starts at an element (not byte) offset;
+        // the view carries it so 4-bit slices need no realignment.
+        gemm_codes_parallel(weight.view(g * cg_out * k), cols.raw(), nullptr,
+                            result, cg_out, k, col_width);
+      });
 }
 
 Tensor global_avg_pool(const Tensor& input) {

@@ -11,6 +11,7 @@
 namespace lp {
 
 class NumberFormat;
+class PackedCodes;
 
 /// Quantize every element of t in place through the format's batched path
 /// (see NumberFormat::quantize_batch).  The RMSE-returning variant is
@@ -32,6 +33,13 @@ void quantize_inplace(Tensor& t, const NumberFormat& fmt);
 [[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b,
                                const Tensor* bias = nullptr);
 
+/// matmul_nt against a packed-code weight operand ([N,K] logical shape):
+/// the dispatched kernel LUT-decodes the codes inside the datapath, so
+/// the result is bit-identical to matmul_nt(a, decoded_b, bias) while the
+/// B-stream reads 4-8x fewer weight bytes.
+[[nodiscard]] Tensor matmul_nt_codes(const Tensor& a, const PackedCodes& b,
+                                     const Tensor* bias = nullptr);
+
 struct Conv2dSpec {
   std::int64_t stride = 1;
   std::int64_t padding = 0;
@@ -42,6 +50,13 @@ struct Conv2dSpec {
 /// optional bias [Cout].  im2col + GEMM implementation.
 [[nodiscard]] Tensor conv2d(const Tensor& input, const Tensor& weight,
                             const Tensor* bias, const Conv2dSpec& spec);
+
+/// conv2d with a packed-code weight tensor (same logical layout): the
+/// per-group weight slice is the GEMM's A operand, decoded element-wise
+/// inside the kernel.  Bit-identical to conv2d over the decoded weights.
+[[nodiscard]] Tensor conv2d_codes(const Tensor& input,
+                                  const PackedCodes& weight,
+                                  const Tensor* bias, const Conv2dSpec& spec);
 
 /// Global average pool: [N,C,H,W] -> [N,C].
 [[nodiscard]] Tensor global_avg_pool(const Tensor& input);

@@ -154,43 +154,72 @@ TEST(InferenceSession, PopulationSharesQuantizedTensors) {
   // Distinct (slot, format) pairs: slots for candidate 0, plus one per
   // remaining candidate (the mutated slot 0 gene).
   EXPECT_EQ(session.stats().misses, m.num_slots() + 7);
-  // Unchanged layers are served by the *same* tensor objects.
+  // Every n <= 16 LP format with finite weights serves the packed path:
+  // no slot should have fallen back to a float tensor.
+  for (std::size_t s = 0; s < m.num_slots(); ++s) {
+    EXPECT_NE(prepared[0].codes()[s].get(), nullptr) << "slot " << s;
+    EXPECT_EQ(prepared[0].weights()[s].get(), nullptr) << "slot " << s;
+  }
+  // Unchanged layers are served by the *same* packed-code objects, and
+  // candidates of one format share one decode LUT instance.
   for (std::size_t c = 1; c < prepared.size(); ++c) {
     for (std::size_t s = 1; s < m.num_slots(); ++s) {
-      EXPECT_EQ(prepared[c].weights()[s].get(), prepared[0].weights()[s].get());
+      EXPECT_EQ(prepared[c].codes()[s].get(), prepared[0].codes()[s].get());
     }
-    EXPECT_NE(prepared[c].weights()[0].get(), prepared[0].weights()[0].get());
+    EXPECT_NE(prepared[c].codes()[0].get(), prepared[0].codes()[0].get());
+    // The mutated slot-0 gene differs only in sf, so it is a *different*
+    // format with its own LUT; unchanged slots share payloads (and
+    // therefore LUTs) outright, which the pointer equality above pins.
   }
 }
 
 TEST(InferenceSession, EvictionRespectsByteBudgetAcrossGenerations) {
   const nn::Model m = nn::build_tiny_cnn(small_opts());
-  // Budget of one weight-set: a second, disjoint assignment must evict the
-  // first once its generation has passed.
-  std::size_t set_bytes = 0;
+  std::size_t float_set_bytes = 0;
   for (const auto* slot : m.slot_list()) {
-    set_bytes += static_cast<std::size_t>(slot->weight.numel()) * sizeof(float);
+    float_set_bytes +=
+        static_cast<std::size_t>(slot->weight.numel()) * sizeof(float);
   }
-  SessionOptions opts;
-  opts.weight_cache_bytes = set_bytes;
-  InferenceSession session(m, opts);
 
   auto w = varied_weight_cfgs(m);
   const auto a = varied_act_cfgs(w);
+
+  // Probe one packed weight-set's physical footprint (codes + LUTs):
+  // packed storage is what the budget now measures, and the n = 4/6/8
+  // formats in play must compress the code arrays at least 4x against the
+  // float tensors they replace.
+  std::size_t packed_set_bytes = 0;
+  {
+    InferenceSession probe(m);
+    probe.set_formats(w, a);
+    const CacheStats st = probe.stats();
+    packed_set_bytes = st.bytes;
+    EXPECT_EQ(st.logical_bytes, float_set_bytes);
+    EXPECT_LE((st.bytes - st.lut_bytes) * 4, st.logical_bytes);
+    EXPECT_GT(st.lut_bytes, 0U);
+    EXPECT_EQ(st.packed_entries, st.entries);
+  }
+
+  // Budget of one packed weight-set: a second, disjoint assignment must
+  // evict the first once its generation has passed.
+  SessionOptions opts;
+  opts.weight_cache_bytes = packed_set_bytes;
+  InferenceSession session(m, opts);
   session.set_formats(w, a);
   const CacheStats warm = session.stats();
   EXPECT_EQ(warm.evictions, 0U);
-  EXPECT_LE(warm.bytes, set_bytes);
+  EXPECT_LE(warm.bytes, packed_set_bytes);
 
   // A fully disjoint assignment: within its own generation everything may
   // stay alive (current-tick entries are never evicted) but afterwards the
-  // cache must be back under budget with the old entries gone.
+  // cache must be back under budget with the old entries — and their
+  // now-unreferenced decode LUTs — gone.
   for (auto& cfg : w) cfg.sf += 1.0;
   session.set_formats(w, a);
   const CacheStats after = session.stats();
   EXPECT_GT(after.evictions, 0U);
-  EXPECT_LE(after.bytes, set_bytes);
-  // The evicted tensors live on inside the snapshot that references them.
+  EXPECT_LE(after.bytes, packed_set_bytes);
+  // The evicted payloads live on inside the snapshot that references them.
   const Tensor x = random_batch(2, 3, 16, 5);
   EXPECT_GT(session.run(x).logits.numel(), 0);
 }
