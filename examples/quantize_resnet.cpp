@@ -70,12 +70,24 @@ int main(int argc, char** argv) {
   // Serve evaluation through the runtime: quantize the weights once into
   // the session's weight-code cache, then run the whole eval set as one
   // batched forward.
+  const auto act_cfgs =
+      lpq::act_configs(model, result.best, params.fitness.act_sf,
+                       engine.reference().act_scale_centers);
   runtime::InferenceSession session(model);
-  session.set_formats(result.best.layers,
-                      lpq::act_configs(model, result.best, params.fitness.act_sf,
-                                       engine.reference().act_scale_centers));
-  const Tensor logits = session.run(ds.eval_inputs).logits;
+  session.set_formats(result.best.layers, act_cfgs);
+  nn::ActTraffic coded_traffic;
+  const Tensor logits = session.run(ds.eval_inputs, false, &coded_traffic).logits;
   const double q_acc = data::top1_accuracy(logits, ds.eval_labels);
+
+  // Float-path reference for the end-to-end activation-compression figure:
+  // same assignment, inter-layer activations kept as float32.
+  runtime::SessionOptions float_opts;
+  float_opts.coded_activations = false;
+  runtime::InferenceSession float_session(model, float_opts);
+  float_session.set_formats(result.best.layers, act_cfgs);
+  nn::ActTraffic float_traffic;
+  (void)float_session.run(ds.eval_inputs, false, &float_traffic);
+
   const auto& cache = session.stats();
   const double ratio =
       cache.bytes > 0 ? static_cast<double>(cache.logical_bytes) /
@@ -85,11 +97,22 @@ int main(int argc, char** argv) {
               "%llu quantize misses\n",
               cache.entries, cache.packed_entries,
               static_cast<unsigned long long>(cache.misses));
-  std::printf("  cache bytes     : %.2f MB physical (codes + %.3f MB decode "
-              "LUTs) vs %.2f MB decoded-equivalent — %.1fx compression\n",
+  std::printf("  cache bytes     : %.2f MB physical (codes + %.3f MB weight "
+              "LUTs + %.3f MB act LUTs) vs %.2f MB decoded-equivalent — "
+              "%.1fx compression\n",
               static_cast<double>(cache.bytes) / 1e6,
               static_cast<double>(cache.lut_bytes) / 1e6,
+              static_cast<double>(cache.act_lut_bytes) / 1e6,
               static_cast<double>(cache.logical_bytes) / 1e6, ratio);
+  const double act_moved = static_cast<double>(coded_traffic.coded_bytes +
+                                               coded_traffic.float_bytes);
+  const double act_float = static_cast<double>(float_traffic.float_bytes);
+  std::printf("  act traffic     : %.2f MB as codes + %.2f MB float fallback "
+              "vs %.2f MB all-float — %.1fx end-to-end activation "
+              "compression\n",
+              static_cast<double>(coded_traffic.coded_bytes) / 1e6,
+              static_cast<double>(coded_traffic.float_bytes) / 1e6,
+              act_float / 1e6, act_moved > 0 ? act_float / act_moved : 0.0);
   std::printf("\nresults:\n");
   std::printf("  avg weight bits : %.2f\n", stats.avg_weight_bits);
   std::printf("  avg act bits    : %.2f\n", stats.avg_act_bits);

@@ -99,6 +99,10 @@ class CodeTable {
   [[nodiscard]] double max_value() const { return values_.back(); }
   [[nodiscard]] double min_positive() const;
 
+  /// The nearest-value index behind quantize_batch /
+  /// nearest_value_indices.  Valid only while this table is alive.
+  [[nodiscard]] const QuantIndex& index() const { return index_; }
+
  private:
   [[nodiscard]] std::size_t nearest_index(double v) const;
 

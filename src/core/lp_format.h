@@ -31,6 +31,10 @@ class LPFormat final : public NumberFormat {
     return true;
   }
 
+  [[nodiscard]] const QuantIndex* quant_index() const override {
+    return &table_.index();
+  }
+
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] int bits() const override { return table_.config().n; }

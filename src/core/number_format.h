@@ -49,6 +49,15 @@ class NumberFormat {
   virtual bool quantize_codes_batch(std::span<const float> xs,
                                     std::span<std::uint32_t> out) const;
 
+  /// The nearest-value index behind quantize_codes_batch, or nullptr when
+  /// the format has no enumerated index path.  The fused encode epilogue
+  /// (kernels::ActEncode) searches this index directly, so a non-null
+  /// return is the gate for the coded-activation datapath.  Valid only
+  /// while the format is alive.
+  [[nodiscard]] virtual const QuantIndex* quant_index() const {
+    return nullptr;
+  }
+
   /// Human-readable name, e.g. "LP<4,1,2,sf=0.31>".
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -70,6 +79,9 @@ class EnumeratedFormat : public NumberFormat {
                             std::span<std::uint32_t> out) const final {
     index_.nearest_indices(xs, out);
     return true;
+  }
+  [[nodiscard]] const QuantIndex* quant_index() const final {
+    return &index_;
   }
 
  protected:

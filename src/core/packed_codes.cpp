@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 
 #include "core/number_format.h"
 #include "core/quant_index.h"
@@ -17,9 +18,60 @@ std::shared_ptr<const DecodeTable> build_decode_table(const NumberFormat& fmt) {
   return std::make_shared<const DecodeTable>(std::move(table));
 }
 
+std::int64_t lut_zero_code(const DecodeTable& lut) {
+  for (std::size_t i = 0; i < lut.size(); ++i) {
+    // Exact +0.0f only: -0.0f decodes to a different bit pattern than the
+    // 0.0f the float im2col pads with.
+    if (lut[i] == 0.0F && !std::signbit(lut[i])) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  return -1;
+}
+
+PackedCodes PackedCodes::from_codes(std::vector<std::uint8_t> data,
+                                    std::vector<std::int64_t> shape, int bits,
+                                    std::shared_ptr<const DecodeTable> lut) {
+  std::int64_t numel = 1;
+  for (const std::int64_t d : shape) numel *= d;
+  LP_CHECK_MSG(data.size() == stream_bytes(numel, bits),
+               "code-stream size mismatch: " << data.size() << " bytes for "
+                                             << numel << " elements at "
+                                             << bits << " bits");
+  LP_CHECK(lut != nullptr && !lut->empty());
+  PackedCodes out;
+  out.shape_ = std::move(shape);
+  out.numel_ = numel;
+  out.bits_ = bits;
+  out.data_ = std::move(data);
+  out.lut_ = std::move(lut);
+  return out;
+}
+
+void PackedCodes::reshape(std::vector<std::int64_t> shape) {
+  std::int64_t numel = 1;
+  for (const std::int64_t d : shape) numel *= d;
+  LP_CHECK_MSG(numel == numel_, "packed-code reshape numel mismatch: "
+                                    << numel << " vs " << numel_);
+  shape_ = std::move(shape);
+}
+
+void PackedCodes::decode(std::span<float> out) const {
+  LP_CHECK(static_cast<std::int64_t>(out.size()) == numel_);
+  const kernels::PackedCodesView v = view();
+  float* dst = out.data();
+  parallel_for(default_pool(), 0, numel_, 1 << 15,
+               [&](std::int64_t e0, std::int64_t e1, std::int64_t) {
+                 for (std::int64_t e = e0; e < e1; ++e) {
+                   dst[e] = kernels::packed_decode_at(v, e);
+                 }
+               });
+}
+
 std::optional<PackedCodes> PackedCodes::pack(
     std::span<const float> data, std::vector<std::int64_t> shape,
-    const NumberFormat& fmt, std::shared_ptr<const DecodeTable> lut) {
+    const NumberFormat& fmt, std::shared_ptr<const DecodeTable> lut,
+    int min_bits) {
   if (lut == nullptr || lut->empty() || lut->size() > kMaxLutSize) {
     return std::nullopt;
   }
@@ -59,11 +111,9 @@ std::optional<PackedCodes> PackedCodes::pack(
   PackedCodes out;
   out.shape_ = std::move(shape);
   out.numel_ = numel;
-  out.bits_ = lut_size <= 16 ? 4 : lut_size <= 256 ? 8 : 16;
+  out.bits_ = bits_for(lut_size, min_bits);
   out.lut_ = std::move(lut);
-  const std::size_t bytes = out.bits_ == 4   ? (n + 1) / 2
-                            : out.bits_ == 8 ? n
-                                             : n * 2;
+  const std::size_t bytes = stream_bytes(numel, out.bits_);
   out.data_.assign(bytes, 0);
   std::uint8_t* dst = out.data_.data();
   // Pack over disjoint byte ranges (a 4-bit byte covers elements 2b and

@@ -44,13 +44,43 @@ class PackedCodes {
   /// is non-finite (the float path quantizes those to NaN, which no code
   /// can represent).  Runs chunk-parallel on the default pool; all chunk
   /// writes are disjoint, so the result is identical for any pool size.
+  /// `min_bits` floors the code width: activation streams pass 8 so codes
+  /// stay byte-aligned and parallel writers never share a byte (weights
+  /// keep the default 0 = narrowest width that fits the LUT).
   [[nodiscard]] static std::optional<PackedCodes> pack(
       std::span<const float> data, std::vector<std::int64_t> shape,
-      const NumberFormat& fmt, std::shared_ptr<const DecodeTable> lut);
+      const NumberFormat& fmt, std::shared_ptr<const DecodeTable> lut,
+      int min_bits = 0);
+
+  /// Code width (4, 8, or 16) pack() would choose for a LUT of that size,
+  /// floored at `min_bits`.  Callers sizing kernel-written code streams
+  /// (the fused encode epilogue) use this plus stream_bytes().
+  [[nodiscard]] static int bits_for(std::size_t lut_size, int min_bits = 0) {
+    const int natural = lut_size <= 16 ? 4 : lut_size <= 256 ? 8 : 16;
+    return natural < min_bits ? min_bits : natural;
+  }
+
+  /// Bytes a code stream of `numel` elements at `bits` wide occupies.
+  [[nodiscard]] static std::size_t stream_bytes(std::int64_t numel, int bits) {
+    const std::size_t n = static_cast<std::size_t>(numel);
+    return bits == 4 ? (n + 1) / 2 : bits == 8 ? n : n * 2;
+  }
+
+  /// Wrap a kernel-written code stream (the fused encode epilogue writes
+  /// codes directly, no float detour) as a PackedCodes.  `data` must hold
+  /// exactly stream_bytes(numel(shape), bits) bytes of valid indices into
+  /// `lut`; nothing is validated beyond the sizes.
+  [[nodiscard]] static PackedCodes from_codes(
+      std::vector<std::uint8_t> data, std::vector<std::int64_t> shape,
+      int bits, std::shared_ptr<const DecodeTable> lut);
 
   [[nodiscard]] const std::vector<std::int64_t>& shape() const {
     return shape_;
   }
+
+  /// Reinterpret the logical shape (element count must match) — the coded
+  /// analogue of Tensor::reshape for nn's [B,T,D] <-> [B*T,D] round-trips.
+  void reshape(std::vector<std::int64_t> shape);
   [[nodiscard]] std::int64_t dim(std::size_t i) const { return shape_[i]; }
   [[nodiscard]] std::size_t rank() const { return shape_.size(); }
   [[nodiscard]] std::int64_t numel() const { return numel_; }
@@ -81,6 +111,11 @@ class PackedCodes {
     return kernels::packed_decode_at(view(), i);
   }
 
+  /// Decode every element into `out` (size numel()) — the exact float
+  /// tensor the float path produces for this data.  Chunk-parallel with
+  /// disjoint writes; identical for any pool size.
+  void decode(std::span<float> out) const;
+
  private:
   PackedCodes() = default;
 
@@ -96,5 +131,10 @@ class PackedCodes {
 /// table beyond PackedCodes::kMaxLutSize).
 [[nodiscard]] std::shared_ptr<const DecodeTable> build_decode_table(
     const NumberFormat& fmt);
+
+/// Index of the exact +0.0f entry in a decode LUT, or a negative value
+/// when the table has none.  The coded im2col path pads with this code so
+/// padded patches decode to the same 0.0f the float im2col writes.
+[[nodiscard]] std::int64_t lut_zero_code(const DecodeTable& lut);
 
 }  // namespace lp

@@ -20,6 +20,8 @@
 //   2. the best table the CPU supports (runtime cpuid, not compile flags).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -95,6 +97,64 @@ struct PackedCodesView {
   return v.lut[packed_code_at(v, i)];
 }
 
+/// Write a code at element e of a byte-aligned output stream.  Activation
+/// code streams are always 8- or 16-bit (never nibble-packed), so parallel
+/// row blocks and scatter writers never share a byte.
+inline void packed_code_write(std::uint8_t* data, int bits, std::int64_t e,
+                              std::uint32_t code) {
+  if (bits == 8) {
+    data[e] = static_cast<std::uint8_t>(code);
+  } else {
+    data[e * 2] = static_cast<std::uint8_t>(code & 0xFFU);
+    data[e * 2 + 1] = static_cast<std::uint8_t>((code >> 8) & 0xFFU);
+  }
+}
+
+/// Post-GEMM nonlinearity selector for the fused encode epilogue.  Values
+/// mirror nn::Act (none, relu, relu6, gelu).
+inline constexpr int kActNone = 0;
+inline constexpr int kActRelu = 1;
+inline constexpr int kActRelu6 = 2;
+inline constexpr int kActGelu = 3;
+
+/// Per-element activation function.  This is THE definition: the float
+/// tensor path (relu/relu6/gelu in tensor/ops.cpp) and the fused encode
+/// epilogue both evaluate it, so fused and unfused flows apply
+/// bit-identical nonlinearities (the build pins -ffp-contract=off, so the
+/// polynomial rounds the same everywhere).
+[[nodiscard]] inline float act_eval(float v, int act) {
+  switch (act) {
+    case kActRelu:
+      return std::max(v, 0.0F);
+    case kActRelu6:
+      return std::clamp(v, 0.0F, 6.0F);
+    case kActGelu: {
+      // tanh approximation of GELU (the variant ViT implementations use).
+      constexpr float kSqrt2OverPi = 0.7978845608028654F;
+      const float u = kSqrt2OverPi * (v + 0.044715F * v * v * v);
+      return 0.5F * v * (1.0F + std::tanh(u));
+    }
+    default:
+      return v;
+  }
+}
+
+/// Fused quantize-to-code epilogue for the coded-activation GEMM kernels:
+/// each finished (bias-seeded) output element gets `act` applied, is
+/// encoded to its nearest-table-value index through `qidx` — the same
+/// boundary search the quantize kernels run, so the code indexes exactly
+/// the float the unfused path would have stored — and the code is written
+/// to `codes` at the element's output position.  `bits` is 8 or 16
+/// (byte-aligned; see packed_code_write).  Non-finite outputs have no
+/// code: the kernel reports them by returning false and the caller re-runs
+/// that edge on the float path.
+struct ActEncode {
+  QuantIndexView qidx;
+  std::uint8_t* codes = nullptr;  ///< element 0 of the output code stream
+  int bits = 8;                   ///< 8 or 16
+  int act = kActNone;
+};
+
 /// GEMM row-block kernel with a *coded* A operand (the conv-as-GEMM
 /// layout, where the weight matrix is A): C[i,:] = bias + decode(A)[i,:]
 /// * B, same shapes and accumulation contract as GemmRowsFn.  Decoding
@@ -116,6 +176,37 @@ using GemmCodesNtRowsFn = void (*)(const float* a, const PackedCodesView& b,
                                    std::int64_t row_end, std::int64_t k,
                                    std::int64_t n);
 
+/// GEMM row-block kernel with BOTH operands coded, conv layout: A is the
+/// coded weight matrix [m,k] (weight LUT), B the coded activation patch
+/// matrix [k,n] (activation LUT), C float.  Each operand decodes through
+/// its own LUT at load; bit-identical to expanding both and calling
+/// gemm_rows.
+using GemmCodesCodesRowsFn = void (*)(const PackedCodesView& a,
+                                      const PackedCodesView& b,
+                                      const float* bias, float* c,
+                                      std::int64_t row_begin,
+                                      std::int64_t row_end, std::int64_t k,
+                                      std::int64_t n);
+
+/// GEMM row-block kernel with BOTH operands coded, linear layout: A is the
+/// coded activation matrix [m,k], B [n,k] row-major holds the coded
+/// weights (used transposed), plus an optional fused encode epilogue.
+/// With `ep == nullptr` this writes float C rows exactly like
+/// gemm_codes_nt_rows over the decoded A.  With an epilogue, `c` is
+/// ignored (may be null): the row block stages into kernel-local scratch,
+/// the epilogue applies act + nearest-index encode per element, and only
+/// codes reach the output stream — the inter-layer activation never
+/// materializes as a float tensor.  Returns false when any output element
+/// was non-finite (not encodable); the caller then re-runs the edge on the
+/// float path.
+using GemmCodesCodesNtRowsFn = bool (*)(const PackedCodesView& a,
+                                        const PackedCodesView& b,
+                                        const float* bias, float* c,
+                                        const ActEncode* ep,
+                                        std::int64_t row_begin,
+                                        std::int64_t row_end, std::int64_t k,
+                                        std::int64_t n);
+
 /// Quantize xs[0..n) in place against the index view (non-finite inputs
 /// become quiet NaN) and return the squared error accumulated in element
 /// order — the same addition sequence as the scalar reference, so partials
@@ -134,6 +225,8 @@ struct KernelTable {
   GemmRowsFn gemm_nt_rows;
   GemmCodesRowsFn gemm_codes_rows;
   GemmCodesNtRowsFn gemm_codes_nt_rows;
+  GemmCodesCodesRowsFn gemm_codes_codes_rows;
+  GemmCodesCodesNtRowsFn gemm_codes_codes_nt_rows;
   QuantizeChunkFn quantize_chunk;
   NearestIndicesFn nearest_indices;
 };

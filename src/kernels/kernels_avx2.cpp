@@ -260,6 +260,80 @@ void gemm_codes_nt_rows_avx2(const float* a, const PackedCodesView& b,
 }
 
 // ---------------------------------------------------------------------------
+// Both operands coded, conv layout (A = coded weights, B = coded
+// activation patches).  The A row block is LUT-expanded once per call;
+// each 8-column B panel is LUT-expanded at panel load — the activation
+// codes stream through the decode port exactly like the weight codes do
+// in gemm_codes_nt_rows_avx2.  The decoded floats equal the float path's
+// operands by the decode contract, so gemm_micro sees the identical IEEE
+// operation sequence; edge columns fall to the shared reference block.
+
+void gemm_codes_codes_rows_avx2(const PackedCodesView& a,
+                                const PackedCodesView& b, const float* bias,
+                                float* c, std::int64_t row_begin,
+                                std::int64_t row_end, std::int64_t k,
+                                std::int64_t n) {
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return;
+  std::vector<float> a_block(static_cast<std::size_t>(rows * k));
+  decode_elems_avx2(a, row_begin * k, rows * k, a_block.data());
+  const std::int64_t full_cols = n - (n % 8);
+  if (full_cols > 0) {
+    std::vector<float> panel(static_cast<std::size_t>(k) * 8);
+    float* cr = c + row_begin * n;
+    for (std::int64_t j = 0; j < full_cols; j += 8) {
+      for (std::int64_t p = 0; p < k; ++p) {
+        decode_elems_avx2(b, p * n + j, 8, panel.data() + p * 8);
+      }
+      std::int64_t i = 0;
+      for (; i + 4 <= rows; i += 4) {
+        gemm_micro<4>(a_block.data(), panel.data(), 8, bias, cr, i, j, k, n);
+      }
+      switch (rows - i) {
+        case 3: gemm_micro<3>(a_block.data(), panel.data(), 8, bias, cr, i, j, k, n); break;
+        case 2: gemm_micro<2>(a_block.data(), panel.data(), 8, bias, cr, i, j, k, n); break;
+        case 1: gemm_micro<1>(a_block.data(), panel.data(), 8, bias, cr, i, j, k, n); break;
+        default: break;
+      }
+    }
+  }
+  if (full_cols < n) {
+    detail::gemm_codes_codes_ref_block(a, b, bias, c, row_begin, row_end,
+                                       full_cols, n, k, n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Both operands coded, linear layout, with the optional fused encode
+// epilogue.  Decode the coded activation row block once (same floats the
+// unfused path's activation tensor holds), run the proven coded-B^T
+// kernel over it, then — when an epilogue is attached — hand the staged
+// row block to the shared scalar encoder, so the only bytes that leave
+// are codes.
+
+bool gemm_codes_codes_nt_rows_avx2(const PackedCodesView& a,
+                                   const PackedCodesView& b, const float* bias,
+                                   float* c, const ActEncode* ep,
+                                   std::int64_t row_begin,
+                                   std::int64_t row_end, std::int64_t k,
+                                   std::int64_t n) {
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return true;
+  std::vector<float> a_block(static_cast<std::size_t>(rows * k));
+  decode_elems_avx2(a, row_begin * k, rows * k, a_block.data());
+  if (ep == nullptr) {
+    gemm_codes_nt_rows_avx2(a_block.data(), b, bias, c + row_begin * n, 0,
+                            rows, k, n);
+    return true;
+  }
+  std::vector<float> c_block(static_cast<std::size_t>(rows * n));
+  gemm_codes_nt_rows_avx2(a_block.data(), b, bias, c_block.data(), 0, rows, k,
+                          n);
+  return detail::encode_row_block(*ep, c_block.data(), row_begin * n,
+                                  rows * n);
+}
+
+// ---------------------------------------------------------------------------
 // GEMM against B^T ([n, k] row-major): 8 output columns per step, each
 // column's dot product in its own double lane (single chain per element,
 // ascending p).  The 8 B rows are walked sequentially in p — 8 forward
@@ -392,10 +466,15 @@ double quantize_chunk_avx2(const QuantIndexView& v, float* xs,
 
 // Referenced by dispatch.cpp (only when LOGPOSIT_HAVE_AVX2 is defined).
 const KernelTable* avx2_kernels_impl() {
-  static constexpr KernelTable kTable{
-      "avx2",           gemm_rows_avx2,         gemm_nt_rows_avx2,
-      gemm_codes_rows_avx2, gemm_codes_nt_rows_avx2, quantize_chunk_avx2,
-      nearest_indices_avx2};
+  static constexpr KernelTable kTable{"avx2",
+                                      gemm_rows_avx2,
+                                      gemm_nt_rows_avx2,
+                                      gemm_codes_rows_avx2,
+                                      gemm_codes_nt_rows_avx2,
+                                      gemm_codes_codes_rows_avx2,
+                                      gemm_codes_codes_nt_rows_avx2,
+                                      quantize_chunk_avx2,
+                                      nearest_indices_avx2};
   return &kTable;
 }
 

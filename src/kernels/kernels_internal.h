@@ -45,6 +45,31 @@ void gemm_codes_nt_ref_block(const float* a, const PackedCodesView& b,
                              std::int64_t col_begin, std::int64_t col_end,
                              std::int64_t k, std::int64_t n);
 
+/// Reference for BOTH operands coded (conv layout: A = coded weights,
+/// B = coded activation patches), each decoded through its own LUT at the
+/// point of use; gemm_ref_block's exact arithmetic sequence (double
+/// accumulator, ascending-k, zero decoded A values skipped).
+void gemm_codes_codes_ref_block(const PackedCodesView& a,
+                                const PackedCodesView& b, const float* bias,
+                                float* c, std::int64_t row_begin,
+                                std::int64_t row_end, std::int64_t col_begin,
+                                std::int64_t col_end, std::int64_t k,
+                                std::int64_t n);
+
+/// Encode one finished output element for the fused epilogue: apply
+/// ep.act, nearest-index through ep.qidx, write the code at element e of
+/// ep.codes.  Returns false (and writes nothing) when the activated value
+/// is non-finite.  Out-of-line in the scalar TU so every kernel table —
+/// and the conv scatter in tensor/ops.cpp — shares one compiled encoder.
+bool encode_elem(const ActEncode& ep, float v, std::int64_t e);
+
+/// Fused epilogue over a finished row block: encode_elem for src[0..count)
+/// landing at output elements [elem_begin, elem_begin + count).  Returns
+/// false when any element failed to encode (the rest still encode, but the
+/// caller discards the stream and re-runs the edge in float).
+bool encode_row_block(const ActEncode& ep, const float* src,
+                      std::int64_t elem_begin, std::int64_t count);
+
 /// Reference boundary search: index of the nearest table value for an
 /// ordered key (bucket jump + short scan / upper_bound).  Any search that
 /// counts boundary keys <= key returns the same index; the AVX2 path uses

@@ -116,6 +116,56 @@ void gemm_codes_nt_ref_block(const float* a, const PackedCodesView& b,
   }
 }
 
+void gemm_codes_codes_ref_block(const PackedCodesView& a,
+                                const PackedCodesView& b, const float* bias,
+                                float* c, std::int64_t row_begin,
+                                std::int64_t row_end, std::int64_t col_begin,
+                                std::int64_t col_end, std::int64_t k,
+                                std::int64_t n) {
+  const std::int64_t w = col_end - col_begin;
+  if (w <= 0 || row_end <= row_begin) return;
+  std::vector<double> acc(static_cast<std::size_t>(w));
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    if (bias != nullptr) {
+      for (std::int64_t j = 0; j < w; ++j) {
+        acc[static_cast<std::size_t>(j)] = bias[col_begin + j];
+      }
+    } else {
+      std::fill(acc.begin(), acc.end(), 0.0);
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const double av = packed_decode_at(a, i * k + p);
+      if (av == 0.0) continue;
+      const std::int64_t brow = p * n + col_begin;
+      for (std::int64_t j = 0; j < w; ++j) {
+        acc[static_cast<std::size_t>(j)] += av * packed_decode_at(b, brow + j);
+      }
+    }
+    float* crow = c + i * n + col_begin;
+    for (std::int64_t j = 0; j < w; ++j) {
+      crow[j] = static_cast<float>(acc[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+bool encode_elem(const ActEncode& ep, float v, std::int64_t e) {
+  const float y = act_eval(v, ep.act);
+  const auto bits = std::bit_cast<std::uint32_t>(y);
+  if (!quant::is_finite_bits(bits)) return false;
+  const std::size_t idx = qindex_lookup(ep.qidx, quant::ordered_key(bits));
+  packed_code_write(ep.codes, ep.bits, e, static_cast<std::uint32_t>(idx));
+  return true;
+}
+
+bool encode_row_block(const ActEncode& ep, const float* src,
+                      std::int64_t elem_begin, std::int64_t count) {
+  bool ok = true;
+  for (std::int64_t i = 0; i < count; ++i) {
+    ok = encode_elem(ep, src[i], elem_begin + i) && ok;
+  }
+  return ok;
+}
+
 std::size_t qindex_lookup(const QuantIndexView& v, std::uint32_t key) {
   const std::uint32_t b = key >> (32 - v.bucket_bits);
   const std::uint32_t* first = v.keys + v.bucket_lo[b];
@@ -200,6 +250,45 @@ void gemm_codes_nt_rows_scalar(const float* a, const PackedCodesView& b,
   }
 }
 
+void gemm_codes_codes_rows_scalar(const PackedCodesView& a,
+                                  const PackedCodesView& b, const float* bias,
+                                  float* c, std::int64_t row_begin,
+                                  std::int64_t row_end, std::int64_t k,
+                                  std::int64_t n) {
+  detail::gemm_codes_codes_ref_block(a, b, bias, c, row_begin, row_end, 0, n,
+                                     k, n);
+}
+
+bool gemm_codes_codes_nt_rows_scalar(const PackedCodesView& a,
+                                     const PackedCodesView& b,
+                                     const float* bias, float* c,
+                                     const ActEncode* ep,
+                                     std::int64_t row_begin,
+                                     std::int64_t row_end, std::int64_t k,
+                                     std::int64_t n) {
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return true;
+  // Decode the coded A row block once (the decoded floats ARE the floats
+  // the unfused path's activation tensor holds, by the LUT contract), then
+  // run the existing coded-B^T reference over it.  Composing the two
+  // proven paths keeps one definition of the accumulation order.
+  std::vector<float> a_block(static_cast<std::size_t>(rows * k));
+  for (std::int64_t t = 0; t < rows * k; ++t) {
+    a_block[static_cast<std::size_t>(t)] =
+        packed_decode_at(a, row_begin * k + t);
+  }
+  if (ep == nullptr) {
+    gemm_codes_nt_rows_scalar(a_block.data(), b, bias, c + row_begin * n, 0,
+                              rows, k, n);
+    return true;
+  }
+  std::vector<float> c_block(static_cast<std::size_t>(rows * n));
+  gemm_codes_nt_rows_scalar(a_block.data(), b, bias, c_block.data(), 0, rows,
+                            k, n);
+  return detail::encode_row_block(*ep, c_block.data(), row_begin * n,
+                                  rows * n);
+}
+
 double quantize_chunk_scalar(const QuantIndexView& v, float* xs,
                              std::size_t n) {
   double se = 0.0;
@@ -235,10 +324,15 @@ void nearest_indices_scalar(const QuantIndexView& v, const float* xs,
 }  // namespace
 
 const KernelTable& scalar_kernels() {
-  static constexpr KernelTable kTable{
-      "scalar",           gemm_rows_scalar,         gemm_nt_rows_scalar,
-      gemm_codes_rows_scalar, gemm_codes_nt_rows_scalar, quantize_chunk_scalar,
-      nearest_indices_scalar};
+  static constexpr KernelTable kTable{"scalar",
+                                      gemm_rows_scalar,
+                                      gemm_nt_rows_scalar,
+                                      gemm_codes_rows_scalar,
+                                      gemm_codes_nt_rows_scalar,
+                                      gemm_codes_codes_rows_scalar,
+                                      gemm_codes_codes_nt_rows_scalar,
+                                      quantize_chunk_scalar,
+                                      nearest_indices_scalar};
   return kTable;
 }
 

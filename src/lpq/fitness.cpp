@@ -215,6 +215,35 @@ double representation_loss(const nn::ForwardResult& quantized,
   throw std::logic_error("unreachable fitness kind");
 }
 
+double hw_cost_ratio(const nn::Model& model, const Candidate& cand,
+                     const FitnessOptions& opts) {
+  if (opts.accel == nullptr || opts.workloads == nullptr ||
+      opts.workloads->empty() || opts.mu <= 0.0) {
+    return 1.0;
+  }
+  const std::size_t n = model.num_slots();
+  LP_CHECK(cand.layers.size() == n);
+  sim::PrecisionMap pm;
+  pm.weight_bits.resize(n);
+  pm.act_bits.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    pm.weight_bits[s] = cand.layers[s].n;
+    // The width the slot's activation codes take (sf does not affect it).
+    pm.act_bits[s] = activation_config(cand.layers[s], 0.0).n;
+  }
+  auto dram_total = [](const sim::SimResult& r) {
+    double total = 0.0;
+    for (const auto& ls : r.layers) total += ls.dram_bytes;
+    return total;
+  };
+  const double cand_bytes =
+      dram_total(sim::simulate(*opts.accel, *opts.workloads, pm));
+  const double base_bytes = dram_total(sim::simulate(
+      *opts.accel, *opts.workloads, sim::PrecisionMap::uniform(n, 8, 8)));
+  LP_CHECK(base_bytes > 0.0);
+  return cand_bytes / base_bytes;
+}
+
 double compression_ratio(const nn::Model& model, const Candidate& cand,
                          const FpReference& ref) {
   LP_CHECK(ref.fp_weight_bits > 0);
@@ -233,7 +262,8 @@ double evaluate_fitness(const nn::Model& model, const Candidate& cand,
   const double lcr = compression_ratio(model, cand, ref);
   // Lower is better for both terms.  The loss can be ~0 at high precision;
   // add a floor so LCR still differentiates candidates there.
-  return (loss + 1e-6) * std::pow(lcr, opts.lambda);
+  return (loss + 1e-6) * std::pow(lcr, opts.lambda) *
+         std::pow(hw_cost_ratio(model, cand, opts), opts.mu);
 }
 
 double evaluate_fitness_prepared(const runtime::QuantizedModel& prepared,
@@ -246,7 +276,8 @@ double evaluate_fitness_prepared(const runtime::QuantizedModel& prepared,
   const double loss = representation_loss(fwd, ref, opts);
   const double lcr = compression_ratio(model, cand, ref);
   // Same objective as evaluate_fitness (see comment there).
-  return (loss + 1e-6) * std::pow(lcr, opts.lambda);
+  return (loss + 1e-6) * std::pow(lcr, opts.lambda) *
+         std::pow(hw_cost_ratio(model, cand, opts), opts.mu);
 }
 
 }  // namespace lp::lpq

@@ -14,6 +14,7 @@
 #include "lpq/candidate.h"
 #include "nn/model.h"
 #include "runtime/quantized_model.h"
+#include "sim/simulator.h"
 
 namespace lp::lpq {
 
@@ -66,7 +67,24 @@ struct FitnessOptions {
   ActSfMode act_sf = ActSfMode::kCalibrated;
   double lambda = 0.4;  ///< compression exponent in LF = L * LCR^lambda
   double tau = 0.1;     ///< contrastive temperature
+  /// Optional hardware-cost term.  When `accel` and `workloads` are both
+  /// set and mu > 0, the fitness is additionally multiplied by
+  /// (dram_bytes(cand) / dram_bytes(uniform 8w/8a))^mu, where dram bytes
+  /// come from sim::simulate at the candidate's per-slot weight widths and
+  /// the activation widths its chained activation formats take.  Because
+  /// the simulator charges activation traffic at true code width, this
+  /// steers the search toward narrow activation codes, not just narrow
+  /// weights.  Both pointers must outlive evaluation.
+  const lpa::AcceleratorModel* accel = nullptr;
+  const std::vector<nn::LayerWorkload>* workloads = nullptr;
+  double mu = 0.0;  ///< hw-cost exponent; 0 disables the term
 };
+
+/// DRAM-traffic ratio of `cand` vs the uniform 8-bit baseline on the
+/// options' accelerator/workloads (1.0 when the hw-cost term is disabled).
+[[nodiscard]] double hw_cost_ratio(const nn::Model& model,
+                                   const Candidate& cand,
+                                   const FitnessOptions& opts);
 
 /// Representation loss L (before the compression term) between a quantized
 /// run and the FP reference.

@@ -54,22 +54,24 @@ ForwardResult Model::run(const Tensor& input, RunCtx ctx,
     result.pooled.reserve(static_cast<std::size_t>(weighted_nodes_));
     ctx.pooled_capture = &result.pooled;
   }
-  std::vector<Tensor> outputs(nodes_.size());
-  outputs[0] = input;
-  std::vector<const Tensor*> in_ptrs;
+  std::vector<NodeValue> outputs(nodes_.size());
+  outputs[0] = NodeValue(input);
+  std::vector<const NodeValue*> in_ptrs;
   for (std::size_t i = 1; i < nodes_.size(); ++i) {
     const Node& n = *nodes_[i];
     in_ptrs.clear();
     for (int in : n.inputs()) in_ptrs.push_back(&outputs[static_cast<std::size_t>(in)]);
     outputs[i] = n.run(in_ptrs, ctx);
-    // Drop tensors whose last consumer has executed (liveness).
+    // Drop values whose last consumer has executed (liveness).
     for (int in : n.inputs()) {
       if (last_use_[static_cast<std::size_t>(in)] == static_cast<int>(i) && in != 0) {
-        outputs[static_cast<std::size_t>(in)] = Tensor();
+        outputs[static_cast<std::size_t>(in)] = NodeValue();
       }
     }
   }
-  result.logits = std::move(outputs.back());
+  // A coded final edge decodes here — the exact floats the float path's
+  // quantized logits hold.
+  result.logits = std::move(outputs.back()).into_dense();
   return result;
 }
 
@@ -132,6 +134,25 @@ ForwardResult Model::forward_with_weights(
   return run(input, ctx, capture_pooled);
 }
 
+ForwardResult Model::forward_with_weights(
+    const Tensor& input, std::span<const Tensor* const> weights,
+    std::span<const PackedCodes* const> codes, const QuantSpec& act_spec,
+    std::span<const ActCoding> act_coding, ActTraffic* act_traffic,
+    bool capture_pooled) const {
+  LP_CHECK_MSG(finalized_, "call finalize() first");
+  LP_CHECK(weights.size() == slots_.size());
+  LP_CHECK(codes.size() == slots_.size());
+  LP_CHECK(act_spec.act_fmt.size() == slots_.size());
+  LP_CHECK(act_coding.empty() || act_coding.size() == slots_.size());
+  RunCtx ctx;
+  ctx.weight_ptr_override = weights;
+  ctx.weight_code_override = codes;
+  ctx.quant = &act_spec;
+  ctx.act_coding = act_coding;
+  ctx.act_traffic = act_traffic;
+  return run(input, ctx, capture_pooled);
+}
+
 std::vector<LayerWorkload> Model::trace_workloads(const Tensor& input) const {
   std::vector<LayerWorkload> workloads;
   RunCtx ctx;
@@ -160,9 +181,9 @@ Tensor Model::forward_node_output(const Tensor& input, std::size_t node_idx) con
   LP_CHECK_MSG(finalized_, "call finalize() first");
   LP_CHECK(node_idx < nodes_.size());
   if (node_idx == 0) return input;
-  std::vector<Tensor> outputs(nodes_.size());
-  outputs[0] = input;
-  std::vector<const Tensor*> in_ptrs;
+  std::vector<NodeValue> outputs(nodes_.size());
+  outputs[0] = NodeValue(input);
+  std::vector<const NodeValue*> in_ptrs;
   const RunCtx ctx;
   for (std::size_t i = 1; i <= node_idx; ++i) {
     const Node& n = *nodes_[i];
@@ -172,26 +193,26 @@ Tensor Model::forward_node_output(const Tensor& input, std::size_t node_idx) con
     for (int in : n.inputs()) {
       const auto uin = static_cast<std::size_t>(in);
       if (last_use_[uin] == static_cast<int>(i) && in != 0 && uin != node_idx) {
-        outputs[uin] = Tensor();
+        outputs[uin] = NodeValue();
       }
     }
   }
-  return std::move(outputs[node_idx]);
+  return std::move(outputs[node_idx]).into_dense();
 }
 
 void Model::normalize_layer_scales(const Tensor& input,
                                    std::span<const float> targets) {
   LP_CHECK_MSG(finalized_, "call finalize() first");
-  std::vector<Tensor> outputs(nodes_.size());
-  outputs[0] = input;
-  std::vector<const Tensor*> in_ptrs;
+  std::vector<NodeValue> outputs(nodes_.size());
+  outputs[0] = NodeValue(input);
+  std::vector<const NodeValue*> in_ptrs;
   const RunCtx ctx;
   int weighted_idx = 0;
   for (std::size_t i = 1; i < nodes_.size(); ++i) {
     Node& n = *nodes_[i];
     in_ptrs.clear();
     for (int in : n.inputs()) in_ptrs.push_back(&outputs[static_cast<std::size_t>(in)]);
-    Tensor out = n.run(in_ptrs, ctx);
+    Tensor out = n.run(in_ptrs, ctx).into_dense();
     const auto node_slots = n.slots();
     if (!node_slots.empty()) {
       if (node_slots.size() == 1) {
@@ -210,10 +231,10 @@ void Model::normalize_layer_scales(const Tensor& input,
       }
       ++weighted_idx;
     }
-    outputs[i] = std::move(out);
+    outputs[i] = NodeValue(std::move(out));
     for (int in : n.inputs()) {
       if (last_use_[static_cast<std::size_t>(in)] == static_cast<int>(i) && in != 0) {
-        outputs[static_cast<std::size_t>(in)] = Tensor();
+        outputs[static_cast<std::size_t>(in)] = NodeValue();
       }
     }
   }

@@ -68,6 +68,19 @@ class Model {
       std::span<const PackedCodes* const> codes, const QuantSpec& act_spec,
       bool capture_pooled = false) const;
 
+  /// Coded-activation variant: slots with a populated `act_coding` entry
+  /// emit their output activations as packed codes, which downstream
+  /// weighted nodes consume coded (other consumers decode lazily) — the
+  /// logits are bit-identical to the packed-code variant above.
+  /// `act_coding` must be empty or slot-sized; `act_traffic` (optional)
+  /// accumulates the activation bytes each weighted node produced.
+  /// Requesting pooled capture forces every edge back to float.
+  [[nodiscard]] ForwardResult forward_with_weights(
+      const Tensor& input, std::span<const Tensor* const> weights,
+      std::span<const PackedCodes* const> codes, const QuantSpec& act_spec,
+      std::span<const ActCoding> act_coding, ActTraffic* act_traffic,
+      bool capture_pooled = false) const;
+
   /// Record the GEMM workload list for one example input (batch included
   /// in the N dimensions).
   [[nodiscard]] std::vector<LayerWorkload> trace_workloads(

@@ -18,11 +18,8 @@
 #include <vector>
 
 #include "core/number_format.h"
+#include "core/packed_codes.h"
 #include "tensor/tensor.h"
-
-namespace lp {
-class PackedCodes;
-}
 
 namespace lp::nn {
 
@@ -59,6 +56,60 @@ struct QuantSpec {
   }
 };
 
+/// A value flowing along a graph edge: a dense float tensor, a packed
+/// activation-code stream, or both (the codes plus their lazily decoded
+/// dense cache).  Decoding a coded value yields exactly the quantized
+/// float activations the float path stores — the alignment contract
+/// between the encode epilogue's index search and quantize_batch — so
+/// consumers that need floats see the float path's tensor bit for bit.
+class NodeValue {
+ public:
+  NodeValue() = default;
+  /*implicit*/ NodeValue(Tensor t) : dense_(std::move(t)), has_dense_(true) {}
+  /*implicit*/ NodeValue(PackedCodes c) : codes_(std::move(c)) {}
+
+  [[nodiscard]] bool empty() const { return !has_dense_ && !codes_; }
+  [[nodiscard]] const std::vector<std::int64_t>& shape() const {
+    return codes_ ? codes_->shape() : dense_.shape();
+  }
+  /// Packed codes, or null when this value is dense-only.
+  [[nodiscard]] const PackedCodes* codes() const {
+    return codes_ ? &*codes_ : nullptr;
+  }
+  /// Dense float view; decodes the codes once and caches the result.
+  /// Node execution is serial, so the lazy cache needs no synchronization.
+  [[nodiscard]] const Tensor& dense() const;
+  /// Move the dense tensor out (decoding first if necessary).
+  [[nodiscard]] Tensor into_dense() &&;
+
+ private:
+  mutable Tensor dense_;
+  mutable bool has_dense_ = false;
+  std::optional<PackedCodes> codes_;
+};
+
+/// Coded-activation output spec for one weight slot: the slot's weighted
+/// node applies its nonlinearity and nearest-index encodes the result
+/// through `qidx` into `bits`-wide codes decoding through `lut` — in the
+/// GEMM epilogue when both operands are coded, or from the finished float
+/// block otherwise.  `qidx` and `lut` must belong to the same format
+/// (lut[i] == the float quantizing through qidx stores for index i), and
+/// both must outlive the run.
+struct ActCoding {
+  const QuantIndex* qidx = nullptr;
+  std::shared_ptr<const DecodeTable> lut;
+  int bits = 8;  ///< 8 or 16 (byte-aligned activation streams)
+};
+
+/// Activation-traffic accounting for one forward pass: bytes of
+/// inter-layer activation each weighted node produced, in whichever
+/// representation it produced them.  Node execution is serial, so plain
+/// fields suffice.
+struct ActTraffic {
+  std::int64_t float_bytes = 0;  ///< activations produced as float32
+  std::int64_t coded_bytes = 0;  ///< activations produced as packed codes
+};
+
 /// Execution context threaded through every node.
 struct RunCtx {
   /// Quantized weight copies, indexed by slot; empty = use FP weights.
@@ -89,6 +140,15 @@ struct RunCtx {
   std::vector<float>* act_max_capture = nullptr;
   /// When non-null, nodes append their GEMM workloads.
   std::vector<LayerWorkload>* workloads = nullptr;
+  /// Per-slot coded-activation specs (empty, or a null-qidx entry, = the
+  /// slot's output stays float).  When a slot has one and no value-capture
+  /// hook is active, its weighted node emits packed codes instead of a
+  /// float tensor — bit-identical under decode to the quantized float
+  /// activations.
+  std::span<const ActCoding> act_coding;
+  /// When non-null, weighted nodes account the activation bytes they
+  /// produced (coded or float).
+  ActTraffic* act_traffic = nullptr;
 
   /// Resolve the weight tensor for a slot.
   [[nodiscard]] const Tensor& weight(int slot, const Tensor& fp) const {
@@ -123,6 +183,22 @@ struct RunCtx {
     }
     return quant->act_fmt[static_cast<std::size_t>(slot)];
   }
+
+  /// Coded-activation spec for a slot, or null (float output).
+  [[nodiscard]] const ActCoding* act_coding_for(int slot) const {
+    if (slot < 0 || static_cast<std::size_t>(slot) >= act_coding.size()) {
+      return nullptr;
+    }
+    const ActCoding& c = act_coding[static_cast<std::size_t>(slot)];
+    return (c.qidx != nullptr && c.lut != nullptr) ? &c : nullptr;
+  }
+
+  /// True when any value-capture hook needs the float activations; coded
+  /// emission is disabled for the run's weighted nodes in that case.
+  [[nodiscard]] bool capturing() const {
+    return pooled_capture != nullptr || act_scale_capture != nullptr ||
+           act_max_capture != nullptr;
+  }
 };
 
 class Node {
@@ -134,9 +210,11 @@ class Node {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  /// Produce this node's output from its input tensors.
-  [[nodiscard]] virtual Tensor run(std::span<const Tensor* const> x,
-                                   const RunCtx& ctx) const = 0;
+  /// Produce this node's output from its input values.  Inputs may arrive
+  /// coded (see NodeValue); nodes that cannot consume codes call dense(),
+  /// which decodes to exactly the float path's tensor.
+  [[nodiscard]] virtual NodeValue run(std::span<const NodeValue* const> x,
+                                      const RunCtx& ctx) const = 0;
 
   /// Mutable access to this node's weight slots (empty for stateless nodes).
   [[nodiscard]] virtual std::span<WeightSlot> slots() { return {}; }

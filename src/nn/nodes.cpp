@@ -34,7 +34,76 @@ void capture_pooled(const RunCtx& ctx, const Tensor& out) {
   }
 }
 
+/// nn::Act as the kernel layer's epilogue selector.
+int act_kernel(Act act) {
+  switch (act) {
+    case Act::kNone: return kernels::kActNone;
+    case Act::kRelu: return kernels::kActRelu;
+    case Act::kRelu6: return kernels::kActRelu6;
+    case Act::kGelu: return kernels::kActGelu;
+  }
+  return kernels::kActNone;
+}
+
+/// The coded-output spec for a slot, or null when this run's hooks force
+/// the float path (value captures read float activations).
+const ActCoding* out_coding(const RunCtx& ctx, int slot) {
+  return ctx.capturing() ? nullptr : ctx.act_coding_for(slot);
+}
+
+void count_coded(const RunCtx& ctx, const PackedCodes& out) {
+  if (ctx.act_traffic != nullptr) {
+    ctx.act_traffic->coded_bytes +=
+        static_cast<std::int64_t>(out.payload_bytes());
+  }
+}
+
+void count_float(const RunCtx& ctx, const Tensor& out) {
+  if (ctx.act_traffic != nullptr) {
+    ctx.act_traffic->float_bytes +=
+        out.numel() * static_cast<std::int64_t>(sizeof(float));
+  }
+}
+
+/// Post-GEMM tail for a weighted node holding a float result with the
+/// nonlinearity already applied: on a coded edge, encode it (the decoded
+/// stream equals the quantized floats); on encode failure (non-finite
+/// elements) or a float edge, quantize in place — the two tails produce
+/// value-identical activations.
+NodeValue finish_act(const RunCtx& ctx, int slot, const ActCoding* coding,
+                     Tensor out) {
+  if (coding != nullptr) {
+    auto enc = encode_acts(out, {coding->qidx->view(), coding->lut,
+                                 coding->bits, kernels::kActNone});
+    if (enc.has_value()) {
+      count_coded(ctx, *enc);
+      return NodeValue(std::move(*enc));
+    }
+  }
+  quantize_activations(out, ctx.act_format(slot));
+  capture_pooled(ctx, out);
+  count_float(ctx, out);
+  return NodeValue(std::move(out));
+}
+
 }  // namespace
+
+const Tensor& NodeValue::dense() const {
+  if (!has_dense_) {
+    LP_CHECK_MSG(codes_.has_value(), "dense() on an empty NodeValue");
+    Tensor t(codes_->shape());
+    codes_->decode(t.data());
+    dense_ = std::move(t);
+    has_dense_ = true;
+  }
+  return dense_;
+}
+
+Tensor NodeValue::into_dense() && {
+  (void)dense();
+  has_dense_ = false;
+  return std::move(dense_);
+}
 
 void apply_act(Tensor& t, Act act) {
   switch (act) {
@@ -63,7 +132,8 @@ std::vector<float> kurtosis_pool(const Tensor& t) {
   return out;
 }
 
-Tensor InputNode::run(std::span<const Tensor* const>, const RunCtx&) const {
+NodeValue InputNode::run(std::span<const NodeValue* const>,
+                         const RunCtx&) const {
   LP_ASSERT_MSG(false, "InputNode::run must not be called; the executor "
                        "substitutes the batch directly");
 }
@@ -78,27 +148,52 @@ Conv2dNode::Conv2dNode(int input, std::string name, Tensor weight, Tensor bias,
   slot_.block_id = block_id;
 }
 
-Tensor Conv2dNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) const {
+NodeValue Conv2dNode::run(std::span<const NodeValue* const> x,
+                          const RunCtx& ctx) const {
   const int s = first_slot();
   const Tensor& w = ctx.weight(s, slot_.weight);
+  const NodeValue& in = *x[0];
   if (ctx.workloads != nullptr) {
-    const Tensor& in = *x[0];
+    const auto& ish = in.shape();
     const std::int64_t ho =
-        conv_out_dim(in.dim(2), w.dim(2), spec_.stride, spec_.padding);
+        conv_out_dim(ish[2], w.dim(2), spec_.stride, spec_.padding);
     const std::int64_t wo =
-        conv_out_dim(in.dim(3), w.dim(3), spec_.stride, spec_.padding);
+        conv_out_dim(ish[3], w.dim(3), spec_.stride, spec_.padding);
     ctx.workloads->push_back({name(), w.dim(0),
                               w.dim(1) * w.dim(2) * w.dim(3),
-                              in.dim(0) * ho * wo, s});
+                              ish[0] * ho * wo, s});
   }
   const Tensor* bias = slot_.bias.empty() ? nullptr : &slot_.bias;
   const PackedCodes* codes = ctx.weight_codes(s);
-  Tensor out = codes != nullptr ? conv2d_codes(*x[0], *codes, bias, spec_)
-                                : conv2d(*x[0], w, bias, spec_);
+  const ActCoding* coding = out_coding(ctx, s);
+  const PackedCodes* icodes = in.codes();
+  // Coded patches need a code that decodes to the float im2col's exact
+  // padding zero; a LUT without one drops the edge to the dense input.
+  const std::int64_t zc =
+      icodes != nullptr ? lut_zero_code(*icodes->lut()) : -1;
+
+  // Fully coded: coded weights x coded patches with the fused
+  // bias+act+encode scatter — the output never materializes as floats.
+  if (codes != nullptr && icodes != nullptr && zc >= 0 && coding != nullptr) {
+    auto out = conv2d_codes_codes_enc(
+        *icodes, *codes, bias, spec_, static_cast<std::uint32_t>(zc),
+        {coding->qidx->view(), coding->lut, coding->bits, act_kernel(act_)});
+    if (out.has_value()) {
+      count_coded(ctx, *out);
+      return NodeValue(std::move(*out));
+    }
+  }
+  Tensor out;
+  if (codes != nullptr && icodes != nullptr && zc >= 0) {
+    out = conv2d_codes_codes(*icodes, *codes, bias, spec_,
+                             static_cast<std::uint32_t>(zc));
+  } else if (codes != nullptr) {
+    out = conv2d_codes(in.dense(), *codes, bias, spec_);
+  } else {
+    out = conv2d(in.dense(), w, bias, spec_);
+  }
   apply_act(out, act_);
-  quantize_activations(out, ctx.act_format(s));
-  capture_pooled(ctx, out);
-  return out;
+  return finish_act(ctx, s, coding, std::move(out));
 }
 
 LinearNode::LinearNode(int input, std::string name, Tensor weight, Tensor bias,
@@ -111,26 +206,47 @@ LinearNode::LinearNode(int input, std::string name, Tensor weight, Tensor bias,
   slot_.block_id = block_id;
 }
 
-Tensor LinearNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) const {
+NodeValue LinearNode::run(std::span<const NodeValue* const> x,
+                          const RunCtx& ctx) const {
   const int s = first_slot();
   const Tensor& w = ctx.weight(s, slot_.weight);
-  const Tensor& in = *x[0];
-  LP_CHECK(in.rank() == 2 || in.rank() == 3);
-  const Tensor in2 = (in.rank() == 3)
-                         ? in.reshaped({in.dim(0) * in.dim(1), in.dim(2)})
-                         : in;
+  const NodeValue& in = *x[0];
+  const auto& ish = in.shape();
+  LP_CHECK(ish.size() == 2 || ish.size() == 3);
+  const std::int64_t rows = ish.size() == 3 ? ish[0] * ish[1] : ish[0];
   if (ctx.workloads != nullptr) {
-    ctx.workloads->push_back({name(), w.dim(0), w.dim(1), in2.dim(0), s});
+    ctx.workloads->push_back({name(), w.dim(0), w.dim(1), rows, s});
   }
   const Tensor* bias = slot_.bias.empty() ? nullptr : &slot_.bias;
   const PackedCodes* codes = ctx.weight_codes(s);
-  Tensor out = codes != nullptr ? matmul_nt_codes(in2, *codes, bias)
-                                : matmul_nt(in2, w, bias);
-  if (in.rank() == 3) out = out.reshaped({in.dim(0), in.dim(1), w.dim(0)});
+  const ActCoding* coding = out_coding(ctx, s);
+  const PackedCodes* icodes = in.codes();
+
+  // Fully coded: both operands decode inside the kernel and the output is
+  // encoded in the epilogue — codes in, codes out.
+  if (codes != nullptr && icodes != nullptr && coding != nullptr) {
+    auto out = matmul_nt_codes_codes_enc(
+        *icodes, *codes, bias,
+        {coding->qidx->view(), coding->lut, coding->bits, act_kernel(act_)});
+    if (out.has_value()) {
+      if (ish.size() == 3) out->reshape({ish[0], ish[1], w.dim(0)});
+      count_coded(ctx, *out);
+      return NodeValue(std::move(*out));
+    }
+  }
+  Tensor out;
+  if (codes != nullptr && icodes != nullptr) {
+    out = matmul_nt_codes_codes(*icodes, *codes, bias);
+  } else {
+    const Tensor& d = in.dense();
+    const Tensor in2 =
+        (ish.size() == 3) ? d.reshaped({rows, ish[2]}) : d;
+    out = codes != nullptr ? matmul_nt_codes(in2, *codes, bias)
+                           : matmul_nt(in2, w, bias);
+  }
+  if (ish.size() == 3) out = out.reshaped({ish[0], ish[1], w.dim(0)});
   apply_act(out, act_);
-  quantize_activations(out, ctx.act_format(s));
-  capture_pooled(ctx, out);
-  return out;
+  return finish_act(ctx, s, coding, std::move(out));
 }
 
 AttentionNode::AttentionNode(int input, std::string name, int dim, int heads,
@@ -226,8 +342,11 @@ Tensor AttentionNode::attend(const Tensor& tokens, const RunCtx& ctx) const {
   return out.reshaped({b, t, d});
 }
 
-Tensor AttentionNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) const {
-  const Tensor& in = *x[0];
+NodeValue AttentionNode::run(std::span<const NodeValue* const> x,
+                             const RunCtx& ctx) const {
+  // Attention consumes floats (its head slicing and softmax stay dense);
+  // a coded input decodes to the float path's exact tensor.
+  const Tensor& in = x[0]->dense();
   LP_CHECK(in.rank() == 3);
   LP_CHECK_MSG(in.dim(2) == dim_, "attention dim mismatch");
   Tensor out;
@@ -277,30 +396,35 @@ Tensor AttentionNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) c
     }
   }
   capture_pooled(ctx, out);
-  return out;
+  count_float(ctx, out);
+  return NodeValue(std::move(out));
 }
 
-Tensor MaxPoolNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
-  return max_pool2d(*x[0], kernel_, stride_, padding_);
+NodeValue MaxPoolNode::run(std::span<const NodeValue* const> x,
+                           const RunCtx&) const {
+  return max_pool2d(x[0]->dense(), kernel_, stride_, padding_);
 }
 
-Tensor GlobalAvgPoolNode::run(std::span<const Tensor* const> x,
-                              const RunCtx&) const {
-  return global_avg_pool(*x[0]);
+NodeValue GlobalAvgPoolNode::run(std::span<const NodeValue* const> x,
+                                 const RunCtx&) const {
+  return global_avg_pool(x[0]->dense());
 }
 
-Tensor AddNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
-  Tensor out = add(*x[0], *x[1]);
+NodeValue AddNode::run(std::span<const NodeValue* const> x,
+                       const RunCtx&) const {
+  Tensor out = add(x[0]->dense(), x[1]->dense());
   apply_act(out, act_);
   return out;
 }
 
-Tensor LayerNormNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
-  return layernorm_lastdim(*x[0], gamma_, beta_);
+NodeValue LayerNormNode::run(std::span<const NodeValue* const> x,
+                             const RunCtx&) const {
+  return layernorm_lastdim(x[0]->dense(), gamma_, beta_);
 }
 
-Tensor ToTokensNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
-  const Tensor& in = *x[0];
+NodeValue ToTokensNode::run(std::span<const NodeValue* const> x,
+                            const RunCtx&) const {
+  const Tensor& in = x[0]->dense();
   LP_CHECK(in.rank() == 4);
   const std::int64_t b = in.dim(0);
   const std::int64_t c = in.dim(1);
@@ -317,8 +441,9 @@ Tensor ToTokensNode::run(std::span<const Tensor* const> x, const RunCtx&) const 
   return out;
 }
 
-Tensor ClsPosNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
-  const Tensor& in = *x[0];
+NodeValue ClsPosNode::run(std::span<const NodeValue* const> x,
+                          const RunCtx&) const {
+  const Tensor& in = x[0]->dense();
   LP_CHECK(in.rank() == 3);
   const std::int64_t b = in.dim(0);
   const std::int64_t t = in.dim(1);
@@ -339,8 +464,9 @@ Tensor ClsPosNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
   return out;
 }
 
-Tensor PosEmbedNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
-  const Tensor& in = *x[0];
+NodeValue PosEmbedNode::run(std::span<const NodeValue* const> x,
+                            const RunCtx&) const {
+  const Tensor& in = x[0]->dense();
   LP_CHECK(in.rank() == 3);
   const std::int64_t b = in.dim(0);
   const std::int64_t t = in.dim(1);
@@ -354,8 +480,9 @@ Tensor PosEmbedNode::run(std::span<const Tensor* const> x, const RunCtx&) const 
   return out;
 }
 
-Tensor ClsSelectNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
-  const Tensor& in = *x[0];
+NodeValue ClsSelectNode::run(std::span<const NodeValue* const> x,
+                             const RunCtx&) const {
+  const Tensor& in = x[0]->dense();
   LP_CHECK(in.rank() == 3);
   const std::int64_t b = in.dim(0);
   const std::int64_t t = in.dim(1);
@@ -367,8 +494,9 @@ Tensor ClsSelectNode::run(std::span<const Tensor* const> x, const RunCtx&) const
   return out;
 }
 
-Tensor TokenMeanNode::run(std::span<const Tensor* const> x, const RunCtx&) const {
-  const Tensor& in = *x[0];
+NodeValue TokenMeanNode::run(std::span<const NodeValue* const> x,
+                             const RunCtx&) const {
+  const Tensor& in = x[0]->dense();
   LP_CHECK(in.rank() == 3);
   const std::int64_t b = in.dim(0);
   const std::int64_t t = in.dim(1);
@@ -399,8 +527,10 @@ PatchMergeNode::PatchMergeNode(int input, std::string name, int grid_h,
   slot_.block_id = block_id;
 }
 
-Tensor PatchMergeNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) const {
-  const Tensor& in = *x[0];
+NodeValue PatchMergeNode::run(std::span<const NodeValue* const> x,
+                              const RunCtx& ctx) const {
+  // The 2x2 gather works on floats; a coded input decodes first.
+  const Tensor& in = x[0]->dense();
   LP_CHECK(in.rank() == 3);
   const std::int64_t b = in.dim(0);
   const std::int64_t t = in.dim(1);
@@ -431,12 +561,23 @@ Tensor PatchMergeNode::run(std::span<const Tensor* const> x, const RunCtx& ctx) 
   }
   const Tensor* bias = slot_.bias.empty() ? nullptr : &slot_.bias;
   const PackedCodes* codes = ctx.weight_codes(s);
+  const ActCoding* coding = out_coding(ctx, s);
   Tensor out = codes != nullptr ? matmul_nt_codes(gathered, *codes, bias)
                                 : matmul_nt(gathered, w, bias);
+  if (coding != nullptr) {
+    auto enc = encode_acts(out, {coding->qidx->view(), coding->lut,
+                                 coding->bits, kernels::kActNone});
+    if (enc.has_value()) {
+      enc->reshape({b, oh * ow, w.dim(0)});
+      count_coded(ctx, *enc);
+      return NodeValue(std::move(*enc));
+    }
+  }
   quantize_activations(out, ctx.act_format(s));
   Tensor shaped = out.reshaped({b, oh * ow, w.dim(0)});
   capture_pooled(ctx, shaped);
-  return shaped;
+  count_float(ctx, shaped);
+  return NodeValue(std::move(shaped));
 }
 
 }  // namespace lp::nn

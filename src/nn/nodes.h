@@ -15,7 +15,7 @@ namespace lp::nn {
 class InputNode final : public Node {
  public:
   InputNode() : Node({}, "input") {}
-  [[nodiscard]] Tensor run(std::span<const Tensor* const>,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const>,
                            const RunCtx&) const override;
 };
 
@@ -25,7 +25,7 @@ class Conv2dNode final : public Node {
   Conv2dNode(int input, std::string name, Tensor weight, Tensor bias,
              Conv2dSpec spec, Act act, int block_id);
 
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx& ctx) const override;
   [[nodiscard]] std::span<WeightSlot> slots() override { return {&slot_, 1}; }
 
@@ -42,7 +42,7 @@ class LinearNode final : public Node {
   LinearNode(int input, std::string name, Tensor weight, Tensor bias, Act act,
              int block_id);
 
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx& ctx) const override;
   [[nodiscard]] std::span<WeightSlot> slots() override { return {&slot_, 1}; }
 
@@ -60,7 +60,7 @@ class AttentionNode final : public Node {
                 std::array<Tensor, 4> weights, std::array<Tensor, 4> biases,
                 int block_id, int window = 0, int grid_h = 0, int grid_w = 0);
 
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx& ctx) const override;
   [[nodiscard]] std::span<WeightSlot> slots() override { return slots_; }
 
@@ -80,7 +80,7 @@ class MaxPoolNode final : public Node {
   MaxPoolNode(int input, std::string name, int kernel, int stride, int padding)
       : Node({input}, std::move(name)), kernel_(kernel), stride_(stride),
         padding_(padding) {}
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx&) const override;
 
  private:
@@ -93,7 +93,7 @@ class MaxPoolNode final : public Node {
 class GlobalAvgPoolNode final : public Node {
  public:
   GlobalAvgPoolNode(int input, std::string name) : Node({input}, std::move(name)) {}
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx&) const override;
 };
 
@@ -102,7 +102,7 @@ class AddNode final : public Node {
  public:
   AddNode(int a, int b, std::string name, Act act)
       : Node({a, b}, std::move(name)), act_(act) {}
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx&) const override;
 
  private:
@@ -115,7 +115,7 @@ class LayerNormNode final : public Node {
   LayerNormNode(int input, std::string name, Tensor gamma, Tensor beta)
       : Node({input}, std::move(name)), gamma_(std::move(gamma)),
         beta_(std::move(beta)) {}
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx&) const override;
 
  private:
@@ -127,7 +127,7 @@ class LayerNormNode final : public Node {
 class ToTokensNode final : public Node {
  public:
   ToTokensNode(int input, std::string name) : Node({input}, std::move(name)) {}
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx&) const override;
 };
 
@@ -137,7 +137,7 @@ class ClsPosNode final : public Node {
  public:
   ClsPosNode(int input, std::string name, Tensor cls, Tensor pos)
       : Node({input}, std::move(name)), cls_(std::move(cls)), pos_(std::move(pos)) {}
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx&) const override;
 
  private:
@@ -150,7 +150,7 @@ class PosEmbedNode final : public Node {
  public:
   PosEmbedNode(int input, std::string name, Tensor pos)
       : Node({input}, std::move(name)), pos_(std::move(pos)) {}
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx&) const override;
 
  private:
@@ -161,7 +161,7 @@ class PosEmbedNode final : public Node {
 class ClsSelectNode final : public Node {
  public:
   ClsSelectNode(int input, std::string name) : Node({input}, std::move(name)) {}
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx&) const override;
 };
 
@@ -169,7 +169,7 @@ class ClsSelectNode final : public Node {
 class TokenMeanNode final : public Node {
  public:
   TokenMeanNode(int input, std::string name) : Node({input}, std::move(name)) {}
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx&) const override;
 };
 
@@ -180,7 +180,7 @@ class PatchMergeNode final : public Node {
   PatchMergeNode(int input, std::string name, int grid_h, int grid_w,
                  Tensor weight, Tensor bias, int block_id);
 
-  [[nodiscard]] Tensor run(std::span<const Tensor* const> x,
+  [[nodiscard]] NodeValue run(std::span<const NodeValue* const> x,
                            const RunCtx& ctx) const override;
   [[nodiscard]] std::span<WeightSlot> slots() override { return {&slot_, 1}; }
 

@@ -2,11 +2,12 @@
 
 namespace lp::runtime {
 
-nn::ForwardResult QuantizedModel::run(const Tensor& input,
-                                      bool capture_pooled) const {
+nn::ForwardResult QuantizedModel::run(const Tensor& input, bool capture_pooled,
+                                      nn::ActTraffic* act_traffic) const {
   LP_CHECK_MSG(model_ != nullptr, "empty QuantizedModel");
   return model_->forward_with_weights(input, weight_ptrs_, code_ptrs_,
-                                      act_spec_, capture_pooled);
+                                      act_spec_, act_coding_, act_traffic,
+                                      capture_pooled);
 }
 
 std::vector<nn::LayerWorkload> QuantizedModel::trace_workloads(

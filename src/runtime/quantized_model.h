@@ -28,9 +28,15 @@ class QuantizedModel {
 
   /// Batched forward through the snapshot.  `input` carries the batch in
   /// dim 0; every activation-format application inside is one
-  /// quantize_batch pass over the whole batched node output.
+  /// quantize_batch pass over the whole batched node output.  When the
+  /// snapshot carries coded-activation specs (see act_coding()),
+  /// inter-layer activations flow as packed codes — bit-identical logits —
+  /// and `act_traffic` (optional) receives the per-representation byte
+  /// counts; edges whose format has no enumerable table, and any run that
+  /// captures pooled values, stay float.
   [[nodiscard]] nn::ForwardResult run(const Tensor& input,
-                                      bool capture_pooled = false) const;
+                                      bool capture_pooled = false,
+                                      nn::ActTraffic* act_traffic = nullptr) const;
 
   /// GEMM workloads this snapshot executes for `input` (batch folded into
   /// each workload's N dimension) — feed to sim::simulate.
@@ -65,6 +71,12 @@ class QuantizedModel {
   act_formats() const {
     return act_fmts_;
   }
+  /// Per-slot coded-activation specs (empty when the session prepared the
+  /// snapshot with coded activations off, or no activation formats were
+  /// given).  Entries with a null qidx fall back to float on that edge.
+  [[nodiscard]] std::span<const nn::ActCoding> act_coding() const {
+    return act_coding_;
+  }
 
  private:
   friend class InferenceSession;
@@ -77,6 +89,9 @@ class QuantizedModel {
   std::vector<const PackedCodes*> code_ptrs_;  ///< aligned view of codes_
   std::vector<const Tensor*> weight_ptrs_;     ///< aligned view of weights_
   nn::QuantSpec act_spec_;                     ///< act_fmt filled, weights null
+  /// Per-slot coded-activation specs; the shared_ptr LUT inside each entry
+  /// keeps the cache's activation decode tables alive for this snapshot.
+  std::vector<nn::ActCoding> act_coding_;
 };
 
 }  // namespace lp::runtime

@@ -51,6 +51,8 @@ void InferenceSession::prepare_missing(
   };
   std::vector<std::pair<std::size_t, LPConfig>> missing_weights;
   MissingSet seen_pairs;
+  std::vector<LPConfig> act_fmt_list;  ///< distinct act configs, request order
+  MissingSet seen_acts;
   for (std::size_t c = 0; c < weight_cfgs.size(); ++c) {
     LP_CHECK_MSG(weight_cfgs[c].size() == n,
                  "candidate " << c << " has " << weight_cfgs[c].size()
@@ -66,7 +68,12 @@ void InferenceSession::prepare_missing(
     }
     if (c < act_cfgs.size() && !act_cfgs[c].empty()) {
       LP_CHECK(act_cfgs[c].size() == n);
-      for (const LPConfig& a : act_cfgs[c]) note_format(a);
+      for (const LPConfig& a : act_cfgs[c]) {
+        note_format(a);
+        if (seen_acts.insert(PairKey{0, FormatKey::of(a)}).second) {
+          act_fmt_list.push_back(a);
+        }
+      }
     }
   }
 
@@ -82,6 +89,15 @@ void InferenceSession::prepare_missing(
                   });
   for (std::size_t i = 0; i < missing_fmts.size(); ++i) {
     formats_.put(missing_fmts[i], std::move(built[i]));
+  }
+
+  // Intern activation decode LUTs (serial — cache mutation) so every
+  // assemble() below is a pure cache hit.  Formats without an enumerable
+  // code table negative-cache a null record; their edges stay float.
+  if (opts_.coded_activations) {
+    for (const LPConfig& a : act_fmt_list) {
+      (void)weights_.act_decode_lut(a, *formats_.find(a));
+    }
   }
 
   // Intern decode LUTs for the missing weight formats (serial — cache
@@ -143,6 +159,8 @@ QuantizedModel InferenceSession::assemble(std::span<const LPConfig> weight_cfgs,
   qm.code_ptrs_.assign(n, nullptr);
   qm.weight_ptrs_.assign(n, nullptr);
   qm.act_spec_.resize(n);
+  const bool coded_acts = opts_.coded_activations && !act_cfgs.empty();
+  if (coded_acts) qm.act_coding_.resize(n);
   for (std::size_t s = 0; s < n; ++s) {
     // get() (not find()) so assembly stamps format recency for the
     // generational sweep; this phase is serial, so stamping is safe.
@@ -156,6 +174,18 @@ QuantizedModel InferenceSession::assemble(std::span<const LPConfig> weight_cfgs,
     if (!act_cfgs.empty()) {
       qm.act_fmts_[s] = formats_.get(act_cfgs[s]);
       qm.act_spec_.act_fmt[s] = qm.act_fmts_[s].get();
+      if (coded_acts) {
+        // The qidx points into the interned LPFormat and the LUT into the
+        // cache's activation table — both shared-owned by the snapshot.
+        const LPFormat& f = *qm.act_fmts_[s];
+        std::shared_ptr<const DecodeTable> lut =
+            weights_.act_decode_lut(act_cfgs[s], f);
+        const QuantIndex* qidx = f.quant_index();
+        if (lut != nullptr && qidx != nullptr) {
+          const int bits = PackedCodes::bits_for(lut->size(), /*min_bits=*/8);
+          qm.act_coding_[s] = nn::ActCoding{qidx, std::move(lut), bits};
+        }
+      }
     }
   }
   return qm;
@@ -202,8 +232,9 @@ const QuantizedModel& InferenceSession::current() const {
 }
 
 nn::ForwardResult InferenceSession::run(const Tensor& batch,
-                                        bool capture_pooled) const {
-  return current().run(batch, capture_pooled);
+                                        bool capture_pooled,
+                                        nn::ActTraffic* act_traffic) const {
+  return current().run(batch, capture_pooled, act_traffic);
 }
 
 Tensor InferenceSession::run_batched(std::span<const Tensor> inputs) const {

@@ -46,6 +46,10 @@ struct SessionOptions {
   /// interns a fresh format for almost every new gene; the cap bounds that
   /// growth with the same generational sweep as the weight cache.
   std::size_t format_cache_entries = 4096;
+  /// Thread inter-layer activations as packed codes (bit-identical to the
+  /// float path; edges whose activation format has no enumerable code
+  /// table fall back to float per-edge).  Off = every edge stays float.
+  bool coded_activations = true;
 };
 
 class InferenceSession {
@@ -75,9 +79,12 @@ class InferenceSession {
 
   /// Batched forward through the current assignment (set_formats first).
   /// The batch rides dim 0; per-layer activation formats are applied in
-  /// one quantize_batch pass over each node's whole batched output.
+  /// one quantize_batch pass over each node's whole batched output.  With
+  /// coded activations on (the default), inter-layer activations flow as
+  /// packed codes; `act_traffic` (optional) receives the byte counts.
   [[nodiscard]] nn::ForwardResult run(const Tensor& batch,
-                                      bool capture_pooled = false) const;
+                                      bool capture_pooled = false,
+                                      nn::ActTraffic* act_traffic = nullptr) const;
 
   /// Multi-request variant: stacks equal-shaped inputs (samples or
   /// mini-batches) into one batch and executes a single fused forward, so

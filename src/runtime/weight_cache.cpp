@@ -79,9 +79,28 @@ std::shared_ptr<const DecodeTable> WeightCodeCache::decode_lut(
   return lut;
 }
 
+std::shared_ptr<const DecodeTable> WeightCodeCache::act_decode_lut(
+    const LPConfig& cfg, const NumberFormat& fmt) {
+  const FormatKey key = FormatKey::of(cfg);
+  const auto it = act_luts_.find(key);
+  if (it != act_luts_.end()) {
+    it->second.last_used = tick_;
+    return it->second.lut;
+  }
+  std::shared_ptr<const DecodeTable> lut = build_decode_table(fmt);
+  if (lut != nullptr) {
+    const std::size_t b = lut_payload_bytes(*lut);
+    stats_.bytes += b;
+    stats_.act_lut_bytes += b;
+  }
+  act_luts_.emplace(key, LutRec{lut, 0, tick_});
+  return lut;
+}
+
 void WeightCodeCache::next_generation() {
   evict_to_budget();
   sweep_stale_luts();
+  sweep_stale_act_luts();
   ++tick_;
 }
 
@@ -138,6 +157,22 @@ void WeightCodeCache::sweep_stale_luts() {
       stats_.bytes -= b;
       stats_.lut_bytes -= b;
       it = luts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WeightCodeCache::sweep_stale_act_luts() {
+  // Activation LUTs have no entry refcounts — recency alone decides.  A
+  // LUT untouched for a full generation is dropped (live snapshots keep
+  // shared ownership); null records stay as a free negative cache.
+  for (auto it = act_luts_.begin(); it != act_luts_.end();) {
+    if (it->second.lut != nullptr && it->second.last_used < tick_) {
+      const std::size_t b = lut_payload_bytes(*it->second.lut);
+      stats_.bytes -= b;
+      stats_.act_lut_bytes -= b;
+      it = act_luts_.erase(it);
     } else {
       ++it;
     }

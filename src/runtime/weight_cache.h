@@ -49,7 +49,8 @@ struct CacheStats {
   std::size_t entries = 0;       ///< live entries
   std::size_t bytes = 0;         ///< live physical bytes: codes + float fallbacks + decode LUTs
   std::size_t logical_bytes = 0; ///< float32-equivalent bytes of live entries
-  std::size_t lut_bytes = 0;     ///< portion of `bytes` held by decode LUTs
+  std::size_t lut_bytes = 0;     ///< portion of `bytes` held by weight decode LUTs
+  std::size_t act_lut_bytes = 0; ///< portion of `bytes` held by activation decode LUTs
   std::size_t packed_entries = 0;///< entries stored as packed codes (rest are float fallbacks)
 };
 
@@ -98,6 +99,16 @@ class WeightCodeCache {
   [[nodiscard]] std::shared_ptr<const DecodeTable> decode_lut(
       const LPConfig& cfg, const NumberFormat& fmt);
 
+  /// Shared decode LUT for cfg used as an *activation* format — interned
+  /// in its own map with its own byte accounting (stats().act_lut_bytes),
+  /// so the weight vs activation LUT budget split stays visible.  Null
+  /// when the format has no enumerable code table (those edges stay
+  /// float).  LUTs unused for a full generation are swept; snapshots hold
+  /// shared ownership, so eviction never invalidates a live run.  Serial
+  /// phase only.
+  [[nodiscard]] std::shared_ptr<const DecodeTable> act_decode_lut(
+      const LPConfig& cfg, const NumberFormat& fmt);
+
   /// Advance the generation tick and sweep oldest-tick entries until the
   /// payload fits the budget again (current-tick entries are kept).  Also
   /// drops decode LUTs no live entry references.
@@ -130,11 +141,13 @@ class WeightCodeCache {
   void evict_to_budget();
   void erase_entry(const SlotKey& key, const Entry& entry);
   void sweep_stale_luts();
+  void sweep_stale_act_luts();
 
   // Ordered maps: the eviction sweep iterates in key order, which makes
   // the set of survivors a pure function of the lookup/insert history.
   std::map<SlotKey, Entry> entries_;
   std::map<FormatKey, LutRec> luts_;
+  std::map<FormatKey, LutRec> act_luts_;  ///< activation-side LUTs (refs unused)
   std::size_t budget_bytes_;
   std::uint64_t tick_ = 0;
   CacheStats stats_;

@@ -61,19 +61,20 @@ LayerSim simulate_layer(const lpa::AcceleratorModel& accel,
       (static_cast<double>(ls.cycles) * peak_macs_per_cycle);
 
   // --- memory traffic (bytes) ---
-  // Activations are stored byte-aligned in the input buffer (4-bit values
-  // are zero-extended to 8, 16-bit values take two bytes), weights are
-  // bit-packed at their quantized width.
+  // Both operands move as packed codes: weights AND activations are
+  // bit-packed at their quantized width and the PE array decodes them
+  // in-datapath.  With the end-to-end coded activation pipeline the
+  // inter-layer buffers hold code streams, so a 4-bit activation costs
+  // half a byte, not the full byte the byte-aligned input buffer used to
+  // charge.
   const double w_bytes = static_cast<double>(wl.m * wl.k) * ls.w_bits / 8.0;
   const double act_storage_bytes =
-      static_cast<double>(wl.k * wl.n) * ((ls.a_bits + 7) / 8);
+      static_cast<double>(wl.k * wl.n) * ls.a_bits / 8.0;
   const double sram_act = act_storage_bytes * static_cast<double>(m_tiles);
-  // Outputs are the next layer's activations and are stored at this
-  // layer's activation width, byte-aligned like the input buffer.  (The
-  // seed charged one byte per output regardless of a_bits, undercounting
-  // 16-bit activation traffic.)
+  // Outputs are the next layer's activations: re-encoded to codes in the
+  // output pipeline and stored at this layer's true activation code width.
   const double out_bytes =
-      static_cast<double>(wl.m * wl.n) * ((ls.a_bits + 7) / 8);
+      static_cast<double>(wl.m * wl.n) * ls.a_bits / 8.0;
   // Partial sums spill at 16 bits between K tiles.
   const double psum_bytes =
       static_cast<double>(wl.m * wl.n) * 2.0 *

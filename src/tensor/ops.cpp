@@ -1,12 +1,14 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "core/number_format.h"
 #include "core/packed_codes.h"
 #include "kernels/kernels.h"
+#include "kernels/kernels_internal.h"
 #include "util/thread_pool.h"
 
 namespace lp {
@@ -66,6 +68,50 @@ void gemm_codes_parallel(const kernels::PackedCodesView& a, const float* b,
                  [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
                    kt.gemm_codes_rows(a, b, bias, c, row_begin, row_end, k, n);
                  });
+}
+
+/// gemm_parallel with BOTH operands coded (conv layout): the kernel
+/// decodes each through its own LUT inside the row block.
+void gemm_codes_codes_parallel(const kernels::PackedCodesView& a,
+                               const kernels::PackedCodesView& b,
+                               const float* bias, float* c, std::int64_t m,
+                               std::int64_t k, std::int64_t n) {
+  const kernels::KernelTable& kt = kernels::dispatch();
+  for_row_blocks(m * k * n, kGemmSerialBelow, m,
+                 [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
+                   kt.gemm_codes_codes_rows(a, b, bias, c, row_begin, row_end,
+                                            k, n);
+                 });
+}
+
+/// Row-parallel both-coded nt GEMM with the optional fused encode
+/// epilogue.  Returns false when any row block reported a non-finite
+/// output (all blocks still run; the caller discards the stream).  Same
+/// decode-amortizing grain as matmul_nt_codes: the nt kernels expand the
+/// whole B operand per row-block call.
+bool gemm_codes_codes_nt_parallel(const kernels::PackedCodesView& a,
+                                  const kernels::PackedCodesView& b,
+                                  const float* bias, float* c,
+                                  const kernels::ActEncode* ep, std::int64_t m,
+                                  std::int64_t k, std::int64_t n) {
+  const kernels::KernelTable& kt = kernels::dispatch();
+  std::atomic<bool> ok{true};
+  auto body = [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
+    if (!kt.gemm_codes_codes_nt_rows(a, b, bias, c, ep, row_begin, row_end, k,
+                                     n)) {
+      ok.store(false, std::memory_order_relaxed);
+    }
+  };
+  constexpr std::int64_t kMinDecodeRows = 16;
+  if (m * k * n < kGemmSerialBelow || m <= kMinDecodeRows) {
+    body(0, m, 0);
+  } else {
+    ThreadPool& pool = default_pool();
+    const std::int64_t grain =
+        std::max(balanced_grain(m, pool.thread_count()), kMinDecodeRows);
+    parallel_for(pool, 0, m, grain, body);
+  }
+  return ok.load(std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -139,6 +185,67 @@ Tensor matmul_nt_codes(const Tensor& a, const PackedCodes& b,
   return c;
 }
 
+Tensor matmul_nt_codes_codes(const PackedCodes& a, const PackedCodes& b,
+                             const Tensor* bias) {
+  LP_CHECK(a.rank() >= 2 && b.rank() == 2);
+  const std::int64_t k = a.shape().back();
+  LP_CHECK_MSG(k == b.dim(1), "matmul_nt_codes_codes inner dims "
+                                  << k << " vs " << b.dim(1));
+  const std::int64_t m = a.numel() / k;
+  const std::int64_t n = b.dim(0);
+  if (bias != nullptr) LP_CHECK(bias->rank() == 1 && bias->dim(0) == n);
+  Tensor c({m, n});
+  (void)gemm_codes_codes_nt_parallel(
+      a.view(), b.view(), bias != nullptr ? bias->raw() : nullptr, c.raw(),
+      nullptr, m, k, n);
+  return c;
+}
+
+std::optional<PackedCodes> matmul_nt_codes_codes_enc(const PackedCodes& a,
+                                                     const PackedCodes& b,
+                                                     const Tensor* bias,
+                                                     const ActEncodeSpec& enc) {
+  LP_CHECK(a.rank() >= 2 && b.rank() == 2);
+  const std::int64_t k = a.shape().back();
+  LP_CHECK_MSG(k == b.dim(1), "matmul_nt_codes_codes inner dims "
+                                  << k << " vs " << b.dim(1));
+  LP_CHECK(enc.lut != nullptr && (enc.bits == 8 || enc.bits == 16));
+  const std::int64_t m = a.numel() / k;
+  const std::int64_t n = b.dim(0);
+  if (bias != nullptr) LP_CHECK(bias->rank() == 1 && bias->dim(0) == n);
+  std::vector<std::uint8_t> codes(PackedCodes::stream_bytes(m * n, enc.bits));
+  const kernels::ActEncode ep{enc.qidx, codes.data(), enc.bits, enc.act};
+  if (!gemm_codes_codes_nt_parallel(a.view(), b.view(),
+                                    bias != nullptr ? bias->raw() : nullptr,
+                                    nullptr, &ep, m, k, n)) {
+    return std::nullopt;
+  }
+  return PackedCodes::from_codes(std::move(codes), {m, n}, enc.bits, enc.lut);
+}
+
+std::optional<PackedCodes> encode_acts(const Tensor& t,
+                                       const ActEncodeSpec& enc) {
+  LP_CHECK(enc.lut != nullptr && (enc.bits == 8 || enc.bits == 16));
+  std::vector<std::uint8_t> codes(PackedCodes::stream_bytes(t.numel(), enc.bits));
+  const kernels::ActEncode ep{enc.qidx, codes.data(), enc.bits, enc.act};
+  const float* src = t.raw();
+  std::atomic<bool> ok{true};
+  auto body = [&](std::int64_t e0, std::int64_t e1, std::int64_t) {
+    if (!kernels::detail::encode_row_block(ep, src + e0, e0, e1 - e0)) {
+      ok.store(false, std::memory_order_relaxed);
+    }
+  };
+  const std::int64_t nelem = t.numel();
+  if (nelem < kRowsSerialBelow) {
+    body(0, nelem, 0);
+  } else {
+    parallel_for(default_pool(), 0, nelem, 1 << 15, body);
+  }
+  if (!ok.load(std::memory_order_relaxed)) return std::nullopt;
+  return PackedCodes::from_codes(std::move(codes), t.shape(), enc.bits,
+                                 enc.lut);
+}
+
 std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
                           std::int64_t stride, std::int64_t padding) {
   LP_CHECK(stride >= 1 && kernel >= 1 && padding >= 0);
@@ -189,6 +296,60 @@ Tensor im2col(const Tensor& input, std::int64_t c_begin, std::int64_t c_count,
   for_row_blocks(patch_rows * col_width, kRowsSerialBelow, patch_rows,
                  fill_rows);
   return cols;
+}
+
+PackedCodes im2col_codes(const PackedCodes& input, std::int64_t c_begin,
+                         std::int64_t c_count, std::int64_t kh, std::int64_t kw,
+                         const Conv2dSpec& spec, std::uint32_t zero_code) {
+  LP_CHECK(input.rank() == 4);
+  const int bits = input.code_bits();
+  LP_CHECK_MSG(bits == 8 || bits == 16,
+               "coded im2col needs byte-aligned codes, got " << bits << "-bit");
+  LP_CHECK(static_cast<std::size_t>(zero_code) < input.lut()->size());
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c_total = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  LP_CHECK(c_begin >= 0 && c_begin + c_count <= c_total);
+  const std::int64_t ho = conv_out_dim(h, kh, spec.stride, spec.padding);
+  const std::int64_t wo = conv_out_dim(w, kw, spec.stride, spec.padding);
+  const std::int64_t col_width = n * ho * wo;
+  const std::int64_t patch_rows = c_count * kh * kw;
+  std::vector<std::uint8_t> out(
+      PackedCodes::stream_bytes(patch_rows * col_width, bits));
+  std::uint8_t* dst = out.data();
+  const kernels::PackedCodesView iv = input.view();
+  // Same row order and padding positions as the float im2col; rows write
+  // disjoint byte ranges (codes are byte-aligned), so parallel rows are
+  // race-free.
+  auto fill_rows = [&](std::int64_t row_begin, std::int64_t row_end,
+                       std::int64_t) {
+    for (std::int64_t row = row_begin; row < row_end; ++row) {
+      const std::int64_t cc = row / (kh * kw);
+      const std::int64_t ky = (row / kw) % kh;
+      const std::int64_t kx = row % kw;
+      std::int64_t col = row * col_width;
+      for (std::int64_t b = 0; b < n; ++b) {
+        const std::int64_t chan = ((b * c_total + c_begin + cc) * h) * w;
+        for (std::int64_t oy = 0; oy < ho; ++oy) {
+          const std::int64_t iy = oy * spec.stride - spec.padding + ky;
+          const bool y_ok = iy >= 0 && iy < h;
+          for (std::int64_t ox = 0; ox < wo; ++ox, ++col) {
+            const std::int64_t ix = ox * spec.stride - spec.padding + kx;
+            const std::uint32_t code =
+                (y_ok && ix >= 0 && ix < w)
+                    ? kernels::packed_code_at(iv, chan + iy * w + ix)
+                    : zero_code;
+            kernels::packed_code_write(dst, bits, col, code);
+          }
+        }
+      }
+    }
+  };
+  for_row_blocks(patch_rows * col_width, kRowsSerialBelow, patch_rows,
+                 fill_rows);
+  return PackedCodes::from_codes(std::move(out), {patch_rows, col_width}, bits,
+                                 input.lut());
 }
 
 namespace {
@@ -285,6 +446,121 @@ Tensor conv2d_codes(const Tensor& input, const PackedCodes& weight,
       });
 }
 
+namespace {
+
+/// Shared body for the coded-input convolutions: coded im2col per group,
+/// both-coded GEMM per group, then a scatter whose per-element sink comes
+/// from `make_write(out_shape)` — the float variant writes `rrow + bias`
+/// into an NCHW tensor, the fused variant encodes through the epilogue.
+/// The sink returns false for an unencodable element; the core reports
+/// whether every element succeeded (all groups still run).  Everything
+/// around the sink is the float conv2d_core's exact sequence, so both
+/// variants stay bit-identical to it.
+template <typename MakeWrite>
+bool conv2d_cc_core(const PackedCodes& input, const PackedCodes& weight,
+                    const Tensor* bias, const Conv2dSpec& spec,
+                    std::uint32_t zero_code, MakeWrite&& make_write) {
+  LP_CHECK(input.rank() == 4 && weight.rank() == 4);
+  const std::int64_t n = input.dim(0);
+  const std::int64_t cin = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t cout = weight.dim(0);
+  const std::int64_t kh = weight.dim(2);
+  const std::int64_t kw = weight.dim(3);
+  LP_CHECK(spec.groups >= 1);
+  LP_CHECK_MSG(cin % spec.groups == 0 && cout % spec.groups == 0,
+               "groups must divide channels");
+  LP_CHECK_MSG(weight.dim(1) == cin / spec.groups,
+               "weight Cin/groups mismatch: " << weight.dim(1) << " vs "
+                                              << cin / spec.groups);
+  if (bias != nullptr) LP_CHECK(bias->rank() == 1 && bias->dim(0) == cout);
+
+  const std::int64_t ho = conv_out_dim(h, kh, spec.stride, spec.padding);
+  const std::int64_t wo = conv_out_dim(w, kw, spec.stride, spec.padding);
+  const std::int64_t cg_in = cin / spec.groups;
+  const std::int64_t cg_out = cout / spec.groups;
+  const std::int64_t col_width = n * ho * wo;
+
+  auto write = make_write(std::vector<std::int64_t>{n, cout, ho, wo});
+  std::atomic<bool> ok{true};
+  for (std::int64_t g = 0; g < spec.groups; ++g) {
+    const PackedCodes cols =
+        im2col_codes(input, g * cg_in, cg_in, kh, kw, spec, zero_code);
+    const std::int64_t k = cg_in * kh * kw;
+    std::vector<float> result(static_cast<std::size_t>(cg_out * col_width),
+                              0.0F);
+    gemm_codes_codes_parallel(weight.view(g * cg_out * k), cols.view(), nullptr,
+                              result.data(), cg_out, k, col_width);
+    // Output channels touch disjoint planes — parallel over oc, exactly
+    // like the float scatter.
+    auto scatter = [&](std::int64_t oc_begin, std::int64_t oc_end,
+                       std::int64_t) {
+      bool block_ok = true;
+      for (std::int64_t oc = oc_begin; oc < oc_end; ++oc) {
+        const float bias_v =
+            (bias != nullptr) ? (*bias)[g * cg_out + oc] : 0.0F;
+        const float* rrow = result.data() + oc * col_width;
+        std::int64_t col = 0;
+        for (std::int64_t b = 0; b < n; ++b) {
+          const std::int64_t base = ((b * cout + g * cg_out + oc) * ho) * wo;
+          for (std::int64_t i = 0; i < ho * wo; ++i, ++col) {
+            block_ok = write(base + i, rrow[col] + bias_v) && block_ok;
+          }
+        }
+      }
+      if (!block_ok) ok.store(false, std::memory_order_relaxed);
+    };
+    for_row_blocks(cg_out * col_width, kRowsSerialBelow, cg_out, scatter);
+  }
+  return ok.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tensor conv2d_codes_codes(const PackedCodes& input, const PackedCodes& weight,
+                          const Tensor* bias, const Conv2dSpec& spec,
+                          std::uint32_t zero_code) {
+  Tensor out;
+  (void)conv2d_cc_core(input, weight, bias, spec, zero_code,
+                       [&](std::vector<std::int64_t> shape) {
+                         out = Tensor(std::move(shape));
+                         float* raw = out.raw();
+                         return [raw](std::int64_t e, float v) {
+                           raw[e] = v;
+                           return true;
+                         };
+                       });
+  return out;
+}
+
+std::optional<PackedCodes> conv2d_codes_codes_enc(const PackedCodes& input,
+                                                  const PackedCodes& weight,
+                                                  const Tensor* bias,
+                                                  const Conv2dSpec& spec,
+                                                  std::uint32_t zero_code,
+                                                  const ActEncodeSpec& enc) {
+  LP_CHECK(enc.lut != nullptr && (enc.bits == 8 || enc.bits == 16));
+  std::vector<std::uint8_t> codes;
+  std::vector<std::int64_t> out_shape;
+  kernels::ActEncode ep{enc.qidx, nullptr, enc.bits, enc.act};
+  const bool ok = conv2d_cc_core(
+      input, weight, bias, spec, zero_code,
+      [&](std::vector<std::int64_t> shape) {
+        std::int64_t numel = 1;
+        for (const std::int64_t d : shape) numel *= d;
+        out_shape = std::move(shape);
+        codes.resize(PackedCodes::stream_bytes(numel, enc.bits));
+        ep.codes = codes.data();
+        return [&ep](std::int64_t e, float v) {
+          return kernels::detail::encode_elem(ep, v, e);
+        };
+      });
+  if (!ok) return std::nullopt;
+  return PackedCodes::from_codes(std::move(codes), std::move(out_shape),
+                                 enc.bits, enc.lut);
+}
+
 Tensor global_avg_pool(const Tensor& input) {
   LP_CHECK(input.rank() == 4);
   const std::int64_t n = input.dim(0);
@@ -337,21 +613,20 @@ Tensor max_pool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride,
   return out;
 }
 
+// The elementwise activations delegate to kernels::act_eval — the single
+// definition the fused encode epilogue also evaluates, so fused and
+// unfused flows apply bit-identical nonlinearities.
+
 void relu_inplace(Tensor& x) {
-  for (float& v : x.data()) v = std::max(v, 0.0F);
+  for (float& v : x.data()) v = kernels::act_eval(v, kernels::kActRelu);
 }
 
 void relu6_inplace(Tensor& x) {
-  for (float& v : x.data()) v = std::clamp(v, 0.0F, 6.0F);
+  for (float& v : x.data()) v = kernels::act_eval(v, kernels::kActRelu6);
 }
 
 void gelu_inplace(Tensor& x) {
-  // tanh approximation of GELU (the variant ViT implementations use).
-  constexpr float kSqrt2OverPi = 0.7978845608028654F;
-  for (float& v : x.data()) {
-    const float u = kSqrt2OverPi * (v + 0.044715F * v * v * v);
-    v = 0.5F * v * (1.0F + std::tanh(u));
-  }
+  for (float& v : x.data()) v = kernels::act_eval(v, kernels::kActGelu);
 }
 
 Tensor relu(const Tensor& x) {

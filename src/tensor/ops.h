@@ -6,12 +6,14 @@
 // fresh output) unless suffixed _inplace.
 #pragma once
 
+#include <optional>
+
+#include "core/packed_codes.h"
 #include "tensor/tensor.h"
 
 namespace lp {
 
 class NumberFormat;
-class PackedCodes;
 
 /// Quantize every element of t in place through the format's batched path
 /// (see NumberFormat::quantize_batch).  The RMSE-returning variant is
@@ -40,6 +42,45 @@ void quantize_inplace(Tensor& t, const NumberFormat& fmt);
 [[nodiscard]] Tensor matmul_nt_codes(const Tensor& a, const PackedCodes& b,
                                      const Tensor* bias = nullptr);
 
+/// Output-coding spec for the fused quantize-to-code epilogues: each
+/// finished output element gets `act` (kernels::kAct*) applied, is
+/// nearest-index encoded through `qidx`, and lands in a fresh stream of
+/// `bits`-wide codes decoding through `lut` — the inter-layer activation
+/// never materializes as floats.  `qidx` and `lut` must belong to the same
+/// format (lut[i] == the float the quantize path stores for index i).
+struct ActEncodeSpec {
+  kernels::QuantIndexView qidx;
+  std::shared_ptr<const DecodeTable> lut;
+  int bits = 8;  ///< 8 or 16 (byte-aligned; see kernels::packed_code_write)
+  int act = kernels::kActNone;
+};
+
+/// matmul_nt with BOTH operands coded: A [..., K] holds activation codes
+/// (leading dims flatten to M, so rank-3 token activations need no
+/// reshape copy), B [N,K] holds weight codes, each decoded through its
+/// own LUT inside the kernel.  Bit-identical to matmul_nt over the
+/// decoded operands.  Result is [M, N].
+[[nodiscard]] Tensor matmul_nt_codes_codes(const PackedCodes& a,
+                                           const PackedCodes& b,
+                                           const Tensor* bias = nullptr);
+
+/// Fused variant of matmul_nt_codes_codes: act + encode applied per
+/// element before it leaves the kernel; the [M,N] result exists only as
+/// codes.  Returns nullopt when any output element is non-finite (no code
+/// can represent NaN) — callers re-run the edge on the float path.
+[[nodiscard]] std::optional<PackedCodes> matmul_nt_codes_codes_enc(
+    const PackedCodes& a, const PackedCodes& b, const Tensor* bias,
+    const ActEncodeSpec& enc);
+
+/// Encode an (already activated) float tensor into a coded activation
+/// stream through the epilogue's nearest-index search: the decoded stream
+/// equals quantizing `t` through the same table, element for element.
+/// Returns nullopt when any element is non-finite.  Used where the GEMM
+/// output cannot be encoded in-kernel (float-input conv, attention) but
+/// the outgoing edge is still coded.
+[[nodiscard]] std::optional<PackedCodes> encode_acts(const Tensor& t,
+                                                     const ActEncodeSpec& enc);
+
 struct Conv2dSpec {
   std::int64_t stride = 1;
   std::int64_t padding = 0;
@@ -57,6 +98,23 @@ struct Conv2dSpec {
 [[nodiscard]] Tensor conv2d_codes(const Tensor& input,
                                   const PackedCodes& weight,
                                   const Tensor* bias, const Conv2dSpec& spec);
+
+/// conv2d with coded weights AND a coded NCHW input: patches gather as
+/// codes (padding with `zero_code`, which must decode to exact +0.0f —
+/// see lut_zero_code) and both GEMM operands decode inside the kernel.
+/// Bit-identical to conv2d over the decoded tensors.
+[[nodiscard]] Tensor conv2d_codes_codes(const PackedCodes& input,
+                                        const PackedCodes& weight,
+                                        const Tensor* bias,
+                                        const Conv2dSpec& spec,
+                                        std::uint32_t zero_code);
+
+/// Fused variant of conv2d_codes_codes: bias + act + encode applied per
+/// element in the scatter, so the [N,Cout,H',W'] output exists only as
+/// codes.  Returns nullopt when any output element is non-finite.
+[[nodiscard]] std::optional<PackedCodes> conv2d_codes_codes_enc(
+    const PackedCodes& input, const PackedCodes& weight, const Tensor* bias,
+    const Conv2dSpec& spec, std::uint32_t zero_code, const ActEncodeSpec& enc);
 
 /// Global average pool: [N,C,H,W] -> [N,C].
 [[nodiscard]] Tensor global_avg_pool(const Tensor& input);
@@ -98,6 +156,17 @@ void scale_inplace(Tensor& a, float s);
 [[nodiscard]] Tensor im2col(const Tensor& input, std::int64_t c_begin,
                             std::int64_t c_count, std::int64_t kh,
                             std::int64_t kw, const Conv2dSpec& spec);
+
+/// im2col over a coded NCHW input: gathers codes instead of floats,
+/// padding with `zero_code` (must decode to exact +0.0f).  The result
+/// shares the input's LUT and code width; the input must be byte-aligned
+/// (8- or 16-bit codes — activation streams always are).  Exposed for
+/// testing.
+[[nodiscard]] PackedCodes im2col_codes(const PackedCodes& input,
+                                       std::int64_t c_begin,
+                                       std::int64_t c_count, std::int64_t kh,
+                                       std::int64_t kw, const Conv2dSpec& spec,
+                                       std::uint32_t zero_code);
 
 /// Output spatial size of a convolution dimension.
 [[nodiscard]] std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,

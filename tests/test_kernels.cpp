@@ -74,6 +74,8 @@ TEST_F(KernelTablesTest, ScalarAlwaysFirstAndComplete) {
     EXPECT_NE(t->gemm_nt_rows, nullptr);
     EXPECT_NE(t->gemm_codes_rows, nullptr);
     EXPECT_NE(t->gemm_codes_nt_rows, nullptr);
+    EXPECT_NE(t->gemm_codes_codes_rows, nullptr);
+    EXPECT_NE(t->gemm_codes_codes_nt_rows, nullptr);
     EXPECT_NE(t->quantize_chunk, nullptr);
     EXPECT_NE(t->nearest_indices, nullptr);
   }

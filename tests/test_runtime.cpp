@@ -195,7 +195,8 @@ TEST(InferenceSession, EvictionRespectsByteBudgetAcrossGenerations) {
     const CacheStats st = probe.stats();
     packed_set_bytes = st.bytes;
     EXPECT_EQ(st.logical_bytes, float_set_bytes);
-    EXPECT_LE((st.bytes - st.lut_bytes) * 4, st.logical_bytes);
+    EXPECT_LE((st.bytes - st.lut_bytes - st.act_lut_bytes) * 4,
+              st.logical_bytes);
     EXPECT_GT(st.lut_bytes, 0U);
     EXPECT_EQ(st.packed_entries, st.entries);
   }

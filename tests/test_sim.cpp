@@ -3,9 +3,13 @@
 // Table 3 / Fig. 6 rest on.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "lpq/fitness.h"
 #include "nn/zoo.h"
 #include "runtime/session.h"
 #include "sim/simulator.h"
+#include "util/rng.h"
 
 namespace lp::sim {
 namespace {
@@ -216,6 +220,100 @@ TEST(Simulate, OutputTrafficFollowsActivationWidth) {
   const double out_bytes = 8 * 32 * 2.0;         // m*n at two bytes
   EXPECT_DOUBLE_EQ(l.dram_bytes, w_bytes + act_bytes + out_bytes);
   EXPECT_DOUBLE_EQ(l.sram_bytes, w_bytes + act_bytes + out_bytes);
+}
+
+TEST(Simulate, ActivationTrafficScalesWithCodeWidth) {
+  // Inter-layer activations now move as packed codes, so the simulator
+  // charges their buffer traffic at true code width: 4-bit activations
+  // must cost exactly half the activation/output bytes of 8-bit ones (the
+  // seed byte-ceiled sub-byte widths up to a full byte, erasing the
+  // benefit of narrow codes).  Single tile, k = rows, so no psum spill.
+  const auto lpa_m = lpa::make_lpa();
+  const auto r4 = simulate(lpa_m, {gemm(8, 8, 32)},
+                           PrecisionMap::uniform(1, 8, 4));
+  const auto r8 = simulate(lpa_m, {gemm(8, 8, 32)},
+                           PrecisionMap::uniform(1, 8, 8));
+  ASSERT_EQ(r4.layers[0].a_bits, 4);
+  ASSERT_EQ(r8.layers[0].a_bits, 8);
+  const double w_bytes = 8 * 8 * 8 / 8.0;  // m*k at 8-bit weights
+  EXPECT_DOUBLE_EQ(r4.layers[0].dram_bytes, w_bytes + 8 * 32 * 0.5 * 2);
+  EXPECT_DOUBLE_EQ(r8.layers[0].dram_bytes, w_bytes + 8 * 32 * 1.0 * 2);
+  // The activation+output component halves exactly.
+  EXPECT_DOUBLE_EQ(r4.layers[0].dram_bytes - w_bytes,
+                   (r8.layers[0].dram_bytes - w_bytes) / 2.0);
+  EXPECT_DOUBLE_EQ(r4.layers[0].sram_bytes - w_bytes,
+                   (r8.layers[0].sram_bytes - w_bytes) / 2.0);
+}
+
+TEST(Simulate, HwCostTermShiftsFitnessRanking) {
+  // The LPQ hardware-cost term (FitnessOptions::mu) multiplies fitness by
+  // (dram_bytes / uniform-8-bit dram_bytes)^mu.  On a fixed-seed toy
+  // setup, pin (a) the ratio strictly orders narrow-code candidates below
+  // wide ones, (b) the multiplicative contract, and (c) that a large
+  // enough mu flips the ranking toward the candidate that moves fewer
+  // bytes — the lever that steers the search toward narrow codes.
+  nn::ZooOptions o;
+  o.input_size = 16;
+  o.classes = 8;
+  o.seed = 17;
+  const nn::Model m = nn::build_tiny_cnn(o);
+  Tensor calib({4, 3, 16, 16});
+  Rng rng(99);
+  for (float& v : calib.data()) v = static_cast<float>(rng.gaussian());
+  const lpq::FpReference ref = lpq::compute_fp_reference(m, calib);
+
+  const auto accel = lpa::make_lpa();
+  const auto workloads = m.trace_workloads(Tensor({1, 3, 16, 16}));
+  const auto centers = lpq::sf_centers(m);
+  auto uniform_cand = [&](int n, int es, int rs) {
+    lpq::Candidate c;
+    for (std::size_t s = 0; s < m.num_slots(); ++s) {
+      c.layers.push_back(LPConfig{n, es, rs, centers[s]});
+    }
+    return c;
+  };
+  const lpq::Candidate wide = uniform_cand(8, 2, 4);    // 8w/8a codes
+  const lpq::Candidate narrow = uniform_cand(3, 0, 1);  // 3w/6a codes
+
+  lpq::FitnessOptions opts;
+  opts.kind = lpq::FitnessKind::kMse;
+  opts.accel = &accel;
+  opts.workloads = &workloads;
+
+  // (a) strictly fewer dram bytes for the narrow candidate; wide == the
+  // 8/8 baseline, so its ratio is exactly 1.
+  opts.mu = 1.0;
+  const double r_wide = lpq::hw_cost_ratio(m, wide, opts);
+  const double r_narrow = lpq::hw_cost_ratio(m, narrow, opts);
+  EXPECT_DOUBLE_EQ(r_wide, 1.0);
+  EXPECT_LT(r_narrow, r_wide);
+  EXPECT_GT(r_narrow, 0.0);
+  // mu = 0 (or missing accel/workloads) disables the term entirely.
+  lpq::FitnessOptions off = opts;
+  off.mu = 0.0;
+  EXPECT_DOUBLE_EQ(lpq::hw_cost_ratio(m, narrow, off), 1.0);
+
+  // (b) fitness(mu) == fitness(0) * ratio^mu, for both candidates.
+  off.mu = 0.0;
+  const double f_wide0 = lpq::evaluate_fitness(m, wide, calib, ref, off);
+  const double f_narrow0 = lpq::evaluate_fitness(m, narrow, calib, ref, off);
+  opts.mu = 2.0;
+  EXPECT_DOUBLE_EQ(lpq::evaluate_fitness(m, wide, calib, ref, opts),
+                   f_wide0 * std::pow(r_wide, 2.0));
+  EXPECT_DOUBLE_EQ(lpq::evaluate_fitness(m, narrow, calib, ref, opts),
+                   f_narrow0 * std::pow(r_narrow, 2.0));
+
+  // (c) ranking shift.  At mu = 0 the wide candidate wins (3-bit weights
+  // on this model lose far more logit fidelity than the LCR term
+  // recovers).  Once mu exceeds the crossover exponent, the narrow
+  // candidate's smaller traffic ratio must flip the ordering.
+  ASSERT_LT(f_wide0, f_narrow0);
+  const double crossover =
+      std::log(f_narrow0 / f_wide0) / std::log(r_wide / r_narrow);
+  lpq::FitnessOptions shifted = opts;
+  shifted.mu = 2.0 * crossover;
+  EXPECT_GT(lpq::evaluate_fitness(m, wide, calib, ref, shifted),
+            lpq::evaluate_fitness(m, narrow, calib, ref, shifted));
 }
 
 TEST(Simulate, ActivationActivationWorkloadsRun) {

@@ -296,11 +296,39 @@ TEST(NumberFormatBatch, FuzzScalarBatchAndIndexAgreeAcrossFormats) {
     }
     xs.push_back(1e-44F);   // float denormals
     xs.push_back(-1e-44F);
+    // Activation-shaped adversaria for the coded-activation emission path:
+    // exact tie midpoints between adjacent representable values (the
+    // encode epilogue must take the same side the float path takes), a
+    // run of exact zeros (ReLU output), and explicit ±inf.
+    const std::size_t mid_step = values.size() / 64 + 1;
+    for (std::size_t i = 0; i + 1 < values.size(); i += mid_step) {
+      xs.push_back(
+          static_cast<float>(values[i] + (values[i + 1] - values[i]) * 0.5));
+    }
+    for (int i = 0; i < 16; ++i) xs.push_back(0.0F);
+    xs.push_back(std::numeric_limits<float>::infinity());
+    xs.push_back(-std::numeric_limits<float>::infinity());
     std::vector<float> batch = xs;
     (void)fmt->quantize_batch(batch);
     std::vector<std::uint32_t> idx(xs.size());
     const QuantIndex index(values);
     index.nearest_indices(xs, idx);
+    // Coded emission must agree with nearest_indices entry-for-entry, and
+    // decoding each code through decode_table() must reproduce the batched
+    // float bit-for-bit — the alignment contract the end-to-end coded
+    // activation datapath rests on.
+    std::vector<std::uint32_t> codes(xs.size(), 0xDEADBEEFU);
+    ASSERT_TRUE(fmt->quantize_codes_batch(xs, codes)) << fmt->name();
+    const std::vector<float> lut = fmt->decode_table();
+    ASSERT_EQ(lut.size(), values.size()) << fmt->name();
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      ASSERT_EQ(codes[i], idx[i]) << fmt->name() << " code at " << xs[i];
+      if (codes[i] != QuantIndex::kInvalid) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(lut[codes[i]]),
+                  std::bit_cast<std::uint32_t>(batch[i]))
+            << fmt->name() << " decode mismatch at " << xs[i];
+      }
+    }
     for (std::size_t i = 0; i < xs.size(); ++i) {
       const double scalar = fmt->quantize(xs[i]);
       if (!std::isfinite(xs[i])) {
