@@ -4,10 +4,14 @@
 // gate how large an LPQ search budget is practical.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "core/lp_codec.h"
@@ -20,6 +24,7 @@
 #include "lpq/lpq.h"
 #include "nn/zoo.h"
 #include "runtime/session.h"
+#include "serve/server.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -704,6 +709,97 @@ BENCHMARK(BM_ForwardCodedActs)
     ->Arg(1)->Arg(8)
     ->ArgNames({"batch"})
     ->Unit(benchmark::kMillisecond);
+
+// --- serving traffic simulator ---------------------------------------------
+// Closed-loop clients hammer a serve::Server over a published snapshot;
+// per-request submit-to-response latencies become p50/p99 counters, and
+// SetItemsProcessed turns completed requests into items_per_second.
+// max_batch=1 is the batch-per-request baseline; max_batch=8 lets the
+// queue coalesce concurrent clients into fused forwards — the dynamic
+// batching win the serving layer exists for.  CI publishes this as
+// bench_serve.json next to the bench_micro artifact.
+
+void BM_ServeTraffic(benchmark::State& state) {
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 8;
+  nn::ZooOptions o;
+  o.input_size = 16;
+  o.classes = 8;
+  const nn::Model m = nn::build_tiny_cnn(o);
+  runtime::InferenceSession session(m);
+  std::vector<LPConfig> w, a;
+  const auto centers = lpq::sf_centers(m);
+  for (std::size_t s = 0; s < m.num_slots(); ++s) {
+    w.push_back(LPConfig{4, 1, 2, centers[s]});
+  }
+  for (const LPConfig& c : w) a.push_back(activation_config(c, 0.5));
+  session.set_formats(w, a);
+
+  serve::ServerOptions sopts;
+  sopts.workers = 2;
+  sopts.max_batch = static_cast<std::size_t>(state.range(0));
+  sopts.batch_deadline = std::chrono::microseconds{200};
+  serve::Server server(session.publisher(), sopts);
+
+  std::vector<Tensor> inputs;
+  for (int c = 0; c < kClients; ++c) {
+    Tensor x({1, 3, 16, 16});
+    Rng rng(static_cast<std::uint64_t>(77 + c));
+    for (float& v : x.data()) v = static_cast<float>(rng.gaussian());
+    inputs.push_back(std::move(x));
+  }
+
+  std::mutex lat_mu;
+  std::vector<double> lat_us;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<double> mine;
+        mine.reserve(kRequestsPerClient);
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          const auto t0 = std::chrono::steady_clock::now();
+          auto resp = server.submit(inputs[static_cast<std::size_t>(c)]).get();
+          benchmark::DoNotOptimize(resp.logits.numel());
+          mine.push_back(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+        }
+        const std::lock_guard<std::mutex> lk(lat_mu);
+        lat_us.insert(lat_us.end(), mine.begin(), mine.end());
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  server.shutdown();
+
+  state.SetItemsProcessed(state.iterations() * kClients * kRequestsPerClient);
+  std::sort(lat_us.begin(), lat_us.end());
+  auto percentile = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(lat_us.size() - 1));
+    return lat_us[idx];
+  };
+  if (!lat_us.empty()) {
+    state.counters["p50_us"] = percentile(0.50);
+    state.counters["p99_us"] = percentile(0.99);
+  }
+  const serve::ServerStats st = server.stats();
+  // Mean fused-batch size actually achieved — the coalescing evidence
+  // (1.0 at max_batch=1 by construction).
+  state.counters["mean_batch_rows"] =
+      st.batches > 0 ? static_cast<double>(st.batched_rows) /
+                           static_cast<double>(st.batches)
+                     : 0.0;
+  state.counters["max_batch_rows"] = static_cast<double>(st.max_batch_rows);
+}
+BENCHMARK(BM_ServeTraffic)
+    ->Arg(1)->Arg(8)
+    ->ArgNames({"max_batch"})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

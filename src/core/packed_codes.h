@@ -89,6 +89,11 @@ class PackedCodes {
   [[nodiscard]] int code_bits() const { return bits_; }
   /// Bytes of the packed code array (excludes the shared LUT).
   [[nodiscard]] std::size_t payload_bytes() const { return data_.size(); }
+  /// The packed code bytes themselves — what the serialized model artifact
+  /// stores verbatim (and hands back to from_codes on load).
+  [[nodiscard]] std::span<const std::uint8_t> raw_bytes() const {
+    return data_;
+  }
   /// Bytes of the float tensor this replaces (the decoded equivalent).
   [[nodiscard]] std::size_t logical_bytes() const {
     return static_cast<std::size_t>(numel_) * sizeof(float);

@@ -1,0 +1,258 @@
+#include "runtime/artifact.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+
+#include "runtime/servable_model.h"
+
+namespace lp::runtime {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'P', 'A', 'R'};
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Append-only little-endian serializer.  The library targets x86 (the
+/// SIMD kernel dispatch is x86-only), so host order is the file order;
+/// fixed-width copies keep that explicit.
+struct Writer {
+  std::vector<std::uint8_t> out;
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = out.size();
+    out.resize(at + sizeof(T));
+    std::memcpy(out.data() + at, &v, sizeof(T));
+  }
+  void put_bytes(const void* p, std::size_t n) {
+    const std::size_t at = out.size();
+    out.resize(at + n);
+    std::memcpy(out.data() + at, p, n);
+  }
+  void put_config(const LPConfig& c) {
+    put<std::int32_t>(c.n);
+    put<std::int32_t>(c.es);
+    put<std::int32_t>(c.rs);
+    put<std::uint64_t>(std::bit_cast<std::uint64_t>(c.sf));
+  }
+};
+
+/// Bounds-checked cursor over the deserialized body.
+struct Reader {
+  std::span<const std::uint8_t> in;
+  std::size_t pos = 0;
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    LP_CHECK_MSG(pos + sizeof(T) <= in.size(), "artifact truncated");
+    T v;
+    std::memcpy(&v, in.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+  std::span<const std::uint8_t> get_bytes(std::size_t n) {
+    LP_CHECK_MSG(pos + n <= in.size(), "artifact truncated");
+    const auto s = in.subspan(pos, n);
+    pos += n;
+    return s;
+  }
+  LPConfig get_config() {
+    LPConfig c;
+    c.n = get<std::int32_t>();
+    c.es = get<std::int32_t>();
+    c.rs = get<std::int32_t>();
+    c.sf = std::bit_cast<double>(get<std::uint64_t>());
+    c.validate();
+    return c;
+  }
+};
+
+}  // namespace
+
+void write_artifact(const std::string& path, const ServableModel& m) {
+  const QuantizedModel& qm = m.snapshot();
+  const std::size_t n = m.weight_configs().size();
+
+  Writer body;
+  const std::string& name = m.model().name();
+  body.put<std::uint32_t>(static_cast<std::uint32_t>(name.size()));
+  body.put_bytes(name.data(), name.size());
+  body.put<std::uint64_t>(n);
+  body.put<std::uint8_t>(m.act_configs().empty() ? 0 : 1);
+  for (const LPConfig& c : m.weight_configs()) body.put_config(c);
+  for (const LPConfig& c : m.act_configs()) body.put_config(c);
+
+  // Distinct weight decode LUTs, in first-use slot order (deterministic),
+  // deduplicated by instance — slots of one interned format share one LUT.
+  std::vector<const DecodeTable*> luts;
+  std::unordered_map<const DecodeTable*, std::size_t> lut_index;
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto& codes = qm.codes()[s];
+    if (codes == nullptr) continue;
+    const DecodeTable* lut = codes->lut().get();
+    if (lut_index.emplace(lut, luts.size()).second) luts.push_back(lut);
+  }
+  body.put<std::uint64_t>(luts.size());
+  for (const DecodeTable* lut : luts) {
+    body.put<std::uint64_t>(lut->size());
+    for (const float v : *lut) {
+      body.put<std::uint32_t>(std::bit_cast<std::uint32_t>(v));
+    }
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto& codes = qm.codes()[s];
+    const auto& floats = qm.weights()[s];
+    if (codes != nullptr) {
+      body.put<std::uint8_t>(0);
+      body.put<std::uint32_t>(static_cast<std::uint32_t>(codes->rank()));
+      for (const std::int64_t d : codes->shape()) body.put<std::int64_t>(d);
+      body.put<std::int32_t>(codes->code_bits());
+      body.put<std::uint64_t>(lut_index.at(codes->lut().get()));
+      const auto raw = codes->raw_bytes();
+      body.put<std::uint64_t>(raw.size());
+      body.put_bytes(raw.data(), raw.size());
+    } else {
+      LP_CHECK_MSG(floats != nullptr,
+                   "slot " << s << " has neither codes nor floats");
+      body.put<std::uint8_t>(1);
+      body.put<std::uint32_t>(static_cast<std::uint32_t>(floats->rank()));
+      for (const std::int64_t d : floats->shape()) body.put<std::int64_t>(d);
+      const auto data = floats->data();
+      body.put<std::uint64_t>(data.size());
+      for (const float v : data) {
+        body.put<std::uint32_t>(std::bit_cast<std::uint32_t>(v));
+      }
+    }
+  }
+
+  Writer head;
+  head.put_bytes(kMagic, sizeof(kMagic));
+  head.put<std::uint32_t>(kArtifactVersion);
+  head.put<std::uint64_t>(fnv1a64(body.out));
+  head.put<std::uint64_t>(body.out.size());
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  LP_CHECK_MSG(f.good(), "cannot open artifact for writing: " << path);
+  f.write(reinterpret_cast<const char*>(head.out.data()),
+          static_cast<std::streamsize>(head.out.size()));
+  f.write(reinterpret_cast<const char*>(body.out.data()),
+          static_cast<std::streamsize>(body.out.size()));
+  f.flush();
+  LP_CHECK_MSG(f.good(), "artifact write failed: " << path);
+}
+
+Artifact read_artifact(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  LP_CHECK_MSG(f.good(), "cannot open artifact: " << path);
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  std::vector<std::uint8_t> raw(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(raw.data()), size);
+  LP_CHECK_MSG(f.good(), "artifact read failed: " << path);
+
+  constexpr std::size_t kHeader = sizeof(kMagic) + sizeof(std::uint32_t) +
+                                  2 * sizeof(std::uint64_t);
+  LP_CHECK_MSG(raw.size() >= kHeader, "artifact too small: " << path);
+  LP_CHECK_MSG(std::memcmp(raw.data(), kMagic, sizeof(kMagic)) == 0,
+               "not an LP artifact (bad magic): " << path);
+  Reader head{std::span<const std::uint8_t>(raw).subspan(sizeof(kMagic)), 0};
+  const auto version = head.get<std::uint32_t>();
+  LP_CHECK_MSG(version == kArtifactVersion,
+               "artifact format version " << version << " != supported "
+                                          << kArtifactVersion);
+  const auto checksum = head.get<std::uint64_t>();
+  const auto body_size = head.get<std::uint64_t>();
+  LP_CHECK_MSG(raw.size() == kHeader + body_size,
+               "artifact size mismatch: " << path);
+  const auto body_bytes = std::span<const std::uint8_t>(raw).subspan(kHeader);
+  LP_CHECK_MSG(fnv1a64(body_bytes) == checksum,
+               "artifact checksum mismatch (corrupt file): " << path);
+
+  Reader r{body_bytes, 0};
+  Artifact art;
+  art.format_version = version;
+  const auto name_len = r.get<std::uint32_t>();
+  const auto name = r.get_bytes(name_len);
+  art.model_name.assign(reinterpret_cast<const char*>(name.data()),
+                        name.size());
+  const auto num_slots = r.get<std::uint64_t>();
+  const bool has_acts = r.get<std::uint8_t>() != 0;
+  art.weight_cfgs.reserve(num_slots);
+  for (std::uint64_t s = 0; s < num_slots; ++s) {
+    art.weight_cfgs.push_back(r.get_config());
+  }
+  if (has_acts) {
+    art.act_cfgs.reserve(num_slots);
+    for (std::uint64_t s = 0; s < num_slots; ++s) {
+      art.act_cfgs.push_back(r.get_config());
+    }
+  }
+
+  const auto num_luts = r.get<std::uint64_t>();
+  art.luts.reserve(num_luts);
+  for (std::uint64_t l = 0; l < num_luts; ++l) {
+    const auto lut_size = r.get<std::uint64_t>();
+    LP_CHECK_MSG(lut_size <= PackedCodes::kMaxLutSize,
+                 "artifact LUT larger than the packed path serves");
+    DecodeTable lut;
+    lut.reserve(lut_size);
+    for (std::uint64_t i = 0; i < lut_size; ++i) {
+      lut.push_back(std::bit_cast<float>(r.get<std::uint32_t>()));
+    }
+    art.luts.push_back(std::move(lut));
+  }
+
+  art.slots.reserve(num_slots);
+  for (std::uint64_t s = 0; s < num_slots; ++s) {
+    ArtifactSlot slot;
+    slot.packed = r.get<std::uint8_t>() == 0;
+    const auto rank = r.get<std::uint32_t>();
+    std::int64_t numel = 1;
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      slot.shape.push_back(r.get<std::int64_t>());
+      LP_CHECK_MSG(slot.shape.back() >= 0, "artifact negative dimension");
+      numel *= slot.shape.back();
+    }
+    if (slot.packed) {
+      slot.code_bits = r.get<std::int32_t>();
+      LP_CHECK_MSG(slot.code_bits == 4 || slot.code_bits == 8 ||
+                       slot.code_bits == 16,
+                   "artifact code width " << slot.code_bits);
+      slot.lut_index = r.get<std::uint64_t>();
+      LP_CHECK_MSG(slot.lut_index < art.luts.size(),
+                   "artifact LUT index out of range");
+      const auto nbytes = r.get<std::uint64_t>();
+      LP_CHECK_MSG(nbytes ==
+                       PackedCodes::stream_bytes(numel, slot.code_bits),
+                   "artifact code stream size mismatch at slot " << s);
+      const auto bytes = r.get_bytes(nbytes);
+      slot.codes.assign(bytes.begin(), bytes.end());
+    } else {
+      const auto count = r.get<std::uint64_t>();
+      LP_CHECK_MSG(count == static_cast<std::uint64_t>(numel),
+                   "artifact float payload size mismatch at slot " << s);
+      slot.floats.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        slot.floats.push_back(std::bit_cast<float>(r.get<std::uint32_t>()));
+      }
+    }
+    art.slots.push_back(std::move(slot));
+  }
+  LP_CHECK_MSG(r.pos == r.in.size(), "artifact has trailing bytes");
+  return art;
+}
+
+}  // namespace lp::runtime

@@ -1,0 +1,79 @@
+// Serialized quantized-model artifact — the persistence layer of the
+// serving core.
+//
+// A server should be able to cold-start from the exact bytes a previous
+// quantization run produced: the packed per-slot weight codes, the decode
+// LUTs they index, the per-layer LPConfig assignment (weights and
+// activations), all without re-running quantization.  This module defines
+// that on-disk format and the pure read/write halves;
+// InferenceSession::save_artifact / load_artifact wire them into the
+// cache + publish machinery.
+//
+// Layout (little-endian, fixed-width fields):
+//
+//   magic "LPAR" | u32 format_version | u64 fnv1a64(body) | u64 body_size
+//   body:
+//     u32 name_len, name bytes          — model the artifact was built for
+//     u64 num_slots, u8 has_act_cfgs
+//     num_slots x weight LPConfig       — i32 n, es, rs + u64 sf bit pattern
+//     [num_slots x act LPConfig]
+//     u64 num_luts; per LUT: u64 size, size x u32 float bits
+//     per slot:
+//       u8 kind (0 = packed codes, 1 = float fallback)
+//       u32 rank, rank x i64 dims
+//       packed: i32 code_bits, u64 lut_index, u64 nbytes, raw code bytes
+//       float:  u64 count, count x u32 float bits
+//
+// Every float crosses the boundary as its IEEE-754 bit pattern, and the
+// packed code stream is stored verbatim — so a round trip is bit-identical
+// by construction, and the checksum turns silent corruption into a load
+// error instead of wrong logits.  The stored LUTs also let the loader
+// cross-check against the decode tables this build computes for the same
+// configs: a mismatch means the format implementation changed since the
+// artifact was written, which must fail loudly, not serve stale values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lp_config.h"
+#include "core/packed_codes.h"
+
+namespace lp::runtime {
+
+class ServableModel;
+
+/// Current on-disk format version; bumped on any layout change.
+inline constexpr std::uint32_t kArtifactVersion = 1;
+
+/// One slot's deserialized payload (raw bytes — not yet bound to a model
+/// or a decode-LUT instance; InferenceSession::load_artifact does that).
+struct ArtifactSlot {
+  bool packed = false;
+  std::vector<std::int64_t> shape;
+  int code_bits = 0;
+  std::size_t lut_index = 0;        ///< into Artifact::luts (packed only)
+  std::vector<std::uint8_t> codes;  ///< packed payload
+  std::vector<float> floats;        ///< float-fallback payload
+};
+
+/// In-memory form of a deserialized artifact.
+struct Artifact {
+  std::uint32_t format_version = kArtifactVersion;
+  std::string model_name;
+  std::vector<LPConfig> weight_cfgs;
+  std::vector<LPConfig> act_cfgs;  ///< empty = no activation quantization
+  std::vector<DecodeTable> luts;   ///< distinct weight decode LUTs
+  std::vector<ArtifactSlot> slots;
+};
+
+/// Serialize a published snapshot (codes, LUTs, configs) to `path`.
+/// Throws std::invalid_argument on I/O failure.
+void write_artifact(const std::string& path, const ServableModel& m);
+
+/// Parse `path`, validating magic, version, size, and checksum.  Throws
+/// std::invalid_argument on any mismatch or truncation.
+[[nodiscard]] Artifact read_artifact(const std::string& path);
+
+}  // namespace lp::runtime

@@ -1,0 +1,116 @@
+// ServableModel — the shared layer of the multi-tenant serving core.
+//
+// An InferenceSession is a control plane: it owns the caches and mutates
+// them during prepare.  Serving threads must never touch that machinery,
+// so what they execute is a ServableModel — an immutable, refcounted
+// bundle of one published QuantizedModel snapshot plus the exact per-slot
+// configs it was prepared from (the provenance the serialized artifact
+// writes) and a monotonically increasing version.  Everything inside is
+// shared-owned: interned formats, packed weight codes, decode LUTs — so a
+// ServableModel outlives any cache eviction or session teardown that
+// happens while requests are in flight.
+//
+// Publication is RCU-style: a SnapshotPublisher holds the current
+// ServableModel behind a std::atomic<std::shared_ptr>.  Readers acquire()
+// a strong reference (wait-free for the reader's purposes; no reader ever
+// blocks a writer), writers publish() a replacement built off to the side
+// — the atomic swap is the only synchronization point, which is what lets
+// LPQ hot-swap a better config mid-serve: in-flight batches finish on the
+// snapshot they acquired, new batches pick up the replacement.  Response
+// consumers can tell which model served them by the version stamp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "runtime/quantized_model.h"
+
+namespace lp::runtime {
+
+class ServableModel {
+ public:
+  ServableModel(QuantizedModel snapshot, std::vector<LPConfig> weight_cfgs,
+                std::vector<LPConfig> act_cfgs, std::uint64_t version)
+      : snapshot_(std::move(snapshot)),
+        weight_cfgs_(std::move(weight_cfgs)),
+        act_cfgs_(std::move(act_cfgs)),
+        version_(version) {
+    LP_CHECK_MSG(!snapshot_.empty(), "servable over an empty snapshot");
+    LP_CHECK(weight_cfgs_.size() == snapshot_.model().num_slots());
+    LP_CHECK(act_cfgs_.empty() ||
+             act_cfgs_.size() == weight_cfgs_.size());
+  }
+
+  /// Batched forward through the snapshot — safe from any number of
+  /// threads concurrently (the snapshot is immutable; the forward runs on
+  /// the shared thread pool like every other caller).
+  [[nodiscard]] nn::ForwardResult run(const Tensor& input,
+                                      bool capture_pooled = false,
+                                      nn::ActTraffic* act_traffic = nullptr)
+      const {
+    return snapshot_.run(input, capture_pooled, act_traffic);
+  }
+
+  [[nodiscard]] const QuantizedModel& snapshot() const { return snapshot_; }
+  [[nodiscard]] const nn::Model& model() const { return snapshot_.model(); }
+  /// Publish-order stamp: strictly increasing per session, so responses
+  /// can be matched to the exact assignment that produced them.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  /// The per-slot assignment this snapshot was prepared from — what
+  /// save_artifact serializes.
+  [[nodiscard]] const std::vector<LPConfig>& weight_configs() const {
+    return weight_cfgs_;
+  }
+  [[nodiscard]] const std::vector<LPConfig>& act_configs() const {
+    return act_cfgs_;
+  }
+
+ private:
+  QuantizedModel snapshot_;
+  std::vector<LPConfig> weight_cfgs_;
+  std::vector<LPConfig> act_cfgs_;
+  std::uint64_t version_;
+};
+
+using ServablePtr = std::shared_ptr<const ServableModel>;
+
+/// The RCU-style publish point.  One writer (the session's prepare path,
+/// or LPQ when it finds a better config) swaps in a new snapshot; any
+/// number of serving threads acquire() concurrently.
+///
+/// Implementation note: this is a mutex-guarded shared_ptr rather than
+/// std::atomic<std::shared_ptr>.  GCC 12's _Sp_atomic releases its
+/// internal spinlock in load() with a relaxed fetch_sub, so a reader's
+/// load of the pointer field never formally synchronizes-with the next
+/// writer — ThreadSanitizer reports the resulting (library-level) race
+/// on every acquire/publish overlap.  The critical section here is a
+/// pointer copy + refcount bump, held for nanoseconds once per *batch*
+/// (not per request), so the mutex costs nothing measurable and keeps
+/// the whole serving path clean under TSan.
+class SnapshotPublisher {
+ public:
+  /// Atomically replace the published snapshot.  The previous snapshot
+  /// stays alive while any acquired reference holds it.
+  void publish(ServablePtr m) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    slot_ = std::move(m);
+  }
+
+  /// Strong reference to the current snapshot (null before the first
+  /// publish).  Callers hold the reference for the duration of one batch
+  /// and re-acquire for the next, so hot-swaps take effect at batch
+  /// granularity.
+  [[nodiscard]] ServablePtr acquire() const {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return slot_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  ServablePtr slot_;
+};
+
+}  // namespace lp::runtime

@@ -1,9 +1,11 @@
 #include "runtime/session.h"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_set>
 #include <utility>
 
+#include "runtime/artifact.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
 
@@ -191,8 +193,9 @@ QuantizedModel InferenceSession::assemble(std::span<const LPConfig> weight_cfgs,
   return qm;
 }
 
-QuantizedModel InferenceSession::prepare(std::span<const LPConfig> weight_cfgs,
-                                         std::span<const LPConfig> act_cfgs) {
+QuantizedModel InferenceSession::prepare_locked(
+    std::span<const LPConfig> weight_cfgs,
+    std::span<const LPConfig> act_cfgs) {
   const std::vector<std::vector<LPConfig>> w{
       std::vector<LPConfig>(weight_cfgs.begin(), weight_cfgs.end())};
   const std::vector<std::vector<LPConfig>> a{
@@ -204,9 +207,16 @@ QuantizedModel InferenceSession::prepare(std::span<const LPConfig> weight_cfgs,
   return qm;
 }
 
+QuantizedModel InferenceSession::prepare(std::span<const LPConfig> weight_cfgs,
+                                         std::span<const LPConfig> act_cfgs) {
+  const std::lock_guard<std::mutex> lk(prepare_mu_);
+  return prepare_locked(weight_cfgs, act_cfgs);
+}
+
 std::vector<QuantizedModel> InferenceSession::prepare_all(
     std::span<const std::vector<LPConfig>> weight_cfgs,
     std::span<const std::vector<LPConfig>> act_cfgs) {
+  const std::lock_guard<std::mutex> lk(prepare_mu_);
   prepare_missing(weight_cfgs, act_cfgs);
   std::vector<QuantizedModel> out;
   out.reserve(weight_cfgs.size());
@@ -221,24 +231,114 @@ std::vector<QuantizedModel> InferenceSession::prepare_all(
   return out;
 }
 
+void InferenceSession::publish_locked(QuantizedModel qm,
+                                      std::span<const LPConfig> weight_cfgs,
+                                      std::span<const LPConfig> act_cfgs) {
+  publisher_.publish(std::make_shared<const ServableModel>(
+      std::move(qm),
+      std::vector<LPConfig>(weight_cfgs.begin(), weight_cfgs.end()),
+      std::vector<LPConfig>(act_cfgs.begin(), act_cfgs.end()),
+      ++publish_seq_));
+}
+
 void InferenceSession::set_formats(std::span<const LPConfig> weight_cfgs,
                                    std::span<const LPConfig> act_cfgs) {
-  current_ = prepare(weight_cfgs, act_cfgs);
+  const std::lock_guard<std::mutex> lk(prepare_mu_);
+  publish_locked(prepare_locked(weight_cfgs, act_cfgs), weight_cfgs,
+                 act_cfgs);
 }
 
 const QuantizedModel& InferenceSession::current() const {
-  LP_CHECK_MSG(current_.has_value(), "call set_formats() first");
-  return *current_;
+  const ServablePtr sp = publisher_.acquire();
+  LP_CHECK_MSG(sp != nullptr, "call set_formats() first");
+  // The publisher slot keeps the servable alive until the next publish —
+  // the documented lifetime of this reference.
+  return sp->snapshot();
 }
 
 nn::ForwardResult InferenceSession::run(const Tensor& batch,
                                         bool capture_pooled,
                                         nn::ActTraffic* act_traffic) const {
-  return current().run(batch, capture_pooled, act_traffic);
+  const ServablePtr sp = publisher_.acquire();
+  LP_CHECK_MSG(sp != nullptr, "call set_formats() first");
+  return sp->run(batch, capture_pooled, act_traffic);
 }
 
 Tensor InferenceSession::run_batched(std::span<const Tensor> inputs) const {
-  return current().run(stack_batches(inputs)).logits;
+  const ServablePtr sp = publisher_.acquire();
+  LP_CHECK_MSG(sp != nullptr, "call set_formats() first");
+  return sp->run(stack_batches(inputs)).logits;
+}
+
+void InferenceSession::save_artifact(const std::string& path) const {
+  const ServablePtr sp = publisher_.acquire();
+  LP_CHECK_MSG(sp != nullptr, "call set_formats() first");
+  write_artifact(path, *sp);
+}
+
+std::uint64_t InferenceSession::load_artifact(const std::string& path) {
+  Artifact art = read_artifact(path);
+  const std::size_t n = model_->num_slots();
+  LP_CHECK_MSG(art.model_name == model_->name(),
+               "artifact built for model '" << art.model_name
+                                            << "' loaded into '"
+                                            << model_->name() << "'");
+  LP_CHECK_MSG(art.weight_cfgs.size() == n,
+               "artifact has " << art.weight_cfgs.size()
+                               << " slots but model has " << n);
+  LP_CHECK(art.slots.size() == n);
+  const auto& slots = model_->slot_list();
+
+  const std::lock_guard<std::mutex> lk(prepare_mu_);
+  // Which stored LUTs have been bit-compared against this build's tables.
+  std::vector<bool> lut_verified(art.luts.size(), false);
+  for (std::size_t s = 0; s < n; ++s) {
+    const LPConfig& cfg = art.weight_cfgs[s];
+    ArtifactSlot& as = art.slots[s];
+    LP_CHECK_MSG(as.shape == slots[s]->weight.shape(),
+                 "artifact slot " << s << " shape mismatch against model '"
+                                  << model_->name() << "'");
+    if (weights_.contains(s, cfg)) continue;  // keep the cached bits
+    const std::shared_ptr<const LPFormat> fmt = formats_.get(cfg);
+    WeightPayload payload;
+    if (as.packed) {
+      std::shared_ptr<const DecodeTable> lut = weights_.decode_lut(cfg, *fmt);
+      LP_CHECK_MSG(lut != nullptr,
+                   "artifact slot " << s
+                                    << " is packed but the format has no "
+                                       "decode table in this build");
+      if (!lut_verified[as.lut_index]) {
+        // The artifact's table must be bit-equal to the one this build
+        // derives for the config — otherwise the stored codes would decode
+        // to different values than a fresh quantization.
+        const DecodeTable& stored = art.luts[as.lut_index];
+        LP_CHECK_MSG(stored.size() == lut->size(),
+                     "artifact decode LUT size mismatch (format tables "
+                     "changed since the artifact was written)");
+        for (std::size_t i = 0; i < stored.size(); ++i) {
+          LP_CHECK_MSG(std::bit_cast<std::uint32_t>(stored[i]) ==
+                           std::bit_cast<std::uint32_t>((*lut)[i]),
+                       "artifact decode LUT entry " << i
+                           << " mismatch (format tables changed since the "
+                              "artifact was written)");
+        }
+        lut_verified[as.lut_index] = true;
+      }
+      payload.codes = std::make_shared<const PackedCodes>(
+          PackedCodes::from_codes(std::move(as.codes), as.shape, as.code_bits,
+                                  std::move(lut)));
+    } else {
+      payload.floats = std::make_shared<const Tensor>(
+          Tensor(as.shape, std::move(as.floats)));
+    }
+    weights_.insert(s, cfg, std::move(payload), /*count_miss=*/false);
+  }
+
+  // Assemble through the normal prepare path — every (slot, format) pair
+  // is now a pure cache hit, so no weight quantization runs — and publish.
+  publish_locked(prepare_locked(art.weight_cfgs, art.act_cfgs),
+                 art.weight_cfgs, art.act_cfgs);
+  return publish_seq_;
 }
 
 Tensor stack_batches(std::span<const Tensor> inputs) {

@@ -1,4 +1,4 @@
-// InferenceSession — the quantized-inference runtime.
+// InferenceSession — the quantized-inference runtime's control plane.
 //
 // The seed-era flow ("quantize then run once") rebuilt every format table
 // and re-quantized every weight tensor for each quantized forward.  That
@@ -20,21 +20,36 @@
 //     snapshot — changing one layer's format gene re-quantizes only that
 //     layer.
 //
-// Determinism contract: all cache mutation happens in the serial prepare
-// phase; the parallel work inside it (building missing format tables,
-// quantizing missing weight tensors) writes disjoint per-entry slots in an
-// order fixed by the request list, never by thread scheduling.  Snapshots
-// are therefore bit-identical to the uncached Model::forward_quantized
-// path for any LP_THREADS / LP_KERNEL combination (tests/test_runtime.cpp
-// pins this).
+// Multi-tenant serving split: the session is the *writer* side only.  What
+// concurrent callers execute is an immutable, refcounted ServableModel
+// (runtime/servable_model.h) published through an RCU-style atomic slot —
+// set_formats() builds the snapshot off to the side and publishes it in
+// one atomic swap, so LPQ can hot-swap a better config mid-serve while
+// in-flight batches finish on the snapshot they acquired.  Prepare calls
+// from any thread serialize behind an internal mutex; cache reads
+// (stats(), servable(), publisher().acquire()) are safe concurrently with
+// a prepare (the cache's sharded locks and atomic counters — see
+// weight_cache.h — cover the overlap).  save_artifact()/load_artifact()
+// persist the published snapshot as a versioned, checksummed file
+// (runtime/artifact.h) so a server cold-starts without re-quantizing.
+//
+// Determinism contract: all cache mutation happens in the (serialized)
+// prepare phase; the parallel work inside it (building missing format
+// tables, quantizing missing weight tensors) writes disjoint per-entry
+// slots in an order fixed by the request list, never by thread
+// scheduling.  Snapshots are therefore bit-identical to the uncached
+// Model::forward_quantized path for any LP_THREADS / LP_KERNEL
+// combination (tests/test_runtime.cpp pins this).
 #pragma once
 
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "runtime/quantized_model.h"
+#include "runtime/servable_model.h"
 #include "runtime/weight_cache.h"
 
 namespace lp::runtime {
@@ -73,15 +88,20 @@ class InferenceSession {
       std::span<const std::vector<LPConfig>> act_cfgs);
 
   /// Serving API: make `weight_cfgs`/`act_cfgs` the session's current
-  /// assignment.  Only layers whose format gene changed are re-quantized.
+  /// assignment and atomically publish it as a new ServableModel version.
+  /// Only layers whose format gene changed are re-quantized.  Safe to call
+  /// while serving threads execute the previous version (they finish on
+  /// the snapshot they acquired — the hot-swap contract).
   void set_formats(std::span<const LPConfig> weight_cfgs,
                    std::span<const LPConfig> act_cfgs);
 
-  /// Batched forward through the current assignment (set_formats first).
-  /// The batch rides dim 0; per-layer activation formats are applied in
-  /// one quantize_batch pass over each node's whole batched output.  With
-  /// coded activations on (the default), inter-layer activations flow as
-  /// packed codes; `act_traffic` (optional) receives the byte counts.
+  /// Batched forward through the current published snapshot (set_formats
+  /// first).  The batch rides dim 0; per-layer activation formats are
+  /// applied in one quantize_batch pass over each node's whole batched
+  /// output.  With coded activations on (the default), inter-layer
+  /// activations flow as packed codes; `act_traffic` (optional) receives
+  /// the byte counts.  Safe concurrently with a hot-swap (the call
+  /// executes on the snapshot it acquires).
   [[nodiscard]] nn::ForwardResult run(const Tensor& batch,
                                       bool capture_pooled = false,
                                       nn::ActTraffic* act_traffic = nullptr) const;
@@ -92,12 +112,39 @@ class InferenceSession {
   /// every request.  Returns the stacked logits ([total_batch, classes]).
   [[nodiscard]] Tensor run_batched(std::span<const Tensor> inputs) const;
 
-  /// The current snapshot (set_formats first).
+  /// The current snapshot (set_formats first).  Legacy single-caller
+  /// accessor: the reference is valid until the next set_formats /
+  /// load_artifact; concurrent serving must hold a servable() reference
+  /// instead.
   [[nodiscard]] const QuantizedModel& current() const;
 
+  /// Strong reference to the published ServableModel (null before the
+  /// first set_formats).  Thread-safe.
+  [[nodiscard]] ServablePtr servable() const { return publisher_.acquire(); }
+
+  /// The publish point serving layers subscribe to (serve::Server holds a
+  /// pointer to this and acquires per batch).  Thread-safe.
+  [[nodiscard]] const SnapshotPublisher& publisher() const {
+    return publisher_;
+  }
+
+  /// Serialize the current published snapshot to `path` (versioned,
+  /// checksummed — see runtime/artifact.h).  set_formats first.
+  void save_artifact(const std::string& path) const;
+
+  /// Cold-start path: seed the caches from a serialized artifact and
+  /// publish its assignment as the current snapshot — no weight is
+  /// re-quantized (stats().misses stays 0 for the load).  The artifact
+  /// must match this session's model (name and per-slot weight shapes),
+  /// and its stored decode LUTs must equal the tables this build derives
+  /// for the same configs; any mismatch throws.  Returns the published
+  /// version stamp.
+  std::uint64_t load_artifact(const std::string& path);
+
   [[nodiscard]] const nn::Model& model() const { return *model_; }
-  /// Weight-cache counters (hits/misses/evictions/bytes).
-  [[nodiscard]] const CacheStats& stats() const { return weights_.stats(); }
+  /// Weight-cache counter snapshot (hits/misses/evictions/bytes).
+  /// Lock-free; safe concurrently with a prepare pass.
+  [[nodiscard]] CacheStats stats() const { return weights_.stats(); }
   /// Number of distinct interned formats (weight + activation).
   [[nodiscard]] std::size_t format_count() const { return formats_.size(); }
 
@@ -107,12 +154,26 @@ class InferenceSession {
                                         std::span<const LPConfig> act_cfgs);
   void prepare_missing(std::span<const std::vector<LPConfig>> weight_cfgs,
                        std::span<const std::vector<LPConfig>> act_cfgs);
+  /// prepare() body; caller holds prepare_mu_.
+  [[nodiscard]] QuantizedModel prepare_locked(
+      std::span<const LPConfig> weight_cfgs,
+      std::span<const LPConfig> act_cfgs);
+  /// Wrap a snapshot + its assignment into the next ServableModel version
+  /// and publish it; caller holds prepare_mu_.
+  void publish_locked(QuantizedModel qm,
+                      std::span<const LPConfig> weight_cfgs,
+                      std::span<const LPConfig> act_cfgs);
 
   const nn::Model* model_;
   SessionOptions opts_;
+  /// Serializes every cache-mutating phase (prepare, set_formats,
+  /// load_artifact) so concurrent control-plane callers are safe; the
+  /// read paths never take it.
+  std::mutex prepare_mu_;
   FormatCache formats_;
   WeightCodeCache weights_;
-  std::optional<QuantizedModel> current_;
+  SnapshotPublisher publisher_;
+  std::uint64_t publish_seq_ = 0;  ///< guarded by prepare_mu_
 };
 
 /// Stack inputs along dim 0 ([...] -> [sum_N, ...]).  Dim 0 of each input

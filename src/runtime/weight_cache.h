@@ -28,13 +28,23 @@
 // as any entry of its format (dropping with the last one); snapshots hold
 // shared ownership, so eviction never invalidates a live QuantizedModel.
 //
-// Not internally synchronized: mutation is confined to the session's
-// serial prepare phase.
+// Concurrency: the entry map is sharded by slot, each shard behind its own
+// mutex, and every counter is a relaxed atomic — so readers (find /
+// contains / stats) are safe concurrently with each other and with a
+// prepare pass mutating the cache.  stats() is lock-free: it snapshots the
+// counters without touching any shard.  What stays single-writer is the
+// *compound* prepare sequence (the contains -> quantize -> insert dance
+// and the eviction sweep): InferenceSession serializes prepares behind its
+// own mutex, which also keeps eviction order — and therefore the set of
+// survivors — a pure function of the request history.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "core/packed_codes.h"
 #include "runtime/format_cache.h"
@@ -42,6 +52,10 @@
 
 namespace lp::runtime {
 
+/// A point-in-time snapshot of the cache counters (plain values — safe to
+/// copy and compare).  Taken lock-free from the relaxed atomics, so a
+/// snapshot racing a prepare pass may be mid-update between fields; each
+/// individual field is always a value the counter actually held.
 struct CacheStats {
   std::uint64_t hits = 0;        ///< lookups served from the cache
   std::uint64_t misses = 0;      ///< lookups that required quantization
@@ -73,6 +87,9 @@ class WeightCodeCache {
   /// this hold 4-8x more (slot, format) pairs than float storage did.
   static constexpr std::size_t kDefaultBudgetBytes = 256U << 20;
 
+  /// Entry-map shards; slot s lives in shard s % kShards.
+  static constexpr std::size_t kShards = 8;
+
   explicit WeightCodeCache(std::size_t budget_bytes = kDefaultBudgetBytes)
       : budget_bytes_(budget_bytes) {}
 
@@ -81,21 +98,23 @@ class WeightCodeCache {
   /// (lookups served from the cache — including entries quantized earlier
   /// in the same prepare pass; misses counts pairs that had to be
   /// quantized, so the invalidation delta per format-gene change is exact).
+  /// Thread-safe against concurrent finds and a concurrent prepare.
   [[nodiscard]] WeightPayload find(std::size_t slot, const LPConfig& cfg);
 
-  /// Presence probe without touching counters or recency.
-  [[nodiscard]] bool contains(std::size_t slot, const LPConfig& cfg) const {
-    return entries_.find(SlotKey{slot, FormatKey::of(cfg)}) != entries_.end();
-  }
+  /// Presence probe without touching counters or recency.  Thread-safe.
+  [[nodiscard]] bool contains(std::size_t slot, const LPConfig& cfg) const;
 
-  /// Insert a freshly quantized payload (counted as a miss).  A packed
-  /// payload must carry the LUT decode_lut() returned for its config.
-  void insert(std::size_t slot, const LPConfig& cfg, WeightPayload payload);
+  /// Insert a freshly quantized payload.  A packed payload must carry the
+  /// LUT decode_lut() returned for its config.  `count_miss` is false when
+  /// seeding from a serialized artifact — those payloads were never
+  /// quantized here, and cold-start accounting must show zero misses.
+  void insert(std::size_t slot, const LPConfig& cfg, WeightPayload payload,
+              bool count_miss = true);
 
   /// Shared decode LUT for cfg, built from `fmt` on first request and
   /// charged against the budget, or null when the format cannot serve the
-  /// packed path (callers then quantize a float fallback).  Serial phase
-  /// only.
+  /// packed path (callers then quantize a float fallback).  Prepare phase
+  /// only (serialized by the owning session).
   [[nodiscard]] std::shared_ptr<const DecodeTable> decode_lut(
       const LPConfig& cfg, const NumberFormat& fmt);
 
@@ -104,17 +123,18 @@ class WeightCodeCache {
   /// so the weight vs activation LUT budget split stays visible.  Null
   /// when the format has no enumerable code table (those edges stay
   /// float).  LUTs unused for a full generation are swept; snapshots hold
-  /// shared ownership, so eviction never invalidates a live run.  Serial
-  /// phase only.
+  /// shared ownership, so eviction never invalidates a live run.  Prepare
+  /// phase only (serialized by the owning session).
   [[nodiscard]] std::shared_ptr<const DecodeTable> act_decode_lut(
       const LPConfig& cfg, const NumberFormat& fmt);
 
   /// Advance the generation tick and sweep oldest-tick entries until the
   /// payload fits the budget again (current-tick entries are kept).  Also
-  /// drops decode LUTs no live entry references.
+  /// drops decode LUTs no live entry references.  Prepare phase only.
   void next_generation();
 
-  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  /// Lock-free counter snapshot (see CacheStats).
+  [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] std::size_t budget_bytes() const { return budget_bytes_; }
 
  private:
@@ -137,20 +157,51 @@ class WeightCodeCache {
     std::size_t refs = 0;                    ///< live entries of this format
     std::uint64_t last_used = 0;
   };
+  /// One entry-map shard.  Ordered maps: the eviction sweep iterates in
+  /// key order, which makes the set of survivors a pure function of the
+  /// lookup/insert history.
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<SlotKey, Entry> entries;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::size_t slot) {
+    return shards_[slot % kShards];
+  }
+  [[nodiscard]] const Shard& shard_for(std::size_t slot) const {
+    return shards_[slot % kShards];
+  }
 
   void evict_to_budget();
-  void erase_entry(const SlotKey& key, const Entry& entry);
+  /// Drop one entry; caller holds the shard lock (NOT lut_mu_ — the lock
+  /// order is shard.mu then lut_mu_, taken inside for packed payloads).
+  void erase_entry_locked(Shard& shard, const SlotKey& key,
+                          std::map<SlotKey, Entry>::iterator it);
   void sweep_stale_luts();
   void sweep_stale_act_luts();
 
-  // Ordered maps: the eviction sweep iterates in key order, which makes
-  // the set of survivors a pure function of the lookup/insert history.
-  std::map<SlotKey, Entry> entries_;
+  std::array<Shard, kShards> shards_;
+  mutable std::mutex lut_mu_;  ///< guards luts_ + act_luts_
   std::map<FormatKey, LutRec> luts_;
   std::map<FormatKey, LutRec> act_luts_;  ///< activation-side LUTs (refs unused)
   std::size_t budget_bytes_;
-  std::uint64_t tick_ = 0;
-  CacheStats stats_;
+  std::atomic<std::uint64_t> tick_{0};
+
+  /// Relaxed atomics behind stats() — lock-free to read while a prepare
+  /// pass mutates the cache (the TSan concurrent prepare/read test pins
+  /// this).
+  struct Counters {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::size_t> entries{0};
+    std::atomic<std::size_t> bytes{0};
+    std::atomic<std::size_t> logical_bytes{0};
+    std::atomic<std::size_t> lut_bytes{0};
+    std::atomic<std::size_t> act_lut_bytes{0};
+    std::atomic<std::size_t> packed_entries{0};
+  };
+  mutable Counters counters_;
 };
 
 }  // namespace lp::runtime

@@ -1,0 +1,77 @@
+#include "serve/request_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace lp::serve {
+
+std::future<Response> RequestQueue::push(Tensor input) {
+  LP_CHECK_MSG(input.rank() >= 2,
+               "serve requests are [rows, ...] tensors; shape a single "
+               "sample [1, ...]");
+  Request req;
+  req.input = std::move(input);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<Response> fut = req.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    LP_CHECK_MSG(!closed_, "push on a closed RequestQueue");
+    q_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+std::vector<Request> RequestQueue::pop_batch(
+    std::size_t max_batch, std::chrono::microseconds deadline) {
+  LP_CHECK(max_batch >= 1);
+  std::vector<Request> batch;
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !q_.empty() || closed_; });
+  if (q_.empty()) return batch;  // closed and drained
+
+  auto take = [&] {
+    batch.push_back(std::move(q_.front()));
+    q_.pop_front();
+  };
+  take();
+  // Linger for stragglers: up to `deadline` past the first take, refilling
+  // from the queue as requests land, until the batch is full.
+  const auto cutoff = std::chrono::steady_clock::now() + deadline;
+  while (batch.size() < max_batch) {
+    if (!q_.empty()) {
+      take();
+      continue;
+    }
+    if (closed_) break;
+    if (cv_.wait_until(lk, cutoff, [&] { return !q_.empty() || closed_; })) {
+      continue;  // re-check: either more work or closed
+    }
+    break;  // deadline expired with a partial batch — dispatch it
+  }
+  lk.unlock();
+  // More work may remain for sibling workers.
+  cv_.notify_one();
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return q_.size();
+}
+
+}  // namespace lp::serve

@@ -1,0 +1,86 @@
+// RequestQueue — the per-request layer's front door.
+//
+// Single-sample inference requests arrive one at a time, but the LPQ
+// datapath amortizes per-layer format-table lookups and activation
+// quantization across batch rows (runtime::stack_batches + one fused
+// forward).  The queue therefore coalesces: a worker popping a batch
+// takes everything already waiting, then lingers up to a configurable
+// deadline for stragglers before dispatching, bounded by a max batch
+// size.  That deadline is the classic latency/throughput knob — zero
+// degenerates to batch-per-request, larger values trade p50 latency for
+// fused-GEMM throughput.
+//
+// Each request carries a promise; the popped worker fulfills it with the
+// logits rows belonging to that request plus serving metadata (which
+// model version served it, how long it queued, how big the fused batch
+// was).  Batch composition never affects the numbers: the batched
+// forward is bit-identical per row to a per-sample run (the runtime's
+// determinism contract, pinned by tests/test_runtime.cpp), so dynamic
+// batching is an invisible performance optimization.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lp::serve {
+
+/// What a client's future resolves to.
+struct Response {
+  Tensor logits;  ///< [rows, classes] — this request's rows only
+  /// ServableModel::version() of the snapshot that served the request —
+  /// lets clients correlate results with hot-swapped assignments.
+  std::uint64_t model_version = 0;
+  /// Total rows in the fused batch this request rode in.
+  std::int64_t batch_rows = 0;
+  /// Time spent queued before a worker popped the request.
+  std::chrono::microseconds queue_wait{0};
+  /// Wall time of the fused forward that produced the logits.
+  std::chrono::microseconds compute{0};
+};
+
+/// One queued request: the input tensor plus the promise its submitter
+/// holds the future of.
+struct Request {
+  Tensor input;  ///< [rows, ...]; dim 0 is this request's row count
+  std::promise<Response> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+class RequestQueue {
+ public:
+  /// Enqueue an input and return the future its response arrives on.
+  /// Throws std::invalid_argument after close().
+  [[nodiscard]] std::future<Response> push(Tensor input);
+
+  /// Pop a coalesced batch: blocks until at least one request (or the
+  /// queue is closed), takes up to `max_batch` requests, and waits at
+  /// most `deadline` past the first take for more to arrive.  Returns an
+  /// empty vector only when the queue is closed and fully drained — the
+  /// worker's exit signal.  Requests are returned strictly in arrival
+  /// order.
+  [[nodiscard]] std::vector<Request> pop_batch(
+      std::size_t max_batch, std::chrono::microseconds deadline);
+
+  /// Stop accepting pushes and wake every waiting popper.  Requests still
+  /// queued remain poppable (shutdown drains, not drops).
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  /// Requests currently waiting (diagnostic; racy by nature).
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> q_;
+  bool closed_ = false;
+};
+
+}  // namespace lp::serve

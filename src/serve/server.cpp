@@ -1,0 +1,117 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "runtime/session.h"
+#include "util/check.h"
+
+namespace lp::serve {
+
+using Clock = std::chrono::steady_clock;
+
+Server::Server(const runtime::SnapshotPublisher& publisher, ServerOptions opts)
+    : publisher_(&publisher), opts_(opts) {
+  LP_CHECK(opts_.workers >= 1);
+  LP_CHECK(opts_.max_batch >= 1);
+  LP_CHECK(opts_.batch_deadline.count() >= 0);
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int w = 0; w < opts_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<Response> Server::submit(Tensor input) {
+  std::future<Response> fut = queue_.push(std::move(input));
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+void Server::shutdown() {
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats st;
+  st.requests = requests_.load(std::memory_order_relaxed);
+  st.responses = responses_.load(std::memory_order_relaxed);
+  st.batches = batches_.load(std::memory_order_relaxed);
+  st.batched_rows = batched_rows_.load(std::memory_order_relaxed);
+  st.max_batch_rows = max_batch_rows_.load(std::memory_order_relaxed);
+  return st;
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch =
+        queue_.pop_batch(opts_.max_batch, opts_.batch_deadline);
+    if (batch.empty()) return;  // closed and drained
+    serve_batch(std::move(batch));
+  }
+}
+
+void Server::serve_batch(std::vector<Request> batch) {
+  const auto popped = Clock::now();
+  try {
+    // Acquire once per batch: this pins the snapshot for the whole fused
+    // forward, so a concurrent hot-swap cannot tear it.
+    const runtime::ServablePtr m = publisher_->acquire();
+    LP_CHECK_MSG(m != nullptr, "no model published — set_formats() first");
+
+    std::vector<Tensor> inputs;
+    inputs.reserve(batch.size());
+    for (Request& r : batch) inputs.push_back(std::move(r.input));
+    const Tensor stacked = runtime::stack_batches(inputs);
+    const std::int64_t total_rows = stacked.dim(0);
+
+    const Tensor logits = m->run(stacked).logits;
+    const auto done = Clock::now();
+    const auto compute =
+        std::chrono::duration_cast<std::chrono::microseconds>(done - popped);
+    LP_CHECK(logits.dim(0) == total_rows);
+    const std::int64_t classes = logits.numel() / total_rows;
+
+    // Split the stacked logits back into per-request row slices, in the
+    // same arrival order stack_batches packed them.
+    std::int64_t row = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::int64_t rows_i = inputs[i].dim(0);
+      Response resp;
+      resp.logits = Tensor({rows_i, classes});
+      std::copy_n(logits.raw() + row * classes, rows_i * classes,
+                  resp.logits.raw());
+      row += rows_i;
+      resp.model_version = m->version();
+      resp.batch_rows = total_rows;
+      resp.queue_wait = std::chrono::duration_cast<std::chrono::microseconds>(
+          popped - batch[i].enqueued);
+      resp.compute = compute;
+      batch[i].promise.set_value(std::move(resp));
+      responses_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_rows_.fetch_add(static_cast<std::uint64_t>(total_rows),
+                            std::memory_order_relaxed);
+    std::uint64_t prev = max_batch_rows_.load(std::memory_order_relaxed);
+    while (prev < static_cast<std::uint64_t>(total_rows) &&
+           !max_batch_rows_.compare_exchange_weak(
+               prev, static_cast<std::uint64_t>(total_rows),
+               std::memory_order_relaxed)) {
+    }
+  } catch (...) {
+    // A bad request (shape mismatch in the stack) or missing model fails
+    // the whole batch — every submitter sees the error, none hangs.
+    for (Request& r : batch) {
+      r.promise.set_exception(std::current_exception());
+      responses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace lp::serve

@@ -1,0 +1,103 @@
+// Server — the serving layer of the multi-tenant core.
+//
+// Three layers (see README "Serving"):
+//
+//   control plane   InferenceSession — owns caches, prepares snapshots,
+//                   publishes ServableModels (runtime/session.h)
+//   shared layer    ServableModel behind a SnapshotPublisher — immutable,
+//                   refcounted, hot-swappable (runtime/servable_model.h)
+//   per-request     this file — a RequestQueue coalescing single-sample
+//                   requests into fused batches, worker threads executing
+//                   them against whatever snapshot is published
+//
+// The server never touches the session's caches: each worker acquire()s a
+// strong ServableModel reference per batch, so a set_formats() hot-swap
+// mid-serve is safe — in-flight batches finish on the snapshot they
+// acquired, the next batch picks up the replacement, and every response
+// carries the version that served it.
+//
+// Determinism: batch composition is timing-dependent (that is the point
+// of dynamic batching), but responses are not — each request's logits
+// rows are bit-identical to a serial session.run() of the same input
+// against the same published version, because the batched forward is
+// row-independent (tests/test_serve.cpp pins this under 8+ concurrent
+// clients across a mid-serve hot-swap).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "runtime/servable_model.h"
+#include "serve/request_queue.h"
+
+namespace lp::serve {
+
+struct ServerOptions {
+  /// Worker threads popping batches.  Each batch's forward already fans
+  /// out across the shared compute pool, so one worker saturates compute;
+  /// more workers overlap queue/stacking latency with compute.
+  int workers = 1;
+  /// Row cap per fused batch.
+  std::size_t max_batch = 8;
+  /// How long a worker lingers for stragglers after popping the first
+  /// request of a batch.  0 = dispatch immediately (batch-per-request
+  /// unless a backlog already formed).
+  std::chrono::microseconds batch_deadline{200};
+};
+
+/// Monotonic serving counters (relaxed atomics — snapshot, not invariant).
+struct ServerStats {
+  std::uint64_t requests = 0;      ///< submitted
+  std::uint64_t responses = 0;     ///< fulfilled (incl. exceptional)
+  std::uint64_t batches = 0;       ///< fused forwards executed
+  std::uint64_t batched_rows = 0;  ///< total rows across those forwards
+  std::uint64_t max_batch_rows = 0;  ///< largest single fused batch
+};
+
+class Server {
+ public:
+  /// `publisher` must outlive the server (it is owned by the session).
+  /// Workers start immediately; submits before the first publish fail
+  /// with an exception on the future, not a crash.
+  explicit Server(const runtime::SnapshotPublisher& publisher,
+                  ServerOptions opts = {});
+  /// Drains and joins (shutdown()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue one request.  `input` is [rows, ...] — shape single samples
+  /// [1, ...].  The future resolves to this request's logits rows plus
+  /// serving metadata, or to an exception if the batch failed (bad shape,
+  /// no published model).
+  [[nodiscard]] std::future<Response> submit(Tensor input);
+
+  /// Stop accepting requests, serve everything already queued, join the
+  /// workers.  Idempotent.
+  void shutdown();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerOptions& options() const { return opts_; }
+
+ private:
+  void worker_loop();
+  void serve_batch(std::vector<Request> batch);
+
+  const runtime::SnapshotPublisher* publisher_;
+  ServerOptions opts_;
+  RequestQueue queue_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_rows_{0};
+  std::atomic<std::uint64_t> max_batch_rows_{0};
+};
+
+}  // namespace lp::serve

@@ -6,6 +6,20 @@
 #include "util/check.h"
 
 namespace lp {
+namespace {
+
+// Nested run_chunks depth on this thread (workers and external callers
+// alike).  Guards the serial-fallback bound; see kMaxNestingDepth.
+thread_local int t_nesting_depth = 0;
+
+struct NestingScope {
+  NestingScope() { ++t_nesting_depth; }
+  ~NestingScope() { --t_nesting_depth; }
+  NestingScope(const NestingScope&) = delete;
+  NestingScope& operator=(const NestingScope&) = delete;
+};
+
+}  // namespace
 
 int ThreadPool::resolve_threads(int requested) {
   if (requested > 0) return requested;
@@ -50,6 +64,7 @@ void ThreadPool::execute_chunks(TaskSet& ts) {
     if (c >= ts.total) return;
     std::exception_ptr err;
     try {
+      const NestingScope nest;
       (*ts.fn)(c);
     } catch (...) {
       err = std::current_exception();
@@ -76,7 +91,13 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_chunks(std::int64_t num_chunks,
                             const std::function<void(std::int64_t)>& fn) {
   if (num_chunks <= 0) return;
-  if (workers_.empty() || num_chunks == 1) {
+  // Serial paths: a pool with no workers, a single chunk, or a nesting
+  // level past the fan-out bound.  Same chunk order as the dynamic path
+  // would observe with one executor, so results are unchanged; the
+  // NestingScope keeps depth accounting uniform with execute_chunks.
+  if (workers_.empty() || num_chunks == 1 ||
+      t_nesting_depth >= kMaxNestingDepth) {
+    const NestingScope nest;
     for (std::int64_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }

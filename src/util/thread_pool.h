@@ -8,11 +8,24 @@
 //    into chunks whose boundaries depend only on the problem size (see
 //    parallel_for), and any reduction combines per-chunk partials in chunk
 //    order.  Threads only decide *who* runs a chunk.
-//  * Nesting.  LPQ evaluates candidates on the pool, and each evaluation
-//    runs forward passes whose GEMMs also use the pool.  run_chunks is
-//    fork-join with caller participation: the calling thread claims chunks
-//    like any worker, so a fully busy pool degrades to inline execution
-//    instead of deadlocking, and waits form a DAG ordered by nesting depth.
+//  * Nesting and reentrancy.  LPQ evaluates candidates on the pool, and
+//    each evaluation runs forward passes whose GEMMs also use the pool; the
+//    serving layer adds many *external* submitter threads issuing
+//    run_chunks concurrently.  run_chunks is fork-join with caller
+//    participation: the calling thread claims chunks like any worker, so a
+//    fully busy pool degrades to inline execution instead of deadlocking,
+//    and waits form a DAG ordered by nesting depth.  The contract:
+//      - run_chunks may be called from any thread, including a pool worker
+//        mid-chunk (a pool task submitting run_chunks must not deadlock —
+//        the submitter drains its own task set, never parking on a worker
+//        that could be parked on it);
+//      - concurrent external submitters are safe: each call owns a private
+//        TaskSet, workers drain whichever sets are claimable;
+//      - beyond kMaxNestingDepth nested levels on one thread, run_chunks
+//        falls back to serial inline execution (same chunk order, same
+//        results) so pathological recursion bounds its stack instead of
+//        fanning out further.
+//    tests/test_parallel.cpp pins all three.
 //  * One pool per process.  Persistent workers amortize thread creation
 //    across the millions of small parallel regions an LPQ search issues
 //    (the seed spawned and joined fresh threads per generation).
@@ -45,12 +58,19 @@ class ThreadPool {
     return static_cast<int>(workers_.size()) + 1;
   }
 
+  /// Deepest nested run_chunks level (per thread) that still fans out to
+  /// the pool; deeper levels run their chunks serially inline.  Two levels
+  /// cover every datapath in the library (LPQ candidate eval -> GEMM); the
+  /// headroom above that is for embedders.
+  static constexpr int kMaxNestingDepth = 4;
+
   /// Run fn(c) for every chunk index c in [0, num_chunks), blocking until
   /// all complete.  Chunks are claimed dynamically (load balance) but each
   /// index runs exactly once, so callers writing disjoint outputs per index
   /// are deterministic regardless of pool size.  The first exception thrown
   /// by a chunk is rethrown here after the set drains.  Safe to call from
-  /// inside another run_chunks chunk (see header comment on nesting).
+  /// inside another run_chunks chunk and from any number of concurrent
+  /// external threads (see header comment on nesting and reentrancy).
   void run_chunks(std::int64_t num_chunks,
                   const std::function<void(std::int64_t)>& fn);
 

@@ -82,6 +82,74 @@ TEST(ThreadPool, ParallelForCoversRangeWithFixedChunks) {
   EXPECT_EQ(max_chunk.load(), 10);  // ceil(107/10) = 11 chunks
 }
 
+TEST(ThreadPool, ConcurrentExternalSubmittersEachCompleteExactlyOnce) {
+  // The serving layer's pattern: many non-pool threads issuing run_chunks
+  // against the shared pool at once.  Every submitter's chunks must run
+  // exactly once, with no cross-talk between the private task sets.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr std::int64_t kChunks = 64;
+  std::vector<std::vector<std::atomic<int>>> hits(kSubmitters);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kChunks);
+  }
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < 4; ++round) {
+        pool.run_chunks(kChunks, [&, s](std::int64_t c) {
+          hits[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)]
+              .fetch_add(1);
+        });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (const auto& per_submitter : hits) {
+    for (const auto& h : per_submitter) EXPECT_EQ(h.load(), 4);
+  }
+}
+
+TEST(ThreadPool, SubmissionFromPoolTaskDoesNotDeadlock) {
+  // A chunk body that itself submits work — the reentrancy contract's
+  // first clause.  Distinct from NestedRunChunksDoesNotDeadlock above in
+  // that the outer fan-out saturates the pool first, so inner submissions
+  // necessarily run while every worker is busy.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.run_chunks(8, [&](std::int64_t) {
+    pool.run_chunks(8, [&](std::int64_t) {
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ThreadPool, DeepNestingFallsBackToSerialInline) {
+  // Once one thread's run_chunks stack reaches kMaxNestingDepth, further
+  // calls on that thread run their chunks serially inline — same chunk
+  // set and order, bounded stack and no further fan-out.  Single-chunk
+  // calls execute inline on the caller, so they build same-thread depth
+  // deterministically; the multi-chunk call at the bottom must then stay
+  // on the submitting thread instead of fanning out.
+  ThreadPool pool(4);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> descend = [&](int depth) {
+    if (depth >= ThreadPool::kMaxNestingDepth) {
+      const std::thread::id self = std::this_thread::get_id();
+      pool.run_chunks(8, [&, self](std::int64_t) {
+        EXPECT_EQ(std::this_thread::get_id(), self);
+        leaves.fetch_add(1);
+      });
+      return;
+    }
+    pool.run_chunks(1, [&](std::int64_t) { descend(depth + 1); });
+  };
+  descend(0);
+  EXPECT_EQ(leaves.load(), 8);
+}
+
 TEST(ThreadPool, ResolveThreadsHonorsRequestAndFloor) {
   EXPECT_EQ(ThreadPool::resolve_threads(5), 5);
   EXPECT_GE(ThreadPool::resolve_threads(0), 1);

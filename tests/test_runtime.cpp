@@ -285,6 +285,65 @@ TEST(StackBatches, PromotesSingleSamplesAmongBatches) {
                std::invalid_argument);
 }
 
+TEST(StackBatches, SingleInputPassesThroughVerbatim) {
+  Tensor only({3, 2, 2});
+  for (std::int64_t i = 0; i < only.numel(); ++i) {
+    only[i] = static_cast<float>(i) * 0.5F;
+  }
+  const Tensor stacked = stack_batches(std::vector<Tensor>{only});
+  ASSERT_EQ(stacked.shape(), only.shape());
+  for (std::int64_t i = 0; i < only.numel(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(stacked[i]),
+              std::bit_cast<std::uint32_t>(only[i]));
+  }
+}
+
+TEST(StackBatches, RejectsRankGapsWithClearError) {
+  // Only sample (rank r-1) and batch (rank r) may mix; a two-level rank
+  // gap is a caller bug and must fail loudly, not silently mis-stack.
+  const Tensor batch({2, 3, 4});
+  const Tensor flat({4});
+  try {
+    (void)stack_batches(std::vector<Tensor>{batch, flat});
+    FAIL() << "rank gap accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("rank"), std::string::npos);
+  }
+}
+
+TEST(StackBatches, RowOrderFollowsInputOrderBitExactly) {
+  // The serving layer splits fused logits back to requests by row ranges,
+  // so the stacking order must be exactly the input order for any
+  // sample/mini-batch mix — and permuting the inputs must permute rows
+  // accordingly, bit-for-bit.
+  std::vector<Tensor> inputs;
+  std::uint64_t seed = 1;
+  for (const std::int64_t rows : {2, 1, 3}) {
+    Tensor t({rows, 5});
+    Rng rng(seed++);
+    for (float& v : t.data()) v = static_cast<float>(rng.gaussian());
+    inputs.push_back(std::move(t));
+  }
+  const Tensor fwd = stack_batches(inputs);
+  ASSERT_EQ(fwd.dim(0), 6);
+  const std::vector<Tensor> reversed{inputs[2], inputs[1], inputs[0]};
+  const Tensor rev = stack_batches(reversed);
+  // Rows of each input appear contiguously at its offset in either order.
+  auto rows_match = [&](const Tensor& stacked, const Tensor& in,
+                        std::int64_t row0) {
+    for (std::int64_t i = 0; i < in.numel(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(stacked[row0 * 5 + i]),
+                std::bit_cast<std::uint32_t>(in[i]));
+    }
+  };
+  rows_match(fwd, inputs[0], 0);
+  rows_match(fwd, inputs[1], 2);
+  rows_match(fwd, inputs[2], 3);
+  rows_match(rev, inputs[2], 0);
+  rows_match(rev, inputs[1], 3);
+  rows_match(rev, inputs[0], 4);
+}
+
 TEST(InferenceSession, FormatCacheBoundedAcrossGenerations) {
   // sf is continuous, so a long search interns a fresh format for nearly
   // every new gene; the entry cap must sweep old generations out while

@@ -1,0 +1,423 @@
+// Serving-core tests: dynamic batching, concurrent clients, hot-swap,
+// and the serialized model artifact.
+//
+// The load-bearing contract: a response produced by the dynamically
+// batched server is bit-identical to a serial session.run() of the same
+// input against the same published model version — batch composition is
+// a pure performance decision.  The concurrent test below pins that
+// under 8 client threads across a mid-serve set_formats() hot-swap, and
+// is part of the CI TSan leg (LP_THREADS=8), so the shared-snapshot and
+// sharded-cache machinery is exercised under the race detector.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lpq/lpq.h"
+#include "nn/zoo.h"
+#include "runtime/artifact.h"
+#include "runtime/session.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace lp::serve {
+namespace {
+
+using runtime::InferenceSession;
+
+nn::ZooOptions small_opts() {
+  nn::ZooOptions o;
+  o.input_size = 16;
+  o.classes = 8;
+  o.seed = 17;
+  return o;
+}
+
+Tensor random_batch(int n, int c, int s, std::uint64_t seed) {
+  Tensor x({n, c, s, s});
+  Rng rng(seed);
+  for (float& v : x.data()) v = static_cast<float>(rng.gaussian());
+  return x;
+}
+
+/// Deterministic per-slot assignment with per-layer variety; `phase`
+/// rotates the widths so two calls yield two distinct assignments.
+std::vector<LPConfig> varied_weight_cfgs(const nn::Model& m, int phase = 0) {
+  std::vector<LPConfig> cfgs;
+  const auto centers = lpq::sf_centers(m);
+  for (std::size_t s = 0; s < m.num_slots(); ++s) {
+    const int n = 4 + static_cast<int>((s + phase) % 3) * 2;  // 4, 6, 8
+    cfgs.push_back(LPConfig{n, n >= 6 ? 2 : 1, n / 2, centers[s]});
+  }
+  return cfgs;
+}
+
+std::vector<LPConfig> varied_act_cfgs(const std::vector<LPConfig>& w) {
+  std::vector<LPConfig> cfgs;
+  for (const LPConfig& c : w) cfgs.push_back(activation_config(c, 0.5));
+  return cfgs;
+}
+
+std::vector<std::uint32_t> logit_bits(const Tensor& t) {
+  std::vector<std::uint32_t> bits;
+  bits.reserve(static_cast<std::size_t>(t.numel()));
+  for (const float v : t.data()) bits.push_back(std::bit_cast<std::uint32_t>(v));
+  return bits;
+}
+
+std::vector<std::uint8_t> file_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(f.good()) << path;
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  std::vector<std::uint8_t> raw(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(raw.data()), size);
+  return raw;
+}
+
+TEST(RequestQueue, CoalescesBacklogWithoutWaiting) {
+  RequestQueue q;
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 5; ++i) futs.push_back(q.push(Tensor({1, 3})));
+  // Everything already queued comes out in one pop, zero linger needed.
+  const auto batch = q.pop_batch(8, std::chrono::microseconds{0});
+  EXPECT_EQ(batch.size(), 5U);
+  EXPECT_EQ(q.depth(), 0U);
+}
+
+TEST(RequestQueue, DeadlineFlushesPartialBatch) {
+  RequestQueue q;
+  auto f0 = q.push(Tensor({1, 3}));
+  auto f1 = q.push(Tensor({1, 3}));
+  // max_batch 8 but only 2 queued: the pop lingers for the deadline, then
+  // dispatches the partial batch instead of stalling.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto batch = q.pop_batch(8, std::chrono::milliseconds{5});
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(batch.size(), 2U);
+  EXPECT_GE(waited, std::chrono::milliseconds{4});
+}
+
+TEST(RequestQueue, CloseDrainsThenSignalsShutdown) {
+  RequestQueue q;
+  auto f0 = q.push(Tensor({1, 3}));
+  auto f1 = q.push(Tensor({1, 3}));
+  auto f2 = q.push(Tensor({1, 3}));
+  q.close();
+  EXPECT_THROW((void)q.push(Tensor({1, 3})), std::invalid_argument);
+  // Queued work survives close() — shutdown drains, not drops.
+  EXPECT_EQ(q.pop_batch(2, std::chrono::microseconds{0}).size(), 2U);
+  EXPECT_EQ(q.pop_batch(8, std::chrono::microseconds{0}).size(), 1U);
+  // Drained + closed = the worker exit signal.
+  EXPECT_TRUE(q.pop_batch(8, std::chrono::microseconds{0}).empty());
+}
+
+TEST(RequestQueue, RejectsRankOneInputs) {
+  RequestQueue q;
+  // A uniform-rank list is interpreted as batches by stack_batches, so a
+  // bare rank-1 sample would be misread as C rows; the queue rejects it
+  // at the door with the [1, ...] shaping rule.
+  EXPECT_THROW((void)q.push(Tensor({3})), std::invalid_argument);
+}
+
+TEST(Server, CoalescesConcurrentRequestsIntoFusedBatches) {
+  const nn::Model m = nn::build_tiny_cnn(small_opts());
+  InferenceSession session(m);
+  const auto w = varied_weight_cfgs(m);
+  const auto a = varied_act_cfgs(w);
+  session.set_formats(w, a);
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 4;
+  opts.batch_deadline = std::chrono::milliseconds{250};
+  Server server(session.publisher(), opts);
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(random_batch(1, 3, 16, 500 + i));
+    futs.push_back(server.submit(inputs.back()));
+  }
+  for (int i = 0; i < 4; ++i) {
+    Response resp = futs[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(resp.model_version, 1U);
+    EXPECT_EQ(resp.logits.dim(0), 1);
+    // Bit-identical to a serial run of the same sample — batching is
+    // invisible in the numbers.
+    EXPECT_EQ(logit_bits(resp.logits),
+              logit_bits(session.run(inputs[static_cast<std::size_t>(i)]).logits))
+        << "request " << i;
+    EXPECT_GE(resp.batch_rows, 1);
+    EXPECT_LE(resp.batch_rows, 4);
+  }
+  server.shutdown();
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.requests, 4U);
+  EXPECT_EQ(st.responses, 4U);
+  EXPECT_EQ(st.batched_rows, 4U);
+  // All four were queued before the worker's linger deadline expired, so
+  // they ride few fused batches (usually exactly one).
+  EXPECT_LE(st.batches, 4U);
+  EXPECT_GE(st.max_batch_rows, 1U);
+}
+
+// The acceptance test: N >= 8 concurrent client threads, every response
+// bit-identical to a serial per-sample run of the same input against the
+// version that served it, across a mid-serve hot-swap.  Runs under TSan
+// in CI with LP_THREADS=8.
+TEST(Server, ConcurrentClientsBitIdenticalAcrossHotSwap) {
+  constexpr int kClients = 8;
+  constexpr int kItersPerPhase = 3;
+  const nn::Model m = nn::build_tiny_cnn(small_opts());
+  InferenceSession session(m);
+  const auto w1 = varied_weight_cfgs(m, /*phase=*/0);
+  const auto a1 = varied_act_cfgs(w1);
+  const auto w2 = varied_weight_cfgs(m, /*phase=*/1);
+  const auto a2 = varied_act_cfgs(w2);
+
+  // Per-client serial references for both assignments, computed against
+  // the session itself before serving starts (version 1 = w1, 2 = w2,
+  // 3 = w1 again).
+  std::vector<Tensor> inputs;
+  std::vector<std::vector<std::uint32_t>> ref1;
+  std::vector<std::vector<std::uint32_t>> ref2;
+  for (int c = 0; c < kClients; ++c) {
+    inputs.push_back(random_batch(1, 3, 16, 900 + c));
+  }
+  session.set_formats(w2, a2);
+  for (const Tensor& x : inputs) ref2.push_back(logit_bits(session.run(x).logits));
+  session.set_formats(w1, a1);
+  for (const Tensor& x : inputs) ref1.push_back(logit_bits(session.run(x).logits));
+  // Published versions from here: 2 (w1, current), 3 (w2), 4 (w1).
+  auto ref_for = [&](std::uint64_t version,
+                     int client) -> const std::vector<std::uint32_t>& {
+    return version == 3 ? ref2[static_cast<std::size_t>(client)]
+                        : ref1[static_cast<std::size_t>(client)];
+  };
+
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.max_batch = 4;
+  opts.batch_deadline = std::chrono::microseconds{200};
+  Server server(session.publisher(), opts);
+
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> version_seen_mask{0};
+  auto client_phase = [&](std::uint64_t min_version, std::uint64_t max_version) {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int it = 0; it < kItersPerPhase; ++it) {
+          Response resp =
+              server.submit(inputs[static_cast<std::size_t>(c)]).get();
+          if (resp.model_version < min_version ||
+              resp.model_version > max_version) {
+            failures.fetch_add(1);
+            continue;
+          }
+          version_seen_mask.fetch_or(1ULL << resp.model_version);
+          if (logit_bits(resp.logits) != ref_for(resp.model_version, c)) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  };
+
+  // Phase A: everything served by version 2 (w1).
+  client_phase(2, 2);
+  // Phase B: hot-swap to w2 while clients are mid-flight; responses come
+  // from version 2 or 3 depending on which snapshot their batch acquired,
+  // and must match the serial reference for whichever served them.
+  std::thread swapper([&] { session.set_formats(w2, a2); });
+  client_phase(2, 3);
+  swapper.join();
+  // Phase C: everything now on version 3 (w2).
+  client_phase(3, 3);
+  // Swap back mid-flight the other way (version 4 = w1 again).
+  std::thread swapper2([&] { session.set_formats(w1, a1); });
+  client_phase(3, 4);
+  swapper2.join();
+  server.shutdown();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Both assignments provably served traffic.
+  EXPECT_TRUE(version_seen_mask.load() & (1ULL << 2));
+  EXPECT_TRUE(version_seen_mask.load() & (1ULL << 3));
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.requests, static_cast<std::uint64_t>(4 * kClients * kItersPerPhase));
+  EXPECT_EQ(st.responses, st.requests);
+  EXPECT_GE(st.max_batch_rows, 1U);
+}
+
+TEST(Server, FailsFuturesInsteadOfHangingWhenNoModelPublished) {
+  const nn::Model m = nn::build_tiny_cnn(small_opts());
+  InferenceSession session(m);  // no set_formats: nothing published
+  Server server(session.publisher(), ServerOptions{});
+  auto fut = server.submit(random_batch(1, 3, 16, 42));
+  EXPECT_THROW((void)fut.get(), std::invalid_argument);
+  server.shutdown();
+  EXPECT_EQ(server.stats().responses, 1U);
+}
+
+TEST(Server, ShutdownDrainsQueuedRequests) {
+  const nn::Model m = nn::build_tiny_cnn(small_opts());
+  InferenceSession session(m);
+  const auto w = varied_weight_cfgs(m);
+  session.set_formats(w, {});
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 2;
+  opts.batch_deadline = std::chrono::microseconds{0};
+  Server server(session.publisher(), opts);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 6; ++i) {
+    futs.push_back(server.submit(random_batch(1, 3, 16, 700 + i)));
+  }
+  server.shutdown();  // must serve all six, then join
+  for (auto& f : futs) EXPECT_EQ(f.get().logits.dim(0), 1);
+  EXPECT_EQ(server.stats().responses, 6U);
+}
+
+TEST(Artifact, RoundTripIsBitIdenticalAndColdStartSkipsQuantization) {
+  const std::string path = ::testing::TempDir() + "lp_artifact.bin";
+  const std::string path2 = ::testing::TempDir() + "lp_artifact2.bin";
+  const nn::Model m = nn::build_tiny_cnn(small_opts());
+  const auto w = varied_weight_cfgs(m);
+  const auto a = varied_act_cfgs(w);
+  const Tensor x = random_batch(3, 3, 16, 1234);
+
+  InferenceSession hot(m);
+  hot.set_formats(w, a);
+  const auto ref_bits = logit_bits(hot.run(x).logits);
+  hot.save_artifact(path);
+  EXPECT_EQ(hot.stats().misses, m.num_slots());  // quantized once, hot
+
+  // Cold start: a fresh session seeds its caches from the artifact and
+  // publishes — zero quantization work.
+  InferenceSession cold(m);
+  EXPECT_EQ(cold.load_artifact(path), 1U);
+  EXPECT_EQ(cold.stats().misses, 0U);
+  EXPECT_EQ(logit_bits(cold.run(x).logits), ref_bits);
+  EXPECT_EQ(cold.servable()->version(), 1U);
+
+  // Re-serializing the loaded snapshot reproduces the file byte-for-byte
+  // — the round trip loses nothing.
+  cold.save_artifact(path2);
+  EXPECT_EQ(file_bytes(path), file_bytes(path2));
+
+  // And the cold session serves: batched requests against the loaded
+  // snapshot match the hot session bit-for-bit.
+  Server server(cold.publisher(), ServerOptions{});
+  const Tensor one = random_batch(1, 3, 16, 4321);
+  EXPECT_EQ(logit_bits(server.submit(one).get().logits),
+            logit_bits(hot.run(one).logits));
+}
+
+TEST(Artifact, LoadRejectsCorruptionTruncationAndWrongModel) {
+  const std::string path = ::testing::TempDir() + "lp_artifact_corrupt.bin";
+  const nn::Model m = nn::build_tiny_cnn(small_opts());
+  InferenceSession session(m);
+  session.set_formats(varied_weight_cfgs(m), {});
+  session.save_artifact(path);
+  const std::vector<std::uint8_t> good = file_bytes(path);
+
+  auto write_file = [&](const std::vector<std::uint8_t>& bytes) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  };
+
+  // Flip one byte deep in the body: checksum must catch it.
+  std::vector<std::uint8_t> corrupt = good;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  write_file(corrupt);
+  InferenceSession fresh(m);
+  EXPECT_THROW((void)fresh.load_artifact(path), std::invalid_argument);
+
+  // Truncation.
+  write_file(std::vector<std::uint8_t>(good.begin(),
+                                       good.begin() +
+                                           static_cast<std::ptrdiff_t>(
+                                               good.size() / 2)));
+  EXPECT_THROW((void)fresh.load_artifact(path), std::invalid_argument);
+
+  // Bad magic.
+  corrupt = good;
+  corrupt[0] ^= 0xFF;
+  write_file(corrupt);
+  EXPECT_THROW((void)fresh.load_artifact(path), std::invalid_argument);
+
+  // A model with different slot shapes must refuse the artifact.
+  write_file(good);
+  nn::ZooOptions other = small_opts();
+  other.classes = 4;
+  const nn::Model m2 = nn::build_tiny_cnn(other);
+  InferenceSession wrong(m2);
+  EXPECT_THROW((void)wrong.load_artifact(path), std::invalid_argument);
+
+  // Nothing was published by any failed load.
+  EXPECT_EQ(fresh.servable(), nullptr);
+  EXPECT_EQ(wrong.servable(), nullptr);
+}
+
+// TSan-covered: cache stats and servable reads racing a prepare pass.
+// The sharded locks + atomic counters make this well-defined; before
+// them, stats() during a prepare was a data race.
+TEST(Server, StatsAndServingSafeDuringConcurrentPrepare) {
+  const nn::Model m = nn::build_tiny_cnn(small_opts());
+  InferenceSession session(m);
+  const auto w1 = varied_weight_cfgs(m, 0);
+  const auto a1 = varied_act_cfgs(w1);
+  const auto w2 = varied_weight_cfgs(m, 2);
+  const auto a2 = varied_act_cfgs(w2);
+  session.set_formats(w1, a1);
+
+  Server server(session.publisher(), ServerOptions{});
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    for (int i = 0; i < 6; ++i) {
+      session.set_formats(i % 2 ? w1 : w2, i % 2 ? a1 : a2);
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    std::uint64_t sink = 0;
+    do {
+      const runtime::CacheStats st = session.stats();
+      sink += st.hits + st.misses + st.bytes;
+      if (const auto sp = session.servable()) sink += sp->version();
+    } while (!stop.load());
+    EXPECT_GT(sink, 0U);  // at least one snapshot was read
+  });
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      const Tensor x = random_batch(1, 3, 16, 60 + c);
+      while (!stop.load()) {
+        (void)server.submit(x).get();
+      }
+    });
+  }
+  swapper.join();
+  reader.join();
+  for (std::thread& t : clients) t.join();
+  server.shutdown();
+  EXPECT_GE(session.stats().hits, 1U);
+}
+
+}  // namespace
+}  // namespace lp::serve
