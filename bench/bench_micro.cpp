@@ -249,6 +249,16 @@ void BM_GemmKernelAvx2(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmKernelAvx2)->Unit(benchmark::kMillisecond);
 
+void BM_GemmKernelAvx512(benchmark::State& state) {
+  const kernels::KernelTable* kt = kernels::avx512_kernels();
+  if (kt == nullptr || !kernels::cpu_supports_avx512()) {
+    state.SkipWithError("AVX-512 unavailable on this host");
+    return;
+  }
+  run_gemm_kernel_bench(state, *kt);
+}
+BENCHMARK(BM_GemmKernelAvx512)->Unit(benchmark::kMillisecond);
+
 // --- packed-code GEMM benches ----------------------------------------------
 // The LUT-decoding datapath against the float kernels on the same shapes.
 // Outputs are bit-identical (tests/test_codes.cpp pins it); the packed
@@ -322,6 +332,19 @@ BENCHMARK(BM_GemmCodesAvx2)
     ->ArgNames({"n", "coded"})
     ->Unit(benchmark::kMillisecond);
 
+void BM_GemmCodesAvx512(benchmark::State& state) {
+  const kernels::KernelTable* kt = kernels::avx512_kernels();
+  if (kt == nullptr || !kernels::cpu_supports_avx512()) {
+    state.SkipWithError("AVX-512 unavailable on this host");
+    return;
+  }
+  run_gemm_codes_bench(state, *kt);
+}
+BENCHMARK(BM_GemmCodesAvx512)
+    ->Args({8, 0})->Args({4, 0})->Args({4, 1})->Args({8, 1})->Args({12, 1})
+    ->ArgNames({"n", "coded"})
+    ->Unit(benchmark::kMillisecond);
+
 /// ViT-ish linear shape ([tokens, k] x W[n, k]^T) with W as the coded B^T
 /// operand — the layout matmul_nt_codes executes.  `coded` Arg 0 runs the
 /// float gemm_nt kernel on the decoded weights as the in-process baseline.
@@ -345,7 +368,8 @@ void run_gemm_codes_nt_bench(benchmark::State& state,
   }
   for (auto _ : state) {
     if (coded) {
-      kt.gemm_codes_nt_rows(a.data(), view, nullptr, c.data(), 0, m, k, n);
+      kt.gemm_codes_nt_rows(a.data(), view, nullptr, c.data(), nullptr, 0, m,
+                            k, n);
     } else {
       kt.gemm_nt_rows(a.data(), wq.data(), nullptr, c.data(), 0, m, k, n);
     }
@@ -376,6 +400,19 @@ void BM_GemmCodesNtAvx2(benchmark::State& state) {
   run_gemm_codes_nt_bench(state, *kt);
 }
 BENCHMARK(BM_GemmCodesNtAvx2)
+    ->Args({8, 0})->Args({4, 1})->Args({8, 1})->Args({12, 1})
+    ->ArgNames({"n", "coded"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GemmCodesNtAvx512(benchmark::State& state) {
+  const kernels::KernelTable* kt = kernels::avx512_kernels();
+  if (kt == nullptr || !kernels::cpu_supports_avx512()) {
+    state.SkipWithError("AVX-512 unavailable on this host");
+    return;
+  }
+  run_gemm_codes_nt_bench(state, *kt);
+}
+BENCHMARK(BM_GemmCodesNtAvx512)
     ->Args({8, 0})->Args({4, 1})->Args({8, 1})->Args({12, 1})
     ->ArgNames({"n", "coded"})
     ->Unit(benchmark::kMillisecond);
@@ -411,6 +448,16 @@ void BM_QuantizeKernelAvx2(benchmark::State& state) {
   run_quantize_kernel_bench(state, *kt);
 }
 BENCHMARK(BM_QuantizeKernelAvx2);
+
+void BM_QuantizeKernelAvx512(benchmark::State& state) {
+  const kernels::KernelTable* kt = kernels::avx512_kernels();
+  if (kt == nullptr || !kernels::cpu_supports_avx512()) {
+    state.SkipWithError("AVX-512 unavailable on this host");
+    return;
+  }
+  run_quantize_kernel_bench(state, *kt);
+}
+BENCHMARK(BM_QuantizeKernelAvx512);
 
 // --- runtime weight-code-cache benches ------------------------------------
 // One GA generation's fitness evaluations over a population whose members
@@ -669,10 +716,12 @@ struct ForwardActsFixture {
   }
 };
 
-void run_forward_acts_bench(benchmark::State& state, bool coded) {
+void run_forward_acts_bench(benchmark::State& state, bool coded,
+                            bool fuse = false) {
   const ForwardActsFixture fx(state.range(0));
   runtime::SessionOptions sopts;
   sopts.coded_activations = coded;
+  sopts.fuse = fuse;
   runtime::InferenceSession session(fx.model, sopts);
   session.set_formats(fx.w, fx.a);
   nn::ActTraffic traffic;
@@ -703,9 +752,25 @@ BENCHMARK(BM_ForwardFloatActs)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ForwardCodedActs(benchmark::State& state) {
-  run_forward_acts_bench(state, /*coded=*/true);
+  // fuse off: the coded-activation flow as of the pre-fusion datapath —
+  // float-input coded-weight layers finish their float block, then encode
+  // in a second pass.  The unfused A/B baseline for BM_ForwardFused.
+  run_forward_acts_bench(state, /*coded=*/true, /*fuse=*/false);
 }
 BENCHMARK(BM_ForwardCodedActs)
+    ->Arg(1)->Arg(8)
+    ->ArgNames({"batch"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForwardFused(benchmark::State& state) {
+  // fuse on (the session default): decode→GEMM→bias→act→encode runs as
+  // one kernel pass on float-in coded-weight layers, so the float
+  // intermediate never round-trips through memory.  Bit-identical logits
+  // to BM_ForwardCodedActs (tests/test_act_codes.cpp pins it); the delta
+  // against it is the fusion win the CI JSON tracks.
+  run_forward_acts_bench(state, /*coded=*/true, /*fuse=*/true);
+}
+BENCHMARK(BM_ForwardFused)
     ->Arg(1)->Arg(8)
     ->ArgNames({"batch"})
     ->Unit(benchmark::kMillisecond);
@@ -816,6 +881,12 @@ int main(int argc, char** argv) {
                               threads_env != nullptr ? threads_env : "");
   benchmark::AddCustomContext(
       "avx2_supported", lp::kernels::cpu_supports_avx2() ? "yes" : "no");
+  benchmark::AddCustomContext(
+      "avx512_supported", lp::kernels::cpu_supports_avx512() ? "yes" : "no");
+  benchmark::AddCustomContext(
+      "lp_approx", lp::kernels::approx_mode() == lp::kernels::ApproxMode::kPlam
+                       ? "plam"
+                       : "exact");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs/ tree and README (CI: docs-links).
+
+Stdlib only, no network: external (http/https/mailto) targets are checked
+for well-formedness, never fetched.  For every relative link the target
+must exist in the repository; for an intra-document fragment the heading
+must exist in the target file (GitHub anchor rules: lowercase, spaces to
+dashes, punctuation stripped).
+
+Usage: python3 scripts/check_doc_links.py README.md docs/*.md
+Exits 1 and lists every broken link when any check fails.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — excluding images' alt-text brackets is unnecessary:
+# image targets must resolve too.  Nested parens in targets do not occur
+# in this repo's docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL_RE = re.compile(r"^(https?|mailto):")
+# GitHub serves `../../actions/...` badge/workflow links relative to the
+# repository *web* URL, not the file tree — they are external in spirit.
+GITHUB_WEB_RE = re.compile(r"^(\.\./)+actions/")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading-to-anchor rule: strip markup/punctuation,
+    lowercase, spaces become dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.lower().replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_anchor(h) for h in HEADING_RE.findall(text)}
+
+
+def check_file(doc: Path, repo_root: Path) -> list[str]:
+    errors: list[str] = []
+    text = CODE_FENCE_RE.sub("", doc.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if EXTERNAL_RE.match(target) or GITHUB_WEB_RE.match(target):
+            continue  # external: well-formed by regex, not fetched
+        if target.startswith("#"):
+            if github_anchor(target[1:]) not in anchors_of(doc):
+                errors.append(f"{doc}: broken fragment link '{target}'")
+            continue
+        rel, _, fragment = target.partition("#")
+        resolved = (doc.parent / rel).resolve()
+        try:
+            resolved.relative_to(repo_root)
+        except ValueError:
+            errors.append(f"{doc}: link escapes the repository: '{target}'")
+            continue
+        if not resolved.exists():
+            errors.append(f"{doc}: broken link '{target}'")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment.lower() not in anchors_of(resolved):
+                errors.append(f"{doc}: broken anchor '{target}'")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    repo_root = Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    checked = 0
+    for arg in argv[1:]:
+        doc = Path(arg)
+        if not doc.exists():
+            errors.append(f"{doc}: file does not exist")
+            continue
+        errors.extend(check_file(doc, repo_root))
+        checked += 1
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {checked} file(s): "
+          f"{'FAILED' if errors else 'all links resolve'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

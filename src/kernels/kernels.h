@@ -15,9 +15,15 @@
 // Parallelism composes from the outside: the thread pool (LP_THREADS)
 // splits row blocks / chunks across threads, and the dispatched kernel
 // vectorizes inside each block.  Selection order for dispatch():
-//   1. LP_KERNEL=scalar|avx2 if set and usable on this host (otherwise a
-//      one-line stderr warning at first use, then automatic selection);
+//   1. LP_KERNEL=scalar|avx2|avx512 if set and usable on this host
+//      (otherwise a one-line stderr warning naming the reason at first
+//      use, then automatic selection);
 //   2. the best table the CPU supports (runtime cpuid, not compile flags).
+//
+// Orthogonal to table selection, LP_APPROX=plam opts the coded GEMM
+// paths into the log-domain approximate multiplier (see plam below) —
+// the one datapath that is deliberately NOT bit-identical; it carries a
+// pinned relative error bound instead.
 #pragma once
 
 #include <algorithm>
@@ -166,12 +172,19 @@ using GemmCodesRowsFn = void (*)(const PackedCodesView& a, const float* b,
                                  std::int64_t k, std::int64_t n);
 
 /// GEMM row-block kernel against a *coded* B^T operand (the
-/// linear/attention layout, B [n,k] row-major holding W): C[i,:] = bias +
-/// A[i,:] * decode(B)^T, bit-identical to expanding B through the LUT and
-/// calling gemm_nt_rows.  SIMD variants LUT-expand the codes into packed
-/// 8-column B panels during packing.
-using GemmCodesNtRowsFn = void (*)(const float* a, const PackedCodesView& b,
+/// linear/attention layout, B [n,k] row-major holding W), plus an
+/// optional fused encode epilogue: C[i,:] = bias + A[i,:] * decode(B)^T,
+/// bit-identical to expanding B through the LUT and calling gemm_nt_rows.
+/// SIMD variants LUT-expand the codes into packed B panels during
+/// packing.  With `ep == nullptr` this writes float C rows and returns
+/// true.  With an epilogue, `c` is ignored (may be null): the row block
+/// stages into kernel-local scratch, the epilogue applies act +
+/// nearest-index encode per element, and only codes reach the output
+/// stream.  Returns false when any output element was non-finite (not
+/// encodable); the caller then re-runs the edge on the float path.
+using GemmCodesNtRowsFn = bool (*)(const float* a, const PackedCodesView& b,
                                    const float* bias, float* c,
+                                   const ActEncode* ep,
                                    std::int64_t row_begin,
                                    std::int64_t row_end, std::int64_t k,
                                    std::int64_t n);
@@ -240,12 +253,26 @@ struct KernelTable {
 /// the host CPU can run it — check cpu_supports_avx2().
 [[nodiscard]] const KernelTable* avx2_kernels();
 
+/// The AVX-512 table (16-lane LUT decode, 16-column micro-kernels), or
+/// nullptr when the build has no AVX-512 translation unit.  Non-null does
+/// NOT imply the host CPU can run it — check cpu_supports_avx512().
+[[nodiscard]] const KernelTable* avx512_kernels();
+
 /// Runtime cpuid check (independent of what was compiled in).
 [[nodiscard]] bool cpu_supports_avx2();
+
+/// Runtime cpuid check for the avx512 table's ISA set (F + BW + VL — the
+/// common server baseline the TU is compiled against).
+[[nodiscard]] bool cpu_supports_avx512();
 
 /// Table with that LP_KERNEL name, or nullptr for unknown names and tables
 /// not compiled into this build.
 [[nodiscard]] const KernelTable* by_name(std::string_view name);
+
+/// True when `name` is a spelling LP_KERNEL understands, whether or not
+/// that table made it into this build — distinguishes "unknown name" from
+/// "known but not compiled in" for the fallback warning.
+[[nodiscard]] bool is_known_kernel_name(std::string_view name);
 
 /// Every table this host can actually execute, scalar first.  Tests and
 /// benches iterate this to A/B all variants in one process.
@@ -261,5 +288,64 @@ struct KernelTable {
 /// The process-wide table every hot path calls through, resolved once on
 /// first use from LP_KERNEL and cpuid.
 [[nodiscard]] const KernelTable& dispatch();
+
+// ---------------------------------------------------------------------------
+// Approximate-multiply opt-in (LP_APPROX).
+//
+// LP formats are logarithmic, so the PLAM observation (posit multiply ≈
+// integer add of the bit patterns) maps here to Mitchell's log
+// approximation on the decoded operands: log2(2^e * (1+f)) ≈ e + f.  The
+// plam kernels below multiply through that approximation — the product
+// magnitude is always underestimated, with relative error at most 1/9 per
+// multiply — while accumulation stays exact in double, ascending-k,
+// rounded once at the end (the PDPU accumulate-in-wide discipline).  This
+// is the software model of the src/lpa datapath's log-domain MUL stage;
+// tests cross-validate the two against the exact kernels.
+
+enum class ApproxMode {
+  kExact = 0,  ///< bit-identical kernels (the default)
+  kPlam = 1,   ///< Mitchell log-domain approximate multiply
+};
+
+/// Maximum relative error of one Mitchell approximate multiply (1/9,
+/// rounded up).  A dot product's absolute error is bounded by this times
+/// sum_k |a_k * b_k|; tests pin the bound.
+inline constexpr double kPlamMaxRelError = 0.1112;
+
+/// Parse an LP_APPROX value: null/empty/"off"/"exact" = kExact, "plam" =
+/// kPlam.  Unknown values warn on stderr and fall back to kExact (each
+/// call warns; only approx_mode() memoizes).  Exposed for tests.
+[[nodiscard]] ApproxMode approx_mode_from_name(const char* requested);
+
+/// The process-wide approximate-multiply mode, resolved once on first use
+/// from LP_APPROX.
+[[nodiscard]] ApproxMode approx_mode();
+
+namespace plam {
+
+/// One Mitchell approximate multiply over finite operands: decompose each
+/// |operand| as 2^e * (1+f), add in the log domain (e+f), reconstruct.
+/// Magnitude is underestimated by at most kPlamMaxRelError; exact for
+/// powers of two and zeros.  Non-finite operands fall back to the exact
+/// product (no log decomposition exists for them).
+[[nodiscard]] double mitchell_mul(double x, double y);
+
+/// Approximate counterpart of KernelTable::gemm_codes_nt_rows: same
+/// layout, bias seeding, ascending-k accumulation order, zero-skip, and
+/// fused-epilogue contract — but every product goes through mitchell_mul.
+bool gemm_codes_nt_rows(const float* a, const PackedCodesView& b,
+                        const float* bias, float* c, const ActEncode* ep,
+                        std::int64_t row_begin, std::int64_t row_end,
+                        std::int64_t k, std::int64_t n);
+
+/// Approximate counterpart of KernelTable::gemm_codes_codes_nt_rows (both
+/// operands coded, linear layout, optional fused epilogue).
+bool gemm_codes_codes_nt_rows(const PackedCodesView& a,
+                              const PackedCodesView& b, const float* bias,
+                              float* c, const ActEncode* ep,
+                              std::int64_t row_begin, std::int64_t row_end,
+                              std::int64_t k, std::int64_t n);
+
+}  // namespace plam
 
 }  // namespace lp::kernels

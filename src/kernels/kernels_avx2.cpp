@@ -208,10 +208,10 @@ void gemm_codes_rows_avx2(const PackedCodesView& a, const float* b,
 // the row block while the loads the arithmetic sees are the same values
 // the float kernel reads from its [n,k] tensor.
 
-void gemm_codes_nt_rows_avx2(const float* a, const PackedCodesView& b,
-                             const float* bias, float* c,
-                             std::int64_t row_begin, std::int64_t row_end,
-                             std::int64_t k, std::int64_t n) {
+void gemm_codes_nt_float_avx2(const float* a, const PackedCodesView& b,
+                              const float* bias, float* c,
+                              std::int64_t row_begin, std::int64_t row_end,
+                              std::int64_t k, std::int64_t n) {
   const std::int64_t full_cols = n - (n % 8);
   if (full_cols > 0 && row_end > row_begin) {
     std::vector<float> rows8(static_cast<std::size_t>(k) * 8);
@@ -257,6 +257,23 @@ void gemm_codes_nt_rows_avx2(const float* a, const PackedCodesView& b,
     detail::gemm_codes_nt_ref_block(a, b, bias, c, row_begin, row_end,
                                     full_cols, n, k, n);
   }
+}
+
+bool gemm_codes_nt_rows_avx2(const float* a, const PackedCodesView& b,
+                             const float* bias, float* c, const ActEncode* ep,
+                             std::int64_t row_begin, std::int64_t row_end,
+                             std::int64_t k, std::int64_t n) {
+  if (ep == nullptr) {
+    gemm_codes_nt_float_avx2(a, b, bias, c, row_begin, row_end, k, n);
+    return true;
+  }
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return true;
+  float* const c_block = detail::fused_scratch(rows * n);
+  gemm_codes_nt_float_avx2(a + row_begin * k, b, bias, c_block, 0, rows,
+                           k, n);
+  return detail::encode_scratch_block(*ep, c_block, row_begin * n,
+                                  rows * n);
 }
 
 // ---------------------------------------------------------------------------
@@ -322,14 +339,14 @@ bool gemm_codes_codes_nt_rows_avx2(const PackedCodesView& a,
   std::vector<float> a_block(static_cast<std::size_t>(rows * k));
   decode_elems_avx2(a, row_begin * k, rows * k, a_block.data());
   if (ep == nullptr) {
-    gemm_codes_nt_rows_avx2(a_block.data(), b, bias, c + row_begin * n, 0,
-                            rows, k, n);
+    gemm_codes_nt_float_avx2(a_block.data(), b, bias, c + row_begin * n, 0,
+                             rows, k, n);
     return true;
   }
-  std::vector<float> c_block(static_cast<std::size_t>(rows * n));
-  gemm_codes_nt_rows_avx2(a_block.data(), b, bias, c_block.data(), 0, rows, k,
-                          n);
-  return detail::encode_row_block(*ep, c_block.data(), row_begin * n,
+  float* const c_block = detail::fused_scratch(rows * n);
+  gemm_codes_nt_float_avx2(a_block.data(), b, bias, c_block, 0, rows, k,
+                           n);
+  return detail::encode_scratch_block(*ep, c_block, row_begin * n,
                                   rows * n);
 }
 

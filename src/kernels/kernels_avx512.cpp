@@ -1,0 +1,458 @@
+// AVX-512 kernel table.  This is the only TU compiled with
+// -mavx512f/-mavx512bw/-mavx512vl; nothing in it executes unless runtime
+// cpuid reports all three extensions (see dispatch.cpp).
+//
+// The bit-equality engineering mirrors kernels_avx2.cpp, widened to 16
+// float lanes:
+//  * GEMM accumulates each output element in a dedicated double lane
+//    (two zmm registers per 16 columns), contributions added in
+//    ascending-k order with _mm512_mul_pd followed by _mm512_add_pd —
+//    the same two correctly-rounded IEEE operations the scalar code
+//    performs (FMA would single-round and is never used).
+//  * The zero-skip of A entries stays an ordinary branch: it is a
+//    per-(row, k) predicate identical across the 16 lanes of one row, so
+//    an inf or NaN in B under a structural zero never reaches any lane.
+//  * 4-bit LUT decode holds the entire table (<= 16 floats) in a single
+//    zmm register; _mm512_permutexvar_ps is a full 16-entry in-register
+//    lookup, so no blend tree is needed.  8/16-bit codes widen to dword
+//    indices and gather from the table.
+//  * Quantization lookup counts boundary keys with a native unsigned
+//    compare (_mm512_cmp_epu32_mask) — no sign-bias xor — and popcounts
+//    the 16-bit lane mask; the result equals the reference scan's index
+//    by construction.
+//  * Edge tiles (rows % 4, columns % 16) fall through to the reference
+//    block helpers, which are per-element identical by definition.
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "core/quant_rule.h"
+#include "kernels/kernels_internal.h"
+
+namespace lp::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GEMM (B row-major): cache-blocked, register-tiled micro-kernel.
+// R rows x 16 columns of double accumulators live in zmm registers for
+// the whole k loop.  `panel_stride` is 16 for a packed panel and n for
+// reading B in place — identical loads either way.
+
+template <int R>
+void gemm_micro(const float* a, const float* panel, std::int64_t panel_stride,
+                const float* bias, float* c, std::int64_t i, std::int64_t j,
+                std::int64_t k, std::int64_t n) {
+  __m512d acc[R][2];
+  if (bias != nullptr) {
+    const __m512d b0 = _mm512_cvtps_pd(_mm256_loadu_ps(bias + j));
+    const __m512d b1 = _mm512_cvtps_pd(_mm256_loadu_ps(bias + j + 8));
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = b0;
+      acc[r][1] = b1;
+    }
+  } else {
+    const __m512d z = _mm512_setzero_pd();
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = z;
+      acc[r][1] = z;
+    }
+  }
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* bp = panel + panel_stride * p;
+    const __m512d bv0 = _mm512_cvtps_pd(_mm256_loadu_ps(bp));
+    const __m512d bv1 = _mm512_cvtps_pd(_mm256_loadu_ps(bp + 8));
+    for (int r = 0; r < R; ++r) {
+      const double av = a[(i + r) * k + p];
+      if (av == 0.0) continue;
+      const __m512d avv = _mm512_set1_pd(av);
+      acc[r][0] = _mm512_add_pd(acc[r][0], _mm512_mul_pd(avv, bv0));
+      acc[r][1] = _mm512_add_pd(acc[r][1], _mm512_mul_pd(avv, bv1));
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    float* crow = c + (i + r) * n + j;
+    _mm256_storeu_ps(crow, _mm512_cvtpd_ps(acc[r][0]));
+    _mm256_storeu_ps(crow + 8, _mm512_cvtpd_ps(acc[r][1]));
+  }
+}
+
+void gemm_rows_avx512(const float* a, const float* b, const float* bias,
+                      float* c, std::int64_t row_begin, std::int64_t row_end,
+                      std::int64_t k, std::int64_t n) {
+  const std::int64_t full_cols = n - (n % 16);
+  const std::int64_t rows = row_end - row_begin;
+  // Pack only when enough row tiles amortize the k x 16 copy (same
+  // heuristic and threshold as the AVX2 table).
+  const bool pack = rows >= 8;
+  if (full_cols > 0 && rows > 0) {
+    std::vector<float> panel(pack ? static_cast<std::size_t>(k) * 16 : 0);
+    for (std::int64_t j = 0; j < full_cols; j += 16) {
+      const float* pnl = b + j;
+      std::int64_t stride = n;
+      if (pack) {
+        float* dst = panel.data();
+        const float* src = b + j;
+        for (std::int64_t p = 0; p < k; ++p, dst += 16, src += n) {
+          std::memcpy(dst, src, 16 * sizeof(float));
+        }
+        pnl = panel.data();
+        stride = 16;
+      }
+      std::int64_t i = row_begin;
+      for (; i + 4 <= row_end; i += 4) {
+        gemm_micro<4>(a, pnl, stride, bias, c, i, j, k, n);
+      }
+      switch (row_end - i) {
+        case 3: gemm_micro<3>(a, pnl, stride, bias, c, i, j, k, n); break;
+        case 2: gemm_micro<2>(a, pnl, stride, bias, c, i, j, k, n); break;
+        case 1: gemm_micro<1>(a, pnl, stride, bias, c, i, j, k, n); break;
+        default: break;
+      }
+    }
+  }
+  if (full_cols < n) {
+    detail::gemm_ref_block(a, b, bias, c, row_begin, row_end, full_cols, n, k,
+                           n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-code decode, 16 elements per step.  The decoded floats are the
+// same floats the float path's quantized-weight tensor stores, so decode
+// placement cannot affect results (see kernels_avx2.cpp for the full
+// argument).  Nibble extraction stays scalar — grouped-convolution slices
+// start at arbitrary element offsets that are not byte-aligned.
+
+void decode_elems_avx512(const PackedCodesView& v, std::int64_t elem_begin,
+                         std::int64_t count, float* dst) {
+  std::int64_t i = 0;
+  if (v.bits == 4) {
+    alignas(64) float lut16[16] = {};
+    std::memcpy(lut16, v.lut, v.lut_size * sizeof(float));
+    // The whole 4-bit table fits one zmm; permutexvar is a full 16-entry
+    // in-register LUT (no cross-half blend needed as with 8-lane AVX2).
+    const __m512 table = _mm512_load_ps(lut16);
+    for (; i + 16 <= count; i += 16) {
+      alignas(64) std::uint32_t idx[16];
+      for (int l = 0; l < 16; ++l) {
+        idx[l] = packed_code_at(v, elem_begin + i + l);
+      }
+      const __m512i iv = _mm512_load_si512(idx);
+      _mm512_storeu_ps(dst + i, _mm512_permutexvar_ps(iv, table));
+    }
+  } else if (v.bits == 8) {
+    const std::uint8_t* src = v.data + v.offset + elem_begin;
+    for (; i + 16 <= count; i += 16) {
+      const __m128i bytes =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      const __m512i iv = _mm512_cvtepu8_epi32(bytes);
+      _mm512_storeu_ps(dst + i, _mm512_i32gather_ps(iv, v.lut, 4));
+    }
+  } else {
+    const std::uint8_t* src = v.data + (v.offset + elem_begin) * 2;
+    for (; i + 16 <= count; i += 16) {
+      const __m256i words =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i * 2));
+      const __m512i iv = _mm512_cvtepu16_epi32(words);
+      _mm512_storeu_ps(dst + i, _mm512_i32gather_ps(iv, v.lut, 4));
+    }
+  }
+  for (; i < count; ++i) dst[i] = packed_decode_at(v, elem_begin + i);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM with a coded A operand (conv-as-GEMM).  Decode the A row block
+// once, then delegate to the float kernel — bit-identical to
+// decode-then-gemm by the decode contract.
+
+void gemm_codes_rows_avx512(const PackedCodesView& a, const float* b,
+                            const float* bias, float* c,
+                            std::int64_t row_begin, std::int64_t row_end,
+                            std::int64_t k, std::int64_t n) {
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return;
+  std::vector<float> a_block(static_cast<std::size_t>(rows * k));
+  decode_elems_avx512(a, row_begin * k, rows * k, a_block.data());
+  gemm_rows_avx512(a_block.data(), b, bias, c + row_begin * n, 0, rows, k, n);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM with a coded B^T operand (linear/attention layout).  Per 16-column
+// panel the 16 coded B rows are LUT-expanded once, then every A row of
+// the block sweeps them with the exact double-lane accumulation.
+
+void gemm_codes_nt_float_avx512(const float* a, const PackedCodesView& b,
+                                const float* bias, float* c,
+                                std::int64_t row_begin, std::int64_t row_end,
+                                std::int64_t k, std::int64_t n) {
+  const std::int64_t full_cols = n - (n % 16);
+  if (full_cols > 0 && row_end > row_begin) {
+    std::vector<float> rows16(static_cast<std::size_t>(k) * 16);
+    for (std::int64_t j = 0; j < full_cols; j += 16) {
+      const float* br[16];
+      for (int r = 0; r < 16; ++r) {
+        decode_elems_avx512(b, (j + r) * k, k, rows16.data() + r * k);
+        br[r] = rows16.data() + r * k;
+      }
+      for (std::int64_t i = row_begin; i < row_end; ++i) {
+        const float* arow = a + i * k;
+        __m512d acc0;
+        __m512d acc1;
+        if (bias != nullptr) {
+          acc0 = _mm512_cvtps_pd(_mm256_loadu_ps(bias + j));
+          acc1 = _mm512_cvtps_pd(_mm256_loadu_ps(bias + j + 8));
+        } else {
+          acc0 = _mm512_setzero_pd();
+          acc1 = _mm512_setzero_pd();
+        }
+        for (std::int64_t p = 0; p < k; ++p) {
+          const double av = arow[p];
+          if (av == 0.0) continue;
+          const __m256 f0 =
+              _mm256_setr_ps(br[0][p], br[1][p], br[2][p], br[3][p], br[4][p],
+                             br[5][p], br[6][p], br[7][p]);
+          const __m256 f1 =
+              _mm256_setr_ps(br[8][p], br[9][p], br[10][p], br[11][p],
+                             br[12][p], br[13][p], br[14][p], br[15][p]);
+          const __m512d avv = _mm512_set1_pd(av);
+          acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(avv, _mm512_cvtps_pd(f0)));
+          acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(avv, _mm512_cvtps_pd(f1)));
+        }
+        float* crow = c + i * n;
+        _mm256_storeu_ps(crow + j, _mm512_cvtpd_ps(acc0));
+        _mm256_storeu_ps(crow + j + 8, _mm512_cvtpd_ps(acc1));
+      }
+    }
+  }
+  if (full_cols < n) {
+    detail::gemm_codes_nt_ref_block(a, b, bias, c, row_begin, row_end,
+                                    full_cols, n, k, n);
+  }
+}
+
+bool gemm_codes_nt_rows_avx512(const float* a, const PackedCodesView& b,
+                               const float* bias, float* c,
+                               const ActEncode* ep, std::int64_t row_begin,
+                               std::int64_t row_end, std::int64_t k,
+                               std::int64_t n) {
+  if (ep == nullptr) {
+    gemm_codes_nt_float_avx512(a, b, bias, c, row_begin, row_end, k, n);
+    return true;
+  }
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return true;
+  float* const c_block = detail::fused_scratch(rows * n);
+  gemm_codes_nt_float_avx512(a + row_begin * k, b, bias, c_block, 0,
+                             rows, k, n);
+  return detail::encode_scratch_block(*ep, c_block, row_begin * n,
+                                  rows * n);
+}
+
+// ---------------------------------------------------------------------------
+// Both operands coded, conv layout.
+
+void gemm_codes_codes_rows_avx512(const PackedCodesView& a,
+                                  const PackedCodesView& b, const float* bias,
+                                  float* c, std::int64_t row_begin,
+                                  std::int64_t row_end, std::int64_t k,
+                                  std::int64_t n) {
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return;
+  std::vector<float> a_block(static_cast<std::size_t>(rows * k));
+  decode_elems_avx512(a, row_begin * k, rows * k, a_block.data());
+  const std::int64_t full_cols = n - (n % 16);
+  if (full_cols > 0) {
+    std::vector<float> panel(static_cast<std::size_t>(k) * 16);
+    float* cr = c + row_begin * n;
+    for (std::int64_t j = 0; j < full_cols; j += 16) {
+      for (std::int64_t p = 0; p < k; ++p) {
+        decode_elems_avx512(b, p * n + j, 16, panel.data() + p * 16);
+      }
+      std::int64_t i = 0;
+      for (; i + 4 <= rows; i += 4) {
+        gemm_micro<4>(a_block.data(), panel.data(), 16, bias, cr, i, j, k, n);
+      }
+      switch (rows - i) {
+        case 3: gemm_micro<3>(a_block.data(), panel.data(), 16, bias, cr, i, j, k, n); break;
+        case 2: gemm_micro<2>(a_block.data(), panel.data(), 16, bias, cr, i, j, k, n); break;
+        case 1: gemm_micro<1>(a_block.data(), panel.data(), 16, bias, cr, i, j, k, n); break;
+        default: break;
+      }
+    }
+  }
+  if (full_cols < n) {
+    detail::gemm_codes_codes_ref_block(a, b, bias, c, row_begin, row_end,
+                                       full_cols, n, k, n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Both operands coded, linear layout, optional fused encode epilogue —
+// same staging discipline as the AVX2 table: only codes leave the kernel
+// when an epilogue is attached.
+
+bool gemm_codes_codes_nt_rows_avx512(const PackedCodesView& a,
+                                     const PackedCodesView& b,
+                                     const float* bias, float* c,
+                                     const ActEncode* ep,
+                                     std::int64_t row_begin,
+                                     std::int64_t row_end, std::int64_t k,
+                                     std::int64_t n) {
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return true;
+  std::vector<float> a_block(static_cast<std::size_t>(rows * k));
+  decode_elems_avx512(a, row_begin * k, rows * k, a_block.data());
+  if (ep == nullptr) {
+    gemm_codes_nt_float_avx512(a_block.data(), b, bias, c + row_begin * n, 0,
+                               rows, k, n);
+    return true;
+  }
+  float* const c_block = detail::fused_scratch(rows * n);
+  gemm_codes_nt_float_avx512(a_block.data(), b, bias, c_block, 0, rows,
+                             k, n);
+  return detail::encode_scratch_block(*ep, c_block, row_begin * n,
+                                  rows * n);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM against B^T ([n, k] row-major): 16 output columns per step, each
+// column's dot product in its own double lane.
+
+void gemm_nt_rows_avx512(const float* a, const float* b, const float* bias,
+                         float* c, std::int64_t row_begin,
+                         std::int64_t row_end, std::int64_t k,
+                         std::int64_t n) {
+  const std::int64_t full_cols = n - (n % 16);
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < full_cols; j += 16) {
+      const float* br[16];
+      for (int r = 0; r < 16; ++r) br[r] = b + (j + r) * k;
+      __m512d acc0;
+      __m512d acc1;
+      if (bias != nullptr) {
+        acc0 = _mm512_cvtps_pd(_mm256_loadu_ps(bias + j));
+        acc1 = _mm512_cvtps_pd(_mm256_loadu_ps(bias + j + 8));
+      } else {
+        acc0 = _mm512_setzero_pd();
+        acc1 = _mm512_setzero_pd();
+      }
+      for (std::int64_t p = 0; p < k; ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        const __m256 f0 =
+            _mm256_setr_ps(br[0][p], br[1][p], br[2][p], br[3][p], br[4][p],
+                           br[5][p], br[6][p], br[7][p]);
+        const __m256 f1 =
+            _mm256_setr_ps(br[8][p], br[9][p], br[10][p], br[11][p],
+                           br[12][p], br[13][p], br[14][p], br[15][p]);
+        const __m512d avv = _mm512_set1_pd(av);
+        acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(avv, _mm512_cvtps_pd(f0)));
+        acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(avv, _mm512_cvtps_pd(f1)));
+      }
+      _mm256_storeu_ps(crow + j, _mm512_cvtpd_ps(acc0));
+      _mm256_storeu_ps(crow + j + 8, _mm512_cvtpd_ps(acc1));
+    }
+    if (full_cols < n) {
+      detail::gemm_nt_ref_block(a, b, bias, c, i, i + 1, full_cols, n, k, n);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantization: SIMD ordered-key computation + branchless boundary count.
+
+/// Count keys <= key inside the bucket, 16 at a time.  AVX-512 compares
+/// unsigned dwords natively (no sign-bias xor) and returns a lane mask,
+/// so the count is a single popcount per step.  Returns the same index
+/// as the reference scan for every key by construction.
+std::size_t lookup_count(const QuantIndexView& v, std::uint32_t key) {
+  const std::uint32_t b = key >> (32 - v.bucket_bits);
+  const std::uint32_t lo = v.bucket_lo[b];
+  const std::uint32_t hi = v.bucket_lo[b + 1];
+  std::uint32_t t = lo;
+  std::size_t count = 0;
+  const __m512i kv = _mm512_set1_epi32(static_cast<int>(key));
+  for (; t + 16 <= hi; t += 16) {
+    const __m512i ks = _mm512_loadu_si512(v.keys + t);
+    const __mmask16 le = _mm512_cmp_epu32_mask(ks, kv, _MM_CMPINT_LE);
+    count += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(le)));
+  }
+  for (; t < hi; ++t) count += (v.keys[t] <= key) ? 1U : 0U;
+  return lo + count;
+}
+
+void nearest_indices_avx512(const QuantIndexView& v, const float* xs,
+                            std::uint32_t* out, std::size_t n) {
+  const __m512i sign = _mm512_set1_epi32(static_cast<int>(0x80000000U));
+  const __m512i expm = _mm512_set1_epi32(0x7F800000);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i bits = _mm512_loadu_si512(xs + i);
+    // ordered_key, vectorized: negatives (sign-propagating shift gives an
+    // all-ones mask) flip entirely, positives set the sign bit.
+    const __m512i neg = _mm512_srai_epi32(bits, 31);
+    const __m512i key = _mm512_or_epi32(_mm512_xor_epi32(bits, neg),
+                                        _mm512_andnot_epi32(neg, sign));
+    const __mmask16 bad =
+        _mm512_cmpeq_epi32_mask(_mm512_and_epi32(bits, expm), expm);
+    alignas(64) std::uint32_t keys[16];
+    _mm512_store_si512(keys, key);
+    for (int l = 0; l < 16; ++l) {
+      out[i + static_cast<std::size_t>(l)] =
+          ((bad >> l) & 1U) != 0
+              ? kInvalidIndex
+              : static_cast<std::uint32_t>(lookup_count(v, keys[l]));
+    }
+  }
+  for (; i < n; ++i) {
+    const auto bits = std::bit_cast<std::uint32_t>(xs[i]);
+    out[i] = quant::is_finite_bits(bits)
+                 ? static_cast<std::uint32_t>(
+                       lookup_count(v, quant::ordered_key(bits)))
+                 : kInvalidIndex;
+  }
+}
+
+double quantize_chunk_avx512(const QuantIndexView& v, float* xs,
+                             std::size_t n) {
+  // Two passes per block: SIMD index computation, then the shared scalar
+  // apply pass continuing one element-order error accumulator — the same
+  // addition sequence as the single-pass scalar kernel.
+  constexpr std::size_t kBlock = 512;
+  std::uint32_t idx[kBlock];
+  double se = 0.0;
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t len = std::min(kBlock, n - base);
+    nearest_indices_avx512(v, xs + base, idx, len);
+    detail::quantize_apply(v, xs + base, idx, len, se);
+  }
+  return se;
+}
+
+}  // namespace
+
+// Referenced by dispatch.cpp (only when LOGPOSIT_HAVE_AVX512 is defined).
+const KernelTable* avx512_kernels_impl() {
+  static constexpr KernelTable kTable{"avx512",
+                                      gemm_rows_avx512,
+                                      gemm_nt_rows_avx512,
+                                      gemm_codes_rows_avx512,
+                                      gemm_codes_nt_rows_avx512,
+                                      gemm_codes_codes_rows_avx512,
+                                      gemm_codes_codes_nt_rows_avx512,
+                                      quantize_chunk_avx512,
+                                      nearest_indices_avx512};
+  return &kTable;
+}
+
+}  // namespace lp::kernels
+
+#endif  // AVX512F && AVX512BW && AVX512VL

@@ -63,12 +63,35 @@ void gemm_codes_codes_ref_block(const PackedCodesView& a,
 /// and the conv scatter in tensor/ops.cpp — shares one compiled encoder.
 bool encode_elem(const ActEncode& ep, float v, std::int64_t e);
 
-/// Fused epilogue over a finished row block: encode_elem for src[0..count)
-/// landing at output elements [elem_begin, elem_begin + count).  Returns
-/// false when any element failed to encode (the rest still encode, but the
-/// caller discards the stream and re-runs the edge in float).
+/// Fused epilogue over a finished row block: apply ep.act to src[0..count)
+/// (staged in thread-local scratch), batch the nearest-index search
+/// through the dispatched SIMD kernel — every table's search is pinned
+/// bit-identical, so the choice affects throughput, never codes — and
+/// write codes at output elements [elem_begin, elem_begin + count).
+/// Returns false when any element was non-finite (the rest still encode,
+/// but the caller discards the stream and re-runs the edge in float).
+/// Element-for-element identical to encode_elem over src.
 bool encode_row_block(const ActEncode& ep, const float* src,
                       std::int64_t elem_begin, std::int64_t count);
+
+/// encode_row_block for callers that own `scratch` (the fused GEMM
+/// wrappers): applies ep.act in place, skipping the staging copy.
+bool encode_scratch_block(const ActEncode& ep, float* scratch,
+                          std::int64_t elem_begin, std::int64_t count);
+
+/// encode_scratch_block for strided destinations (the conv scatter):
+/// scratch[0..count) encodes as count/run runs of `run` codes, run r
+/// landing at elements [e0 + r*stride, e0 + r*stride + run).  One act +
+/// nearest-index batch covers the whole block; only the code writes jump.
+bool encode_strided_block(const ActEncode& ep, float* scratch,
+                          std::int64_t count, std::int64_t e0,
+                          std::int64_t stride, std::int64_t run);
+
+/// Thread-local float scratch sized for a fused row block — the GEMM
+/// writes every element before the epilogue reads it, so the buffer is
+/// deliberately not zeroed (a per-call std::vector would memset the whole
+/// block).  Valid until the next call on the same thread.
+[[nodiscard]] float* fused_scratch(std::int64_t count);
 
 /// Reference boundary search: index of the nearest table value for an
 /// ordered key (bucket jump + short scan / upper_bound).  Any search that

@@ -1,0 +1,125 @@
+// PLAM-style log-domain approximate-multiply kernels (LP_APPROX=plam).
+//
+// PLAM observes that a posit/LP multiply is an *add* in the log domain:
+// treating the fraction field as the fractional part of log2 makes
+// log2(2^e (1+f)) ~= e + f (Mitchell's approximation), so the product of
+// two decoded operands is reconstructed from the integer+fraction sum
+// without a mantissa multiplier.  The approximation always underestimates
+// the magnitude; the worst case is fx = fy = 0.5 where
+// (1+fx)(1+fy) / (1+fx+fy) = 2.25/2 gives a relative error of 1/9.
+// kPlamMaxRelError (kernels.h) pins that bound with a small margin.
+//
+// PDPU discipline for the dot product: every approximate product is
+// accumulated *exactly* in a double accumulator in ascending-k order and
+// rounded to float once at the end — the fused dot-product unit
+// approximates multiplies, not the accumulation.  The per-element error
+// bound therefore composes linearly: |err(dot)| <= kPlamMaxRelError *
+// sum_k |a_k * b_k|, which is what the regression test checks.
+//
+// Scope: the two coded-B^T GEMM entries only (linear / attention /
+// patch-merge layers).  Convolution stays exact — its GroupGemm layout
+// never routes through these entry points — and non-finite operands fall
+// back to the exact product so inf/NaN semantics match the exact path.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/kernels_internal.h"
+
+namespace lp::kernels::plam {
+
+double mitchell_mul(double x, double y) {
+  if (x == 0.0 || y == 0.0 || !std::isfinite(x) || !std::isfinite(y)) {
+    // Exact fallback: zeros keep their sign algebra, non-finite operands
+    // keep IEEE semantics (inf * 0 = NaN, etc.) identical to the exact
+    // kernels.
+    return x * y;
+  }
+  int ex = 0;
+  int ey = 0;
+  const double mx = std::frexp(std::fabs(x), &ex);  // mx in [0.5, 1)
+  const double my = std::frexp(std::fabs(y), &ey);
+  // x = 2^(ex-1) * (1 + fx) with fx = 2*mx - 1 in [0, 1).
+  double f = (2.0 * mx - 1.0) + (2.0 * my - 1.0);
+  int e = (ex - 1) + (ey - 1);
+  if (f >= 1.0) {  // carry out of the fraction field
+    f -= 1.0;
+    ++e;
+  }
+  const double mag = std::ldexp(1.0 + f, e);
+  return (std::signbit(x) != std::signbit(y)) ? -mag : mag;
+}
+
+namespace {
+
+// Mirrors the scalar gemm_codes_nt_float loop structure (decode each
+// coded B row once, j outer / i inner) with mitchell_mul in place of the
+// IEEE multiply.  The zero-skip predicate is kept so an inf or NaN under
+// a structural zero never reaches the accumulator, exactly as in the
+// exact kernels.
+void gemm_codes_nt_float_plam(const float* a, const PackedCodesView& b,
+                              const float* bias, float* c,
+                              std::int64_t row_begin, std::int64_t row_end,
+                              std::int64_t k, std::int64_t n) {
+  std::vector<float> brow(static_cast<std::size_t>(k));
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      brow[static_cast<std::size_t>(p)] = packed_decode_at(b, j * k + p);
+    }
+    for (std::int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a + i * k;
+      double s = (bias != nullptr) ? bias[j] : 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        s += mitchell_mul(av, brow[static_cast<std::size_t>(p)]);
+      }
+      c[i * n + j] = static_cast<float>(s);
+    }
+  }
+}
+
+}  // namespace
+
+bool gemm_codes_nt_rows(const float* a, const PackedCodesView& b,
+                        const float* bias, float* c, const ActEncode* ep,
+                        std::int64_t row_begin, std::int64_t row_end,
+                        std::int64_t k, std::int64_t n) {
+  if (ep == nullptr) {
+    gemm_codes_nt_float_plam(a, b, bias, c, row_begin, row_end, k, n);
+    return true;
+  }
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return true;
+  float* const c_block = detail::fused_scratch(rows * n);
+  gemm_codes_nt_float_plam(a + row_begin * k, b, bias, c_block, 0, rows,
+                           k, n);
+  return detail::encode_scratch_block(*ep, c_block, row_begin * n,
+                                  rows * n);
+}
+
+bool gemm_codes_codes_nt_rows(const PackedCodesView& a,
+                              const PackedCodesView& b, const float* bias,
+                              float* c, const ActEncode* ep,
+                              std::int64_t row_begin, std::int64_t row_end,
+                              std::int64_t k, std::int64_t n) {
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return true;
+  std::vector<float> a_block(static_cast<std::size_t>(rows * k));
+  for (std::int64_t t = 0; t < rows * k; ++t) {
+    a_block[static_cast<std::size_t>(t)] =
+        packed_decode_at(a, row_begin * k + t);
+  }
+  if (ep == nullptr) {
+    gemm_codes_nt_float_plam(a_block.data(), b, bias, c + row_begin * n, 0,
+                             rows, k, n);
+    return true;
+  }
+  float* const c_block = detail::fused_scratch(rows * n);
+  gemm_codes_nt_float_plam(a_block.data(), b, bias, c_block, 0, rows, k,
+                           n);
+  return detail::encode_scratch_block(*ep, c_block, row_begin * n,
+                                  rows * n);
+}
+
+}  // namespace lp::kernels::plam

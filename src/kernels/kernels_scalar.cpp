@@ -157,13 +157,105 @@ bool encode_elem(const ActEncode& ep, float v, std::int64_t e) {
   return true;
 }
 
-bool encode_row_block(const ActEncode& ep, const float* src,
-                      std::int64_t elem_begin, std::int64_t count) {
+namespace {
+
+// act_eval with the selector hoisted out of the loop: a compile-time act
+// folds the switch away, so the relu/relu6 cases vectorize instead of
+// re-dispatching per element (same float ops, so same bits either way).
+template <int A>
+void act_apply(const float* src, float* dst, std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    dst[i] = act_eval(src[i], A);
+  }
+}
+
+void act_apply_dyn(int act, const float* src, float* dst,
+                   std::int64_t count) {
+  switch (act) {
+    case kActRelu: act_apply<kActRelu>(src, dst, count); return;
+    case kActRelu6: act_apply<kActRelu6>(src, dst, count); return;
+    case kActGelu: act_apply<kActGelu>(src, dst, count); return;
+    default: act_apply<kActNone>(src, dst, count); return;
+  }
+}
+
+// Batched tail of the fused epilogue: nearest-index search over the
+// already-activated values through the dispatched table — every table's
+// search is pinned bit-identical, so this is a pure throughput choice —
+// then code writes.  Pool workers are persistent, so thread_local scratch
+// amortizes the index-buffer allocation.
+const std::uint32_t* activated_indices(const ActEncode& ep, const float* xs,
+                                       std::int64_t count) {
+  thread_local std::vector<std::uint32_t> idx;
+  idx.resize(static_cast<std::size_t>(count));
+  dispatch().nearest_indices(ep.qidx, xs, idx.data(),
+                             static_cast<std::size_t>(count));
+  return idx.data();
+}
+
+bool write_codes(const ActEncode& ep, const std::uint32_t* idx,
+                 std::int64_t elem_begin, std::int64_t count) {
   bool ok = true;
   for (std::int64_t i = 0; i < count; ++i) {
-    ok = encode_elem(ep, src[i], elem_begin + i) && ok;
+    const std::uint32_t ix = idx[i];
+    if (ix == kInvalidIndex) {
+      ok = false;  // non-finite: no code, matching encode_elem
+      continue;
+    }
+    packed_code_write(ep.codes, ep.bits, elem_begin + i, ix);
   }
   return ok;
+}
+
+bool encode_activated_block(const ActEncode& ep, const float* xs,
+                            std::int64_t elem_begin, std::int64_t count) {
+  return write_codes(ep, activated_indices(ep, xs, count), elem_begin, count);
+}
+
+}  // namespace
+
+bool encode_row_block(const ActEncode& ep, const float* src,
+                      std::int64_t elem_begin, std::int64_t count) {
+  // src may be a caller's live tensor, not scratch (encode_acts passes
+  // one), so the activated values stage in thread-local scratch.
+  const float* xs = src;
+  if (ep.act != kActNone) {
+    thread_local std::vector<float> act_buf;
+    act_buf.resize(static_cast<std::size_t>(count));
+    act_apply_dyn(ep.act, src, act_buf.data(), count);
+    xs = act_buf.data();
+  }
+  return encode_activated_block(ep, xs, elem_begin, count);
+}
+
+bool encode_scratch_block(const ActEncode& ep, float* scratch,
+                          std::int64_t elem_begin, std::int64_t count) {
+  if (ep.act != kActNone) {
+    act_apply_dyn(ep.act, scratch, scratch, count);
+  }
+  return encode_activated_block(ep, scratch, elem_begin, count);
+}
+
+bool encode_strided_block(const ActEncode& ep, float* scratch,
+                          std::int64_t count, std::int64_t e0,
+                          std::int64_t stride, std::int64_t run) {
+  if (ep.act != kActNone) {
+    act_apply_dyn(ep.act, scratch, scratch, count);
+  }
+  const std::uint32_t* idx = activated_indices(ep, scratch, count);
+  bool ok = true;
+  for (std::int64_t r = 0; r * run < count; ++r) {
+    ok = write_codes(ep, idx + r * run, e0 + r * stride, run) && ok;
+  }
+  return ok;
+}
+
+float* fused_scratch(std::int64_t count) {
+  thread_local std::vector<float> buf;
+  if (static_cast<std::int64_t>(buf.size()) < count) {
+    buf.resize(static_cast<std::size_t>(count));
+  }
+  return buf.data();
 }
 
 std::size_t qindex_lookup(const QuantIndexView& v, std::uint32_t key) {
@@ -224,10 +316,10 @@ void gemm_codes_rows_scalar(const PackedCodesView& a, const float* b,
   detail::gemm_codes_ref_block(a, b, bias, c, row_begin, row_end, 0, n, k, n);
 }
 
-void gemm_codes_nt_rows_scalar(const float* a, const PackedCodesView& b,
-                               const float* bias, float* c,
-                               std::int64_t row_begin, std::int64_t row_end,
-                               std::int64_t k, std::int64_t n) {
+void gemm_codes_nt_float(const float* a, const PackedCodesView& b,
+                         const float* bias, float* c, std::int64_t row_begin,
+                         std::int64_t row_end, std::int64_t k,
+                         std::int64_t n) {
   // Decode each coded B row once and sweep every A row over it (j outer,
   // i inner) — the reference block's i-outer order would re-decode row j
   // per output row.  Each c[i,j] is an independent dot product with the
@@ -248,6 +340,27 @@ void gemm_codes_nt_rows_scalar(const float* a, const PackedCodesView& b,
       c[i * n + j] = static_cast<float>(s);
     }
   }
+}
+
+bool gemm_codes_nt_rows_scalar(const float* a, const PackedCodesView& b,
+                               const float* bias, float* c,
+                               const ActEncode* ep, std::int64_t row_begin,
+                               std::int64_t row_end, std::int64_t k,
+                               std::int64_t n) {
+  if (ep == nullptr) {
+    gemm_codes_nt_float(a, b, bias, c, row_begin, row_end, k, n);
+    return true;
+  }
+  const std::int64_t rows = row_end - row_begin;
+  if (rows <= 0) return true;
+  // Fused epilogue: stage the finished float rows in kernel-local scratch
+  // (the values are exactly what the unfused path's tensor would hold),
+  // then act + encode each element — only codes leave the kernel.
+  float* const c_block = detail::fused_scratch(rows * n);
+  gemm_codes_nt_float(a + row_begin * k, b, bias, c_block, 0, rows, k,
+                      n);
+  return detail::encode_scratch_block(*ep, c_block, row_begin * n,
+                                  rows * n);
 }
 
 void gemm_codes_codes_rows_scalar(const PackedCodesView& a,
@@ -278,14 +391,13 @@ bool gemm_codes_codes_nt_rows_scalar(const PackedCodesView& a,
         packed_decode_at(a, row_begin * k + t);
   }
   if (ep == nullptr) {
-    gemm_codes_nt_rows_scalar(a_block.data(), b, bias, c + row_begin * n, 0,
-                              rows, k, n);
+    gemm_codes_nt_float(a_block.data(), b, bias, c + row_begin * n, 0, rows, k,
+                        n);
     return true;
   }
-  std::vector<float> c_block(static_cast<std::size_t>(rows * n));
-  gemm_codes_nt_rows_scalar(a_block.data(), b, bias, c_block.data(), 0, rows,
-                            k, n);
-  return detail::encode_row_block(*ep, c_block.data(), row_begin * n,
+  float* const c_block = detail::fused_scratch(rows * n);
+  gemm_codes_nt_float(a_block.data(), b, bias, c_block, 0, rows, k, n);
+  return detail::encode_scratch_block(*ep, c_block, row_begin * n,
                                   rows * n);
 }
 

@@ -138,7 +138,7 @@ ForwardResult Model::forward_with_weights(
     const Tensor& input, std::span<const Tensor* const> weights,
     std::span<const PackedCodes* const> codes, const QuantSpec& act_spec,
     std::span<const ActCoding> act_coding, ActTraffic* act_traffic,
-    bool capture_pooled) const {
+    bool capture_pooled, const ExecOpts& opts) const {
   LP_CHECK_MSG(finalized_, "call finalize() first");
   LP_CHECK(weights.size() == slots_.size());
   LP_CHECK(codes.size() == slots_.size());
@@ -150,6 +150,8 @@ ForwardResult Model::forward_with_weights(
   ctx.quant = &act_spec;
   ctx.act_coding = act_coding;
   ctx.act_traffic = act_traffic;
+  ctx.approx = opts.approx;
+  ctx.fuse = opts.fuse;
   return run(input, ctx, capture_pooled);
 }
 

@@ -11,6 +11,15 @@
 
 namespace lp::nn {
 
+/// Execution options for the coded-datapath forward variants: multiply
+/// semantics (exact vs the opt-in PLAM log-domain approximation) and
+/// whether float-in coded-out layers fuse GEMM→bias→act→encode into one
+/// kernel pass (fuse=false reproduces the unfused activation flow).
+struct ExecOpts {
+  kernels::ApproxMode approx = kernels::ApproxMode::kExact;
+  bool fuse = true;
+};
+
 /// Result of a forward pass.
 struct ForwardResult {
   Tensor logits;  ///< output of the final node, [B, classes]
@@ -74,12 +83,13 @@ class Model {
   /// logits are bit-identical to the packed-code variant above.
   /// `act_coding` must be empty or slot-sized; `act_traffic` (optional)
   /// accumulates the activation bytes each weighted node produced.
-  /// Requesting pooled capture forces every edge back to float.
+  /// Requesting pooled capture forces every edge back to float.  `opts`
+  /// selects multiply semantics and float-in fusion (see ExecOpts).
   [[nodiscard]] ForwardResult forward_with_weights(
       const Tensor& input, std::span<const Tensor* const> weights,
       std::span<const PackedCodes* const> codes, const QuantSpec& act_spec,
       std::span<const ActCoding> act_coding, ActTraffic* act_traffic,
-      bool capture_pooled = false) const;
+      bool capture_pooled = false, const ExecOpts& opts = {}) const;
 
   /// Record the GEMM workload list for one example input (batch included
   /// in the N dimensions).

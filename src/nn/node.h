@@ -149,6 +149,17 @@ struct RunCtx {
   /// When non-null, weighted nodes account the activation bytes they
   /// produced (coded or float).
   ActTraffic* act_traffic = nullptr;
+  /// Multiply semantics for the coded-B^T GEMMs (linear / attention /
+  /// patch-merge): kExact is the bit-identical IEEE path, kPlam the
+  /// opt-in log-domain approximate multiply.  Convolution always runs
+  /// exact (its GroupGemm layout has no approximate kernel).
+  kernels::ApproxMode approx = kernels::ApproxMode::kExact;
+  /// When true, weighted nodes with coded weights and a coded output
+  /// spec fuse GEMM→bias→act→encode in one kernel pass even when their
+  /// *input* arrives as floats (the both-coded fusion is always on).
+  /// Off reproduces the pre-fusion activation flow: finish the float
+  /// block, then encode through encode_acts.
+  bool fuse = true;
 
   /// Resolve the weight tensor for a slot.
   [[nodiscard]] const Tensor& weight(int slot, const Tensor& fp) const {

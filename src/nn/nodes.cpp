@@ -183,6 +183,19 @@ NodeValue Conv2dNode::run(std::span<const NodeValue* const> x,
       return NodeValue(std::move(*out));
     }
   }
+  // Float input (or a LUT without a padding zero), coded weights, coded
+  // output: fuse bias+act+encode into the conv scatter so the output
+  // skips the float round-trip even though the input arrived dense.
+  if (codes != nullptr && !(icodes != nullptr && zc >= 0) &&
+      coding != nullptr && ctx.fuse) {
+    auto out = conv2d_codes_enc(
+        in.dense(), *codes, bias, spec_,
+        {coding->qidx->view(), coding->lut, coding->bits, act_kernel(act_)});
+    if (out.has_value()) {
+      count_coded(ctx, *out);
+      return NodeValue(std::move(*out));
+    }
+  }
   Tensor out;
   if (codes != nullptr && icodes != nullptr && zc >= 0) {
     out = conv2d_codes_codes(*icodes, *codes, bias, spec_,
@@ -227,7 +240,24 @@ NodeValue LinearNode::run(std::span<const NodeValue* const> x,
   if (codes != nullptr && icodes != nullptr && coding != nullptr) {
     auto out = matmul_nt_codes_codes_enc(
         *icodes, *codes, bias,
-        {coding->qidx->view(), coding->lut, coding->bits, act_kernel(act_)});
+        {coding->qidx->view(), coding->lut, coding->bits, act_kernel(act_)},
+        ctx.approx);
+    if (out.has_value()) {
+      if (ish.size() == 3) out->reshape({ish[0], ish[1], w.dim(0)});
+      count_coded(ctx, *out);
+      return NodeValue(std::move(*out));
+    }
+  }
+  // Float input, coded weights, coded output: fuse GEMM→bias→act→encode
+  // in one kernel pass — the layer's activations never exist as a float
+  // tensor even though its input arrived dense.
+  if (codes != nullptr && icodes == nullptr && coding != nullptr && ctx.fuse) {
+    const Tensor& d = in.dense();
+    const Tensor in2 = (ish.size() == 3) ? d.reshaped({rows, ish[2]}) : d;
+    auto out = matmul_nt_codes_enc(
+        in2, *codes, bias,
+        {coding->qidx->view(), coding->lut, coding->bits, act_kernel(act_)},
+        ctx.approx);
     if (out.has_value()) {
       if (ish.size() == 3) out->reshape({ish[0], ish[1], w.dim(0)});
       count_coded(ctx, *out);
@@ -236,12 +266,12 @@ NodeValue LinearNode::run(std::span<const NodeValue* const> x,
   }
   Tensor out;
   if (codes != nullptr && icodes != nullptr) {
-    out = matmul_nt_codes_codes(*icodes, *codes, bias);
+    out = matmul_nt_codes_codes(*icodes, *codes, bias, ctx.approx);
   } else {
     const Tensor& d = in.dense();
     const Tensor in2 =
         (ish.size() == 3) ? d.reshaped({rows, ish[2]}) : d;
-    out = codes != nullptr ? matmul_nt_codes(in2, *codes, bias)
+    out = codes != nullptr ? matmul_nt_codes(in2, *codes, bias, ctx.approx)
                            : matmul_nt(in2, w, bias);
   }
   if (ish.size() == 3) out = out.reshaped({ish[0], ish[1], w.dim(0)});
@@ -289,9 +319,9 @@ Tensor AttentionNode::attend(const Tensor& tokens, const RunCtx& ctx) const {
     }
     const Tensor* bias = sl.bias.empty() ? nullptr : &sl.bias;
     const PackedCodes* codes = ctx.weight_codes(s0 + i);
-    qkv[static_cast<std::size_t>(i)] = codes != nullptr
-                                           ? matmul_nt_codes(flat, *codes, bias)
-                                           : matmul_nt(flat, w, bias);
+    qkv[static_cast<std::size_t>(i)] =
+        codes != nullptr ? matmul_nt_codes(flat, *codes, bias, ctx.approx)
+                         : matmul_nt(flat, w, bias);
     quantize_activations(qkv[static_cast<std::size_t>(i)],
                          ctx.act_format(s0 + i));
   }
@@ -336,8 +366,9 @@ Tensor AttentionNode::attend(const Tensor& tokens, const RunCtx& ctx) const {
   }
   const Tensor* obias = so.bias.empty() ? nullptr : &so.bias;
   const PackedCodes* ocodes = ctx.weight_codes(s0 + 3);
-  Tensor out = ocodes != nullptr ? matmul_nt_codes(concat, *ocodes, obias)
-                                 : matmul_nt(concat, wo, obias);
+  Tensor out = ocodes != nullptr
+                   ? matmul_nt_codes(concat, *ocodes, obias, ctx.approx)
+                   : matmul_nt(concat, wo, obias);
   quantize_activations(out, ctx.act_format(s0 + 3));
   return out.reshaped({b, t, d});
 }
@@ -562,8 +593,22 @@ NodeValue PatchMergeNode::run(std::span<const NodeValue* const> x,
   const Tensor* bias = slot_.bias.empty() ? nullptr : &slot_.bias;
   const PackedCodes* codes = ctx.weight_codes(s);
   const ActCoding* coding = out_coding(ctx, s);
-  Tensor out = codes != nullptr ? matmul_nt_codes(gathered, *codes, bias)
-                                : matmul_nt(gathered, w, bias);
+  // Coded weights + coded output: fuse GEMM→bias→encode (patch merge has
+  // no nonlinearity) so the merged tokens leave only as codes.
+  if (codes != nullptr && coding != nullptr && ctx.fuse) {
+    auto enc = matmul_nt_codes_enc(gathered, *codes, bias,
+                                   {coding->qidx->view(), coding->lut,
+                                    coding->bits, kernels::kActNone},
+                                   ctx.approx);
+    if (enc.has_value()) {
+      enc->reshape({b, oh * ow, w.dim(0)});
+      count_coded(ctx, *enc);
+      return NodeValue(std::move(*enc));
+    }
+  }
+  Tensor out = codes != nullptr
+                   ? matmul_nt_codes(gathered, *codes, bias, ctx.approx)
+                   : matmul_nt(gathered, w, bias);
   if (coding != nullptr) {
     auto enc = encode_acts(out, {coding->qidx->view(), coding->lut,
                                  coding->bits, kernels::kActNone});

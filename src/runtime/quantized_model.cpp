@@ -7,7 +7,7 @@ nn::ForwardResult QuantizedModel::run(const Tensor& input, bool capture_pooled,
   LP_CHECK_MSG(model_ != nullptr, "empty QuantizedModel");
   return model_->forward_with_weights(input, weight_ptrs_, code_ptrs_,
                                       act_spec_, act_coding_, act_traffic,
-                                      capture_pooled);
+                                      capture_pooled, exec_);
 }
 
 std::vector<nn::LayerWorkload> QuantizedModel::trace_workloads(

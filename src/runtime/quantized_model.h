@@ -77,6 +77,9 @@ class QuantizedModel {
   [[nodiscard]] std::span<const nn::ActCoding> act_coding() const {
     return act_coding_;
   }
+  /// Execution options the session stamped into this snapshot (multiply
+  /// semantics and float-in fusion — see nn::ExecOpts).
+  [[nodiscard]] const nn::ExecOpts& exec_opts() const { return exec_; }
 
  private:
   friend class InferenceSession;
@@ -92,6 +95,7 @@ class QuantizedModel {
   /// Per-slot coded-activation specs; the shared_ptr LUT inside each entry
   /// keeps the cache's activation decode tables alive for this snapshot.
   std::vector<nn::ActCoding> act_coding_;
+  nn::ExecOpts exec_;  ///< stamped from SessionOptions at assembly
 };
 
 }  // namespace lp::runtime

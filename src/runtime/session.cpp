@@ -163,6 +163,7 @@ QuantizedModel InferenceSession::assemble(std::span<const LPConfig> weight_cfgs,
   qm.act_spec_.resize(n);
   const bool coded_acts = opts_.coded_activations && !act_cfgs.empty();
   if (coded_acts) qm.act_coding_.resize(n);
+  qm.exec_ = nn::ExecOpts{opts_.approx, opts_.fuse};
   for (std::size_t s = 0; s < n; ++s) {
     // get() (not find()) so assembly stamps format recency for the
     // generational sweep; this phase is serial, so stamping is safe.

@@ -65,6 +65,14 @@ struct SessionOptions {
   /// float path; edges whose activation format has no enumerable code
   /// table fall back to float per-edge).  Off = every edge stays float.
   bool coded_activations = true;
+  /// Multiply semantics for the coded-B^T GEMMs in every snapshot this
+  /// session assembles.  Defaults to the LP_APPROX env selection (exact
+  /// unless LP_APPROX=plam) so serving processes opt in without a rebuild.
+  kernels::ApproxMode approx = kernels::approx_mode();
+  /// Fuse GEMM→bias→act→encode for float-in coded-out layers (the
+  /// both-coded fusion is always on).  Off reproduces the unfused flow —
+  /// the A/B lever bench_micro's ForwardFused counters measure.
+  bool fuse = true;
 };
 
 class InferenceSession {

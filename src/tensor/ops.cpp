@@ -84,24 +84,14 @@ void gemm_codes_codes_parallel(const kernels::PackedCodesView& a,
                  });
 }
 
-/// Row-parallel both-coded nt GEMM with the optional fused encode
-/// epilogue.  Returns false when any row block reported a non-finite
-/// output (all blocks still run; the caller discards the stream).  Same
-/// decode-amortizing grain as matmul_nt_codes: the nt kernels expand the
-/// whole B operand per row-block call.
-bool gemm_codes_codes_nt_parallel(const kernels::PackedCodesView& a,
-                                  const kernels::PackedCodesView& b,
-                                  const float* bias, float* c,
-                                  const kernels::ActEncode* ep, std::int64_t m,
-                                  std::int64_t k, std::int64_t n) {
-  const kernels::KernelTable& kt = kernels::dispatch();
-  std::atomic<bool> ok{true};
-  auto body = [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
-    if (!kt.gemm_codes_codes_nt_rows(a, b, bias, c, ep, row_begin, row_end, k,
-                                     n)) {
-      ok.store(false, std::memory_order_relaxed);
-    }
-  };
+/// Shared serial/parallel split for the coded-B^T GEMMs.  The nt kernels
+/// decode the whole B operand per row-block call (O(n*k)); a block must
+/// carry enough A rows to amortize that, or a short A split into one-row
+/// blocks pays the decode m times over.  Rows are independent, so
+/// coarsening the grain cannot affect results.
+void for_nt_row_blocks(
+    std::int64_t m, std::int64_t k, std::int64_t n,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& body) {
   constexpr std::int64_t kMinDecodeRows = 16;
   if (m * k * n < kGemmSerialBelow || m <= kMinDecodeRows) {
     body(0, m, 0);
@@ -111,6 +101,54 @@ bool gemm_codes_codes_nt_parallel(const kernels::PackedCodesView& a,
         std::max(balanced_grain(m, pool.thread_count()), kMinDecodeRows);
     parallel_for(pool, 0, m, grain, body);
   }
+}
+
+/// Row-parallel float-A × coded-B^T GEMM with the optional fused encode
+/// epilogue and multiply-semantics selection.  kExact routes through the
+/// dispatched table; kPlam routes through the scalar log-domain
+/// approximate kernel (see kernels_plam.cpp).  Returns false when any
+/// row block reported a non-finite output.
+bool gemm_codes_nt_parallel(const float* a, const kernels::PackedCodesView& b,
+                            const float* bias, float* c,
+                            const kernels::ActEncode* ep,
+                            kernels::ApproxMode approx, std::int64_t m,
+                            std::int64_t k, std::int64_t n) {
+  const kernels::GemmCodesNtRowsFn fn =
+      approx == kernels::ApproxMode::kPlam
+          ? &kernels::plam::gemm_codes_nt_rows
+          : kernels::dispatch().gemm_codes_nt_rows;
+  std::atomic<bool> ok{true};
+  auto body = [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
+    if (!fn(a, b, bias, c, ep, row_begin, row_end, k, n)) {
+      ok.store(false, std::memory_order_relaxed);
+    }
+  };
+  for_nt_row_blocks(m, k, n, body);
+  return ok.load(std::memory_order_relaxed);
+}
+
+/// Row-parallel both-coded nt GEMM with the optional fused encode
+/// epilogue.  Returns false when any row block reported a non-finite
+/// output (all blocks still run; the caller discards the stream).  Same
+/// decode-amortizing grain as matmul_nt_codes: the nt kernels expand the
+/// whole B operand per row-block call.
+bool gemm_codes_codes_nt_parallel(const kernels::PackedCodesView& a,
+                                  const kernels::PackedCodesView& b,
+                                  const float* bias, float* c,
+                                  const kernels::ActEncode* ep,
+                                  kernels::ApproxMode approx, std::int64_t m,
+                                  std::int64_t k, std::int64_t n) {
+  const kernels::GemmCodesCodesNtRowsFn fn =
+      approx == kernels::ApproxMode::kPlam
+          ? &kernels::plam::gemm_codes_codes_nt_rows
+          : kernels::dispatch().gemm_codes_codes_nt_rows;
+  std::atomic<bool> ok{true};
+  auto body = [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
+    if (!fn(a, b, bias, c, ep, row_begin, row_end, k, n)) {
+      ok.store(false, std::memory_order_relaxed);
+    }
+  };
+  for_nt_row_blocks(m, k, n, body);
   return ok.load(std::memory_order_relaxed);
 }
 
@@ -153,7 +191,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b, const Tensor* bias) {
 }
 
 Tensor matmul_nt_codes(const Tensor& a, const PackedCodes& b,
-                       const Tensor* bias) {
+                       const Tensor* bias, kernels::ApproxMode approx) {
   LP_CHECK(a.rank() == 2 && b.rank() == 2);
   LP_CHECK_MSG(a.dim(1) == b.dim(1), "matmul_nt_codes inner dims "
                                          << a.dim(1) << " vs " << b.dim(1));
@@ -162,31 +200,37 @@ Tensor matmul_nt_codes(const Tensor& a, const PackedCodes& b,
   const std::int64_t n = b.dim(0);
   if (bias != nullptr) LP_CHECK(bias->rank() == 1 && bias->dim(0) == n);
   Tensor c({m, n});
-  const kernels::KernelTable& kt = kernels::dispatch();
-  const kernels::PackedCodesView bv = b.view();
-  const float* bias_raw = bias != nullptr ? bias->raw() : nullptr;
-  auto body = [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
-    kt.gemm_codes_nt_rows(a.raw(), bv, bias_raw, c.raw(), row_begin, row_end,
-                          k, n);
-  };
-  // The coded-nt kernels decode the whole B operand per row-block call
-  // (O(n*k)); a block must carry enough A rows to amortize that, or a
-  // short A split into one-row blocks pays the decode m times over.  Rows
-  // are independent, so coarsening the grain cannot affect results.
-  constexpr std::int64_t kMinDecodeRows = 16;
-  if (m * k * n < kGemmSerialBelow || m <= kMinDecodeRows) {
-    body(0, m, 0);
-  } else {
-    ThreadPool& pool = default_pool();
-    const std::int64_t grain = std::max(
-        balanced_grain(m, pool.thread_count()), kMinDecodeRows);
-    parallel_for(pool, 0, m, grain, body);
-  }
+  (void)gemm_codes_nt_parallel(a.raw(), b.view(),
+                               bias != nullptr ? bias->raw() : nullptr,
+                               c.raw(), nullptr, approx, m, k, n);
   return c;
 }
 
+std::optional<PackedCodes> matmul_nt_codes_enc(const Tensor& a,
+                                               const PackedCodes& b,
+                                               const Tensor* bias,
+                                               const ActEncodeSpec& enc,
+                                               kernels::ApproxMode approx) {
+  LP_CHECK(a.rank() == 2 && b.rank() == 2);
+  LP_CHECK_MSG(a.dim(1) == b.dim(1), "matmul_nt_codes inner dims "
+                                         << a.dim(1) << " vs " << b.dim(1));
+  LP_CHECK(enc.lut != nullptr && (enc.bits == 8 || enc.bits == 16));
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(0);
+  if (bias != nullptr) LP_CHECK(bias->rank() == 1 && bias->dim(0) == n);
+  std::vector<std::uint8_t> codes(PackedCodes::stream_bytes(m * n, enc.bits));
+  const kernels::ActEncode ep{enc.qidx, codes.data(), enc.bits, enc.act};
+  if (!gemm_codes_nt_parallel(a.raw(), b.view(),
+                              bias != nullptr ? bias->raw() : nullptr, nullptr,
+                              &ep, approx, m, k, n)) {
+    return std::nullopt;
+  }
+  return PackedCodes::from_codes(std::move(codes), {m, n}, enc.bits, enc.lut);
+}
+
 Tensor matmul_nt_codes_codes(const PackedCodes& a, const PackedCodes& b,
-                             const Tensor* bias) {
+                             const Tensor* bias, kernels::ApproxMode approx) {
   LP_CHECK(a.rank() >= 2 && b.rank() == 2);
   const std::int64_t k = a.shape().back();
   LP_CHECK_MSG(k == b.dim(1), "matmul_nt_codes_codes inner dims "
@@ -197,14 +241,15 @@ Tensor matmul_nt_codes_codes(const PackedCodes& a, const PackedCodes& b,
   Tensor c({m, n});
   (void)gemm_codes_codes_nt_parallel(
       a.view(), b.view(), bias != nullptr ? bias->raw() : nullptr, c.raw(),
-      nullptr, m, k, n);
+      nullptr, approx, m, k, n);
   return c;
 }
 
 std::optional<PackedCodes> matmul_nt_codes_codes_enc(const PackedCodes& a,
                                                      const PackedCodes& b,
                                                      const Tensor* bias,
-                                                     const ActEncodeSpec& enc) {
+                                                     const ActEncodeSpec& enc,
+                                                     kernels::ApproxMode approx) {
   LP_CHECK(a.rank() >= 2 && b.rank() == 2);
   const std::int64_t k = a.shape().back();
   LP_CHECK_MSG(k == b.dim(1), "matmul_nt_codes_codes inner dims "
@@ -217,7 +262,7 @@ std::optional<PackedCodes> matmul_nt_codes_codes_enc(const PackedCodes& a,
   const kernels::ActEncode ep{enc.qidx, codes.data(), enc.bits, enc.act};
   if (!gemm_codes_codes_nt_parallel(a.view(), b.view(),
                                     bias != nullptr ? bias->raw() : nullptr,
-                                    nullptr, &ep, m, k, n)) {
+                                    nullptr, &ep, approx, m, k, n)) {
     return std::nullopt;
   }
   return PackedCodes::from_codes(std::move(codes), {m, n}, enc.bits, enc.lut);
@@ -356,14 +401,22 @@ namespace {
 
 /// Shared conv2d body for float and packed-code weights: im2col per
 /// group, one GEMM per group via `group_gemm(g, k, cols, result)` (which
-/// computes result[cg_out, col_width] = W_g * cols), scatter back to
-/// NCHW.  `wd` is the weight's [Cout, Cin/groups, kh, kw] shape — the
-/// two storage forms share it, and everything outside the GEMM call is
-/// identical, so the coded path is bit-identical by construction.
-template <typename GroupGemm>
-Tensor conv2d_core(const Tensor& input, const std::int64_t (&wd)[4],
-                   const Tensor* bias, const Conv2dSpec& spec,
-                   GroupGemm&& group_gemm) {
+/// computes result[cg_out, col_width] = W_g * cols), then a scatter whose
+/// strided sink comes from `make_write(out_shape)`: write(e, stride, run,
+/// nruns, src, bias_v) lands contiguous src[r*run + i] + bias_v at output
+/// element e + r*stride + i (one call covers a full output channel — the
+/// GEMM row is contiguous across the batch, destinations stride by one
+/// NCHW plane) — the plain variants write floats into an NCHW tensor, the
+/// fused variant batch-encodes through the epilogue (same sink contract
+/// as conv2d_cc_core).
+/// `wd` is the weight's [Cout, Cin/groups, kh, kw] shape — the storage
+/// forms share it, and everything outside the GEMM call and the sink is
+/// identical, so the coded paths are bit-identical by construction.
+/// Returns whether every sink call succeeded (all groups still run).
+template <typename GroupGemm, typename MakeWrite>
+bool conv2d_core(const Tensor& input, const std::int64_t (&wd)[4],
+                 const Tensor* bias, const Conv2dSpec& spec,
+                 GroupGemm&& group_gemm, MakeWrite&& make_write) {
   LP_CHECK(input.rank() == 4);
   const std::int64_t n = input.dim(0);
   const std::int64_t cin = input.dim(1);
@@ -386,7 +439,8 @@ Tensor conv2d_core(const Tensor& input, const std::int64_t (&wd)[4],
   const std::int64_t cg_out = cout / spec.groups;
   const std::int64_t col_width = n * ho * wo;
 
-  Tensor out({n, cout, ho, wo});
+  auto write = make_write(std::vector<std::int64_t>{n, cout, ho, wo});
+  std::atomic<bool> ok{true};
   for (std::int64_t g = 0; g < spec.groups; ++g) {
     const Tensor cols = im2col(input, g * cg_in, cg_in, kh, kw, spec);
     const std::int64_t k = cg_in * kh * kw;
@@ -397,19 +451,37 @@ Tensor conv2d_core(const Tensor& input, const std::int64_t (&wd)[4],
     // Output channels write disjoint planes — parallel over oc.
     auto scatter = [&](std::int64_t oc_begin, std::int64_t oc_end,
                        std::int64_t) {
+      bool block_ok = true;
       for (std::int64_t oc = oc_begin; oc < oc_end; ++oc) {
         const float bias_v = (bias != nullptr) ? (*bias)[g * cg_out + oc] : 0.0F;
         const float* rrow = result.data() + oc * col_width;
-        std::int64_t col = 0;
-        for (std::int64_t b = 0; b < n; ++b) {
-          float* dst = out.raw() + ((b * cout + g * cg_out + oc) * ho) * wo;
-          for (std::int64_t i = 0; i < ho * wo; ++i, ++col) dst[i] = rrow[col] + bias_v;
-        }
+        const std::int64_t base = (g * cg_out + oc) * ho * wo;
+        block_ok = write(base, cout * ho * wo, ho * wo, n, rrow, bias_v) &&
+                   block_ok;
       }
+      if (!block_ok) ok.store(false, std::memory_order_relaxed);
     };
     for_row_blocks(cg_out * col_width, kRowsSerialBelow, cg_out, scatter);
   }
-  return out;
+  return ok.load(std::memory_order_relaxed);
+}
+
+/// Sink factory writing raw floats into a fresh NCHW tensor — the plain
+/// (unfused) conv2d output path.
+auto tensor_sink(Tensor& out) {
+  return [&out](std::vector<std::int64_t> shape) {
+    out = Tensor(std::move(shape));
+    float* raw = out.raw();
+    return [raw](std::int64_t e, std::int64_t stride, std::int64_t run,
+                 std::int64_t nruns, const float* src, float bias_v) {
+      for (std::int64_t r = 0; r < nruns; ++r) {
+        float* dst = raw + e + r * stride;
+        const float* s = src + r * run;
+        for (std::int64_t i = 0; i < run; ++i) dst[i] = s[i] + bias_v;
+      }
+      return true;
+    };
+  };
 }
 
 }  // namespace
@@ -419,7 +491,8 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
   LP_CHECK(weight.rank() == 4);
   const std::int64_t wd[4] = {weight.dim(0), weight.dim(1), weight.dim(2),
                               weight.dim(3)};
-  return conv2d_core(
+  Tensor out;
+  (void)conv2d_core(
       input, wd, bias, spec,
       [&](std::int64_t g, std::int64_t k, const Tensor& cols, float* result,
           std::int64_t cg_out, std::int64_t col_width) {
@@ -427,7 +500,9 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor* bias,
         const float* wslice = weight.raw() + g * cg_out * k;
         gemm_parallel(wslice, cols.raw(), nullptr, result, cg_out, k,
                       col_width);
-      });
+      },
+      tensor_sink(out));
+  return out;
 }
 
 Tensor conv2d_codes(const Tensor& input, const PackedCodes& weight,
@@ -435,7 +510,8 @@ Tensor conv2d_codes(const Tensor& input, const PackedCodes& weight,
   LP_CHECK(weight.rank() == 4);
   const std::int64_t wd[4] = {weight.dim(0), weight.dim(1), weight.dim(2),
                               weight.dim(3)};
-  return conv2d_core(
+  Tensor out;
+  (void)conv2d_core(
       input, wd, bias, spec,
       [&](std::int64_t g, std::int64_t k, const Tensor& cols, float* result,
           std::int64_t cg_out, std::int64_t col_width) {
@@ -443,17 +519,63 @@ Tensor conv2d_codes(const Tensor& input, const PackedCodes& weight,
         // the view carries it so 4-bit slices need no realignment.
         gemm_codes_parallel(weight.view(g * cg_out * k), cols.raw(), nullptr,
                             result, cg_out, k, col_width);
+      },
+      tensor_sink(out));
+  return out;
+}
+
+std::optional<PackedCodes> conv2d_codes_enc(const Tensor& input,
+                                            const PackedCodes& weight,
+                                            const Tensor* bias,
+                                            const Conv2dSpec& spec,
+                                            const ActEncodeSpec& enc) {
+  LP_CHECK(weight.rank() == 4);
+  LP_CHECK(enc.lut != nullptr && (enc.bits == 8 || enc.bits == 16));
+  const std::int64_t wd[4] = {weight.dim(0), weight.dim(1), weight.dim(2),
+                              weight.dim(3)};
+  std::vector<std::uint8_t> codes;
+  std::vector<std::int64_t> out_shape;
+  kernels::ActEncode ep{enc.qidx, nullptr, enc.bits, enc.act};
+  const bool ok = conv2d_core(
+      input, wd, bias, spec,
+      [&](std::int64_t g, std::int64_t k, const Tensor& cols, float* result,
+          std::int64_t cg_out, std::int64_t col_width) {
+        gemm_codes_parallel(weight.view(g * cg_out * k), cols.raw(), nullptr,
+                            result, cg_out, k, col_width);
+      },
+      [&](std::vector<std::int64_t> shape) {
+        std::int64_t numel = 1;
+        for (const std::int64_t d : shape) numel *= d;
+        out_shape = std::move(shape);
+        codes.resize(PackedCodes::stream_bytes(numel, enc.bits));
+        ep.codes = codes.data();
+        // Bias-add the whole channel row into kernel scratch, run the
+        // batched epilogue (act + SIMD nearest-index search) once, then
+        // scatter codes per batch-image plane — element-for-element
+        // identical to encode_elem(ep, src[r*run+i] + bias_v, e+r*stride+i).
+        return [&ep](std::int64_t e, std::int64_t stride, std::int64_t run,
+                     std::int64_t nruns, const float* src, float bias_v) {
+          const std::int64_t count = run * nruns;
+          float* buf = kernels::detail::fused_scratch(count);
+          for (std::int64_t i = 0; i < count; ++i) buf[i] = src[i] + bias_v;
+          return kernels::detail::encode_strided_block(ep, buf, count, e,
+                                                       stride, run);
+        };
       });
+  if (!ok) return std::nullopt;
+  return PackedCodes::from_codes(std::move(codes), std::move(out_shape),
+                                 enc.bits, enc.lut);
 }
 
 namespace {
 
 /// Shared body for the coded-input convolutions: coded im2col per group,
 /// both-coded GEMM per group, then a scatter whose per-element sink comes
-/// from `make_write(out_shape)` — the float variant writes `rrow + bias`
-/// into an NCHW tensor, the fused variant encodes through the epilogue.
-/// The sink returns false for an unencodable element; the core reports
-/// whether every element succeeded (all groups still run).  Everything
+/// from `make_write(out_shape)` (same strided contract as conv2d_core) —
+/// the float variant writes `src + bias` into an NCHW tensor, the fused
+/// variant batch-encodes through the epilogue.  The sink returns false
+/// for an unencodable element; the core reports whether every element
+/// succeeded (all groups still run).  Everything
 /// around the sink is the float conv2d_core's exact sequence, so both
 /// variants stay bit-identical to it.
 template <typename MakeWrite>
@@ -501,13 +623,9 @@ bool conv2d_cc_core(const PackedCodes& input, const PackedCodes& weight,
         const float bias_v =
             (bias != nullptr) ? (*bias)[g * cg_out + oc] : 0.0F;
         const float* rrow = result.data() + oc * col_width;
-        std::int64_t col = 0;
-        for (std::int64_t b = 0; b < n; ++b) {
-          const std::int64_t base = ((b * cout + g * cg_out + oc) * ho) * wo;
-          for (std::int64_t i = 0; i < ho * wo; ++i, ++col) {
-            block_ok = write(base + i, rrow[col] + bias_v) && block_ok;
-          }
-        }
+        const std::int64_t base = (g * cg_out + oc) * ho * wo;
+        block_ok = write(base, cout * ho * wo, ho * wo, n, rrow, bias_v) &&
+                   block_ok;
       }
       if (!block_ok) ok.store(false, std::memory_order_relaxed);
     };
@@ -526,8 +644,16 @@ Tensor conv2d_codes_codes(const PackedCodes& input, const PackedCodes& weight,
                        [&](std::vector<std::int64_t> shape) {
                          out = Tensor(std::move(shape));
                          float* raw = out.raw();
-                         return [raw](std::int64_t e, float v) {
-                           raw[e] = v;
+                         return [raw](std::int64_t e, std::int64_t stride,
+                                      std::int64_t run, std::int64_t nruns,
+                                      const float* src, float bias_v) {
+                           for (std::int64_t r = 0; r < nruns; ++r) {
+                             float* dst = raw + e + r * stride;
+                             const float* s = src + r * run;
+                             for (std::int64_t i = 0; i < run; ++i) {
+                               dst[i] = s[i] + bias_v;
+                             }
+                           }
                            return true;
                          };
                        });
@@ -552,8 +678,17 @@ std::optional<PackedCodes> conv2d_codes_codes_enc(const PackedCodes& input,
         out_shape = std::move(shape);
         codes.resize(PackedCodes::stream_bytes(numel, enc.bits));
         ep.codes = codes.data();
-        return [&ep](std::int64_t e, float v) {
-          return kernels::detail::encode_elem(ep, v, e);
+        // Bias-add the whole channel row into kernel scratch, run the
+        // batched epilogue (act + SIMD nearest-index search) once, then
+        // scatter codes per batch-image plane — element-for-element
+        // identical to encode_elem(ep, src[r*run+i] + bias_v, e+r*stride+i).
+        return [&ep](std::int64_t e, std::int64_t stride, std::int64_t run,
+                     std::int64_t nruns, const float* src, float bias_v) {
+          const std::int64_t count = run * nruns;
+          float* buf = kernels::detail::fused_scratch(count);
+          for (std::int64_t i = 0; i < count; ++i) buf[i] = src[i] + bias_v;
+          return kernels::detail::encode_strided_block(ep, buf, count, e,
+                                                       stride, run);
         };
       });
   if (!ok) return std::nullopt;

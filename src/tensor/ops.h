@@ -38,9 +38,13 @@ void quantize_inplace(Tensor& t, const NumberFormat& fmt);
 /// matmul_nt against a packed-code weight operand ([N,K] logical shape):
 /// the dispatched kernel LUT-decodes the codes inside the datapath, so
 /// the result is bit-identical to matmul_nt(a, decoded_b, bias) while the
-/// B-stream reads 4-8x fewer weight bytes.
-[[nodiscard]] Tensor matmul_nt_codes(const Tensor& a, const PackedCodes& b,
-                                     const Tensor* bias = nullptr);
+/// B-stream reads 4-8x fewer weight bytes.  `approx` selects the multiply
+/// semantics: kExact (default) is the bit-identical IEEE path, kPlam is
+/// the opt-in log-domain approximate multiply (see kernels.h) bounded by
+/// kernels::kPlamMaxRelError per product.
+[[nodiscard]] Tensor matmul_nt_codes(
+    const Tensor& a, const PackedCodes& b, const Tensor* bias = nullptr,
+    kernels::ApproxMode approx = kernels::ApproxMode::kExact);
 
 /// Output-coding spec for the fused quantize-to-code epilogues: each
 /// finished output element gets `act` (kernels::kAct*) applied, is
@@ -55,14 +59,25 @@ struct ActEncodeSpec {
   int act = kernels::kActNone;
 };
 
+/// Fused variant of matmul_nt_codes: act + encode applied per element
+/// before it leaves the kernel, so a float-activation × coded-weight
+/// layer writes only codes — the decode→GEMM→bias→act→encode pipeline is
+/// one kernel pass.  Returns nullopt when any output element is
+/// non-finite (no code can represent NaN) — callers re-run the edge on
+/// the float path.
+[[nodiscard]] std::optional<PackedCodes> matmul_nt_codes_enc(
+    const Tensor& a, const PackedCodes& b, const Tensor* bias,
+    const ActEncodeSpec& enc,
+    kernels::ApproxMode approx = kernels::ApproxMode::kExact);
+
 /// matmul_nt with BOTH operands coded: A [..., K] holds activation codes
 /// (leading dims flatten to M, so rank-3 token activations need no
 /// reshape copy), B [N,K] holds weight codes, each decoded through its
 /// own LUT inside the kernel.  Bit-identical to matmul_nt over the
 /// decoded operands.  Result is [M, N].
-[[nodiscard]] Tensor matmul_nt_codes_codes(const PackedCodes& a,
-                                           const PackedCodes& b,
-                                           const Tensor* bias = nullptr);
+[[nodiscard]] Tensor matmul_nt_codes_codes(
+    const PackedCodes& a, const PackedCodes& b, const Tensor* bias = nullptr,
+    kernels::ApproxMode approx = kernels::ApproxMode::kExact);
 
 /// Fused variant of matmul_nt_codes_codes: act + encode applied per
 /// element before it leaves the kernel; the [M,N] result exists only as
@@ -70,7 +85,8 @@ struct ActEncodeSpec {
 /// can represent NaN) — callers re-run the edge on the float path.
 [[nodiscard]] std::optional<PackedCodes> matmul_nt_codes_codes_enc(
     const PackedCodes& a, const PackedCodes& b, const Tensor* bias,
-    const ActEncodeSpec& enc);
+    const ActEncodeSpec& enc,
+    kernels::ApproxMode approx = kernels::ApproxMode::kExact);
 
 /// Encode an (already activated) float tensor into a coded activation
 /// stream through the epilogue's nearest-index search: the decoded stream
@@ -98,6 +114,13 @@ struct Conv2dSpec {
 [[nodiscard]] Tensor conv2d_codes(const Tensor& input,
                                   const PackedCodes& weight,
                                   const Tensor* bias, const Conv2dSpec& spec);
+
+/// Fused variant of conv2d_codes: bias + act + encode applied per element
+/// in the scatter, so the float-input × coded-weight convolution emits
+/// only codes.  Returns nullopt when any output element is non-finite.
+[[nodiscard]] std::optional<PackedCodes> conv2d_codes_enc(
+    const Tensor& input, const PackedCodes& weight, const Tensor* bias,
+    const Conv2dSpec& spec, const ActEncodeSpec& enc);
 
 /// conv2d with coded weights AND a coded NCHW input: patches gather as
 /// codes (padding with `zero_code`, which must decode to exact +0.0f —

@@ -146,6 +146,66 @@ TEST(CodedActivations, ForwardBitIdenticalOnLargerZooModels) {
   }
 }
 
+TEST(CodedActivations, FuseOffReproducesFusedForwardBitExactly) {
+  // SessionOptions::fuse toggles only the float-in fused encode; both
+  // settings must produce bit-identical logits (the fused pass applies
+  // the same act_eval + nearest-index encode the unfused flow does) —
+  // this is the invariant behind the BM_ForwardFused A/B benchmark.
+  PoolGuard guard;
+  set_default_pool_threads(4);
+  for (const char* name : {"tiny_cnn", "tiny_vit"}) {
+    const nn::Model m = nn::build_model(name, small_opts());
+    const Tensor x = random_batch(4, 3, 16, 83);
+    const auto w = varied_weight_cfgs(m);
+    const auto a = varied_act_cfgs(w);
+
+    runtime::InferenceSession fused(m);  // fuse defaults on
+    fused.set_formats(w, a);
+    nn::ActTraffic fused_traffic;
+    const auto got = fused.run(x, false, &fused_traffic);
+
+    runtime::SessionOptions unfused_opts;
+    unfused_opts.fuse = false;
+    runtime::InferenceSession unfused(m, unfused_opts);
+    unfused.set_formats(w, a);
+    nn::ActTraffic unfused_traffic;
+    const auto ref = unfused.run(x, false, &unfused_traffic);
+
+    ASSERT_TRUE(bits_equal(got.logits, ref.logits)) << name;
+    // Same coded edges either way — fusion changes how codes are made,
+    // never whether.
+    EXPECT_EQ(fused_traffic.coded_bytes, unfused_traffic.coded_bytes) << name;
+    EXPECT_EQ(fused_traffic.float_bytes, unfused_traffic.float_bytes) << name;
+    EXPECT_GT(fused_traffic.coded_bytes, 0) << name;
+  }
+}
+
+TEST(CodedActivations, PlamSessionRunsAndApproximationEngages) {
+  // LP_APPROX=plam end-to-end smoke at the session level: the snapshot
+  // executes, logits stay finite, and the approximate multiply actually
+  // changes the result (kernel-level error bounds live in test_kernels).
+  const nn::Model m = nn::build_model("tiny_vit", small_opts());
+  const Tensor x = random_batch(2, 3, 16, 91);
+  const auto w = varied_weight_cfgs(m);
+  const auto a = varied_act_cfgs(w);
+
+  runtime::SessionOptions exact_opts;
+  exact_opts.approx = kernels::ApproxMode::kExact;  // env-robust reference
+  runtime::InferenceSession exact(m, exact_opts);
+  exact.set_formats(w, a);
+  const auto ref = exact.run(x);
+
+  runtime::SessionOptions plam_opts;
+  plam_opts.approx = kernels::ApproxMode::kPlam;
+  runtime::InferenceSession plam(m, plam_opts);
+  plam.set_formats(w, a);
+  const auto got = plam.run(x);
+
+  ASSERT_EQ(got.logits.shape(), ref.logits.shape());
+  for (const float v : got.logits.data()) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_FALSE(bits_equal(got.logits, ref.logits));
+}
+
 TEST(CodedActivations, CaptureHooksForceFloatPathAndStayBitIdentical) {
   // Pooled capture needs the dense activations, so a capturing run must
   // fall back to float on every edge — and still produce the same pooled
@@ -291,6 +351,108 @@ TEST(CodedGemm, FusedEncodeEpilogueMatchesQuantizeOfFloatResult) {
     Tensor got(coded->shape());
     coded->decode(got.data());
     ASSERT_TRUE(bits_equal(got, ref)) << "act=" << act;
+  }
+}
+
+TEST(CodedGemm, FloatInFusedEncodeMatchesUnfusedFlow) {
+  // The float-activation x coded-weight fusion (PR's tentpole): the
+  // GEMM→bias→act→encode pass must produce exactly the codes the unfused
+  // flow (finish the float block, act, quantize) produces.
+  const LPFormat wf(LPConfig{6, 2, 3, 0.5});
+  const LPFormat af(LPConfig{8, 2, 4, 0.0});
+  Rng rng(1213);
+  Tensor a({9, 23});
+  Tensor b({13, 23});
+  Tensor bias({13});
+  for (float& v : a.data()) v = static_cast<float>(rng.gaussian());
+  for (float& v : b.data()) v = static_cast<float>(rng.gaussian());
+  for (float& v : bias.data()) v = static_cast<float>(rng.gaussian());
+  const CodedPair cb = code_tensor(b, wf, 0);
+
+  auto out_lut = build_decode_table(af);
+  ASSERT_NE(out_lut, nullptr);
+  for (const int act :
+       {kernels::kActNone, kernels::kActRelu, kernels::kActGelu}) {
+    const ActEncodeSpec enc{af.quant_index()->view(), out_lut,
+                            PackedCodes::bits_for(out_lut->size(), 8), act};
+    const auto coded = matmul_nt_codes_enc(a, *cb.codes, &bias, enc);
+    ASSERT_TRUE(coded.has_value()) << "act=" << act;
+
+    Tensor ref = matmul_nt_codes(a, *cb.codes, &bias);
+    for (float& v : ref.data()) v = kernels::act_eval(v, act);
+    quantize_inplace(ref, af);
+    Tensor got(coded->shape());
+    coded->decode(got.data());
+    ASSERT_TRUE(bits_equal(got, ref)) << "act=" << act;
+  }
+}
+
+TEST(CodedGemm, FloatInFusedEncodeUnderPlamMatchesPlamThenEncode) {
+  // The fused epilogue composes with the approximate multiply: fused plam
+  // codes must equal encoding the unfused plam float result.
+  const LPFormat wf(LPConfig{6, 2, 3, 0.5});
+  const LPFormat af(LPConfig{8, 2, 4, 0.0});
+  Rng rng(1719);
+  Tensor a({7, 31});
+  Tensor b({11, 31});
+  for (float& v : a.data()) v = static_cast<float>(rng.gaussian());
+  for (float& v : b.data()) v = static_cast<float>(rng.gaussian());
+  const CodedPair cb = code_tensor(b, wf, 0);
+  auto out_lut = build_decode_table(af);
+  ASSERT_NE(out_lut, nullptr);
+  const ActEncodeSpec enc{af.quant_index()->view(), out_lut,
+                          PackedCodes::bits_for(out_lut->size(), 8),
+                          kernels::kActRelu};
+  const auto coded = matmul_nt_codes_enc(a, *cb.codes, nullptr, enc,
+                                         kernels::ApproxMode::kPlam);
+  ASSERT_TRUE(coded.has_value());
+  Tensor ref =
+      matmul_nt_codes(a, *cb.codes, nullptr, kernels::ApproxMode::kPlam);
+  const Tensor exact = matmul_nt_codes(a, *cb.codes, nullptr);
+  EXPECT_FALSE(bits_equal(ref, exact));  // the approximation really ran
+  for (float& v : ref.data()) v = kernels::act_eval(v, kernels::kActRelu);
+  quantize_inplace(ref, af);
+  Tensor got(coded->shape());
+  coded->decode(got.data());
+  ASSERT_TRUE(bits_equal(got, ref));
+}
+
+TEST(CodedConv, FloatInFusedEncodeMatchesUnfusedFlow) {
+  // conv2d_codes_enc: float input, coded weights, fused encode epilogue —
+  // same contract as the GEMM variant, across padding/groups/stride.
+  const LPFormat wf(LPConfig{4, 1, 2, 0.5});
+  const LPFormat af(LPConfig{8, 2, 4, 0.0});
+  auto lut = build_decode_table(af);
+  ASSERT_NE(lut, nullptr);
+  Rng rng(2311);
+  const struct {
+    std::int64_t n, c, h, co, k, stride, padding, groups;
+  } cases[] = {
+      {1, 3, 7, 5, 3, 1, 1, 1},
+      {2, 4, 9, 6, 3, 2, 1, 2},
+      {1, 2, 5, 4, 1, 1, 0, 1},
+  };
+  for (const auto& t : cases) {
+    Tensor input({t.n, t.c, t.h, t.h});
+    Tensor weight({t.co, t.c / t.groups, t.k, t.k});
+    Tensor bias({t.co});
+    for (float& v : input.data()) v = static_cast<float>(rng.gaussian());
+    for (float& v : weight.data()) v = static_cast<float>(rng.gaussian());
+    for (float& v : bias.data()) v = static_cast<float>(rng.gaussian());
+    const Conv2dSpec spec{t.stride, t.padding, t.groups};
+    const CodedPair cw = code_tensor(weight, wf, 0);
+    const ActEncodeSpec enc{af.quant_index()->view(), lut,
+                            PackedCodes::bits_for(lut->size(), 8),
+                            kernels::kActRelu};
+    const auto coded = conv2d_codes_enc(input, *cw.codes, &bias, spec, enc);
+    ASSERT_TRUE(coded.has_value()) << t.c << "ch groups=" << t.groups;
+
+    Tensor ref = conv2d_codes(input, *cw.codes, &bias, spec);
+    for (float& v : ref.data()) v = kernels::act_eval(v, kernels::kActRelu);
+    quantize_inplace(ref, af);
+    Tensor got(coded->shape());
+    coded->decode(got.data());
+    ASSERT_TRUE(bits_equal(got, ref)) << t.c << "ch groups=" << t.groups;
   }
 }
 

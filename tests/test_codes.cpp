@@ -226,8 +226,8 @@ TEST_F(CodesKernelTest, CodedBtBitIdenticalToDecodeThenGemm) {
         kernels::scalar_kernels().gemm_nt_rows(a.data(), b_dec.data(), bp,
                                                c_ref.data(), 0, s.m, s.k, s.n);
         for (const auto* t : tables_) {
-          t->gemm_codes_nt_rows(a.data(), view, bp, c_got.data(), 0, s.m, s.k,
-                                s.n);
+          t->gemm_codes_nt_rows(a.data(), view, bp, c_got.data(), nullptr, 0,
+                                s.m, s.k, s.n);
           EXPECT_TRUE(bitwise_equal(c_ref.data(), c_got.data(), s.m * s.n))
               << t->name << " bits=" << bits << " " << s.m << "x" << s.k << "x"
               << s.n << (bp != nullptr ? " +bias" : "");
@@ -268,11 +268,11 @@ TEST_F(CodesKernelTest, SplitRowRangesMatchFullRange) {
     EXPECT_TRUE(bitwise_equal(c_full.data(), c_split.data(), s.m * s.n))
         << t->name << " codes_rows";
 
-    t->gemm_codes_nt_rows(x.data(), bv, nullptr, c_full.data(), 0, s.m, s.k,
-                          s.n);
+    t->gemm_codes_nt_rows(x.data(), bv, nullptr, c_full.data(), nullptr, 0,
+                          s.m, s.k, s.n);
     for (std::size_t ci = 0; ci + 1 < std::size(cuts); ++ci) {
-      t->gemm_codes_nt_rows(x.data(), bv, nullptr, c_split.data(), cuts[ci],
-                            cuts[ci + 1], s.k, s.n);
+      t->gemm_codes_nt_rows(x.data(), bv, nullptr, c_split.data(), nullptr,
+                            cuts[ci], cuts[ci + 1], s.k, s.n);
     }
     EXPECT_TRUE(bitwise_equal(c_full.data(), c_split.data(), s.m * s.n))
         << t->name << " codes_nt_rows";
