@@ -1,0 +1,9 @@
+// VIOLATION: getenv outside the approved process-config sites — an
+// undocumented knob read at an arbitrary depth of the stack.
+#include <cstdlib>
+
+namespace lp::runtime {
+
+bool hidden_flag() { return std::getenv("LP_SECRET_TOGGLE") != nullptr; }
+
+}  // namespace lp::runtime

@@ -1,0 +1,12 @@
+// VIOLATION: std::random_device in library code — run-to-run
+// nondeterminism that breaks the bit-identity contract.
+#include <random>
+
+namespace lp::runtime {
+
+unsigned entropy_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace lp::runtime

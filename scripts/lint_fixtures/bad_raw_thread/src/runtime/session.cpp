@@ -1,0 +1,12 @@
+// VIOLATION: raw std::thread in library code outside the thread pool and
+// the serving workers — this parallelism would not obey LP_THREADS.
+#include <thread>
+
+namespace lp::runtime {
+
+void warm_in_background() {
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace lp::runtime

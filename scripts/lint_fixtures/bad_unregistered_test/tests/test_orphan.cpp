@@ -1,0 +1,3 @@
+// VIOLATION: present on disk but absent from tests/CMakeLists.txt — this
+// test builds nowhere and ctest never runs it.
+int main() { return 0; }

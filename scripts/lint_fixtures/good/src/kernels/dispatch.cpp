@@ -1,0 +1,15 @@
+#include <cstdlib>
+
+#include "kernels.h"
+
+namespace lp::kernels {
+
+const KernelTable& dispatch() {
+  static const char* requested = std::getenv("LP_KERNEL");  // approved site
+  static const char* approx = std::getenv("LP_APPROX");     // approved site
+  (void)requested;
+  (void)approx;
+  return scalar_kernels();
+}
+
+}  // namespace lp::kernels

@@ -1,0 +1,18 @@
+#include "kernels.h"
+
+namespace lp::kernels::plam {
+
+double mitchell_mul(double x, double y) { return x * y; }
+
+bool gemm_codes_nt_rows(const float* a, const float* b, float* c,
+                        long row_begin, long row_end, long k, long n) {
+  for (long i = row_begin; i < row_end; ++i) {
+    double acc = 0.0;
+    for (long kk = 0; kk < k; ++kk)
+      acc += mitchell_mul(a[i * k + kk], b[kk * n]);
+    c[i * n] = static_cast<float>(acc);
+  }
+  return true;
+}
+
+}  // namespace lp::kernels::plam

@@ -1,0 +1,27 @@
+#include "kernels.h"
+
+namespace lp::kernels {
+namespace {
+
+void gemm_rows_scalar(const float* a, const float* b, float* c, long rows,
+                      long k, long n) {
+  for (long i = 0; i < rows; ++i) {
+    double acc = 0.0;  // kernel accumulation is always double
+    for (long kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n];
+    c[i * n] = static_cast<float>(acc);
+  }
+}
+
+void quantize_chunk_scalar(const float* xs, unsigned* out, long n) {
+  for (long i = 0; i < n; ++i) out[i] = static_cast<unsigned>(xs[i]);
+}
+
+}  // namespace
+
+const KernelTable& scalar_kernels() {
+  static constexpr KernelTable kTable{"scalar", gemm_rows_scalar,
+                                      quantize_chunk_scalar};
+  return kTable;
+}
+
+}  // namespace lp::kernels

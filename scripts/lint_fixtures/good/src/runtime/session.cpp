@@ -1,0 +1,14 @@
+// Clean library translation unit: no raw threads, no getenv, no
+// nondeterminism sources.  Bad fixtures overlay this file with exactly
+// one violation each.
+#include <chrono>
+
+namespace lp::runtime {
+
+long uptime_ns(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace lp::runtime

@@ -1,0 +1,14 @@
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace lp {
+
+int pool_threads() {
+  if (const char* env = std::getenv("LP_THREADS")) {  // approved site
+    return std::atoi(env);
+  }
+  return static_cast<int>(std::thread::hardware_concurrency());
+}
+
+}  // namespace lp

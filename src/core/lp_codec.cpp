@@ -133,7 +133,7 @@ std::uint32_t encode_log_rounded(double v, const LPConfig& cfg) {
     mag = (mag << 1) | static_cast<std::uint32_t>(first == 1 ? 0 : 1);
   }
   mag = (mag << tl) | (tail & ((tl > 0) ? ((1U << tl) - 1U) : 0U));
-  LP_ASSERT(mag < (1U << body) || body == 0);
+  LP_DCHECK(mag < (1U << body) || body == 0);
   // mag == 0 would collide with the zero code; the smallest magnitude has
   // at least the regime pattern, which is nonzero for first==1 or has a
   // terminator for first==0 unless the run fills the body.  A full-body

@@ -121,6 +121,7 @@ const KernelTable& select_kernels(const char* requested) {
 }
 
 const KernelTable& dispatch() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): resolved once under static init
   static const KernelTable& table = select_kernels(std::getenv("LP_KERNEL"));
   return table;
 }
@@ -138,7 +139,9 @@ ApproxMode approx_mode_from_name(const char* requested) {
 }
 
 ApproxMode approx_mode() {
-  static const ApproxMode mode = approx_mode_from_name(std::getenv("LP_APPROX"));
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): resolved once under static init
+  static const ApproxMode mode =
+      approx_mode_from_name(std::getenv("LP_APPROX"));
   return mode;
 }
 

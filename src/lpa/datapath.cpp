@@ -19,7 +19,7 @@ DecodedLane decode_lane(std::uint32_t code, const DecoderConfig& dc) {
   // ulfx_q = B * 2^(8 + es - tail_len); the shift is non-negative for all
   // n <= 8 configurations (tail_len <= n-2 <= 6 <= 8 + es).
   const int shift = kFracBits + dc.cfg.es - f.tail_len;
-  LP_ASSERT(shift >= 0);
+  LP_DCHECK(shift >= 0);
   lane.ulfx_q = static_cast<std::int32_t>(f.tail_bits) << shift;
   return lane;
 }
@@ -133,7 +133,7 @@ std::uint32_t encode_psum(const PartialSum& psum, const DecoderConfig& out) {
   // k = floor(t / step), remainder r in [0, step).
   std::int64_t k = t_q >= 0 ? t_q / step_q : -((-t_q + step_q - 1) / step_q);
   std::int64_t r = t_q - k * step_q;
-  LP_ASSERT(r >= 0 && r < step_q);
+  LP_DCHECK(r >= 0 && r < step_q);
 
   const int kmin = cfg.min_k();
   const int kmax = cfg.max_k();
@@ -158,7 +158,7 @@ std::uint32_t encode_psum(const PartialSum& psum, const DecoderConfig& out) {
   for (;;) {
     const int tl = tail_len_for(k);
     const int shift = kFracBits + cfg.es - tl;
-    LP_ASSERT(shift >= 0);
+    LP_DCHECK(shift >= 0);
     std::int64_t b = saturate_high
                          ? (static_cast<std::int64_t>(1) << tl) - 1
                          : ((r + (shift > 0 ? (static_cast<std::int64_t>(1)

@@ -13,7 +13,7 @@ namespace {
 Tensor copy_cols(const Tensor& m, std::int64_t c0, std::int64_t c1) {
   const std::int64_t r = m.dim(0);
   const std::int64_t d = m.dim(1);
-  LP_ASSERT(c0 >= 0 && c1 <= d && c0 < c1);
+  LP_DCHECK(c0 >= 0 && c1 <= d && c0 < c1);
   Tensor out({r, c1 - c0});
   for (std::int64_t i = 0; i < r; ++i) {
     std::copy_n(m.raw() + i * d + c0, c1 - c0, out.raw() + i * (c1 - c0));

@@ -23,8 +23,8 @@ std::shared_ptr<const LPFormat> FormatCache::find(const LPConfig& cfg) const {
 }
 
 void FormatCache::put(const LPConfig& cfg, std::shared_ptr<const LPFormat> fmt) {
-  const auto [it, inserted] =
-      map_.emplace(FormatKey::of(cfg), Entry{std::move(fmt), tick_});
+  const auto it =
+      map_.try_emplace(FormatKey::of(cfg), Entry{std::move(fmt), tick_}).first;
   it->second.last_used = tick_;
 }
 

@@ -18,6 +18,13 @@
 // Not internally synchronized: InferenceSession confines all cache
 // mutation — including recency stamps — to its serial prepare phase;
 // find() is read-only and safe to call from the parallel build passes.
+// This phase confinement is deliberately NOT expressed with
+// LP_GUARDED_BY(prepare_mu_): the parallel passes read the map from pool
+// threads that do not hold the session mutex, which is correct (no writer
+// can run concurrently) but outside the mutex model clang's thread-safety
+// analysis checks.  The enforceable half lives in session.h — every
+// mutating caller is LP_REQUIRES(prepare_mu_) — and the TSan legs cover
+// the rest.
 #pragma once
 
 #include <bit>

@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "runtime/quantized_model.h"
+#include "util/thread_annotations.h"
 
 namespace lp::runtime {
 
@@ -94,8 +94,8 @@ class SnapshotPublisher {
  public:
   /// Atomically replace the published snapshot.  The previous snapshot
   /// stays alive while any acquired reference holds it.
-  void publish(ServablePtr m) {
-    const std::lock_guard<std::mutex> lk(mu_);
+  void publish(ServablePtr m) LP_EXCLUDES(mu_) {
+    const MutexLock lk(mu_);
     slot_ = std::move(m);
   }
 
@@ -103,14 +103,14 @@ class SnapshotPublisher {
   /// publish).  Callers hold the reference for the duration of one batch
   /// and re-acquire for the next, so hot-swaps take effect at batch
   /// granularity.
-  [[nodiscard]] ServablePtr acquire() const {
-    const std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] ServablePtr acquire() const LP_EXCLUDES(mu_) {
+    const MutexLock lk(mu_);
     return slot_;
   }
 
  private:
-  mutable std::mutex mu_;
-  ServablePtr slot_;
+  mutable Mutex mu_;
+  ServablePtr slot_ LP_GUARDED_BY(mu_);
 };
 
 }  // namespace lp::runtime

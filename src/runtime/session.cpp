@@ -210,14 +210,14 @@ QuantizedModel InferenceSession::prepare_locked(
 
 QuantizedModel InferenceSession::prepare(std::span<const LPConfig> weight_cfgs,
                                          std::span<const LPConfig> act_cfgs) {
-  const std::lock_guard<std::mutex> lk(prepare_mu_);
+  const MutexLock lk(prepare_mu_);
   return prepare_locked(weight_cfgs, act_cfgs);
 }
 
 std::vector<QuantizedModel> InferenceSession::prepare_all(
     std::span<const std::vector<LPConfig>> weight_cfgs,
     std::span<const std::vector<LPConfig>> act_cfgs) {
-  const std::lock_guard<std::mutex> lk(prepare_mu_);
+  const MutexLock lk(prepare_mu_);
   prepare_missing(weight_cfgs, act_cfgs);
   std::vector<QuantizedModel> out;
   out.reserve(weight_cfgs.size());
@@ -244,7 +244,7 @@ void InferenceSession::publish_locked(QuantizedModel qm,
 
 void InferenceSession::set_formats(std::span<const LPConfig> weight_cfgs,
                                    std::span<const LPConfig> act_cfgs) {
-  const std::lock_guard<std::mutex> lk(prepare_mu_);
+  const MutexLock lk(prepare_mu_);
   publish_locked(prepare_locked(weight_cfgs, act_cfgs), weight_cfgs,
                  act_cfgs);
 }
@@ -290,7 +290,7 @@ std::uint64_t InferenceSession::load_artifact(const std::string& path) {
   LP_CHECK(art.slots.size() == n);
   const auto& slots = model_->slot_list();
 
-  const std::lock_guard<std::mutex> lk(prepare_mu_);
+  const MutexLock lk(prepare_mu_);
   // Which stored LUTs have been bit-compared against this build's tables.
   std::vector<bool> lut_verified(art.luts.size(), false);
   for (std::size_t s = 0; s < n; ++s) {

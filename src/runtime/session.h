@@ -43,7 +43,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -51,6 +50,7 @@
 #include "runtime/quantized_model.h"
 #include "runtime/servable_model.h"
 #include "runtime/weight_cache.h"
+#include "util/thread_annotations.h"
 
 namespace lp::runtime {
 
@@ -159,29 +159,37 @@ class InferenceSession {
  private:
   /// One candidate's resolved per-slot assignment during prepare.
   [[nodiscard]] QuantizedModel assemble(std::span<const LPConfig> weight_cfgs,
-                                        std::span<const LPConfig> act_cfgs);
+                                        std::span<const LPConfig> act_cfgs)
+      LP_REQUIRES(prepare_mu_);
   void prepare_missing(std::span<const std::vector<LPConfig>> weight_cfgs,
-                       std::span<const std::vector<LPConfig>> act_cfgs);
-  /// prepare() body; caller holds prepare_mu_.
+                       std::span<const std::vector<LPConfig>> act_cfgs)
+      LP_REQUIRES(prepare_mu_);
   [[nodiscard]] QuantizedModel prepare_locked(
       std::span<const LPConfig> weight_cfgs,
-      std::span<const LPConfig> act_cfgs);
+      std::span<const LPConfig> act_cfgs) LP_REQUIRES(prepare_mu_);
   /// Wrap a snapshot + its assignment into the next ServableModel version
-  /// and publish it; caller holds prepare_mu_.
+  /// and publish it.
   void publish_locked(QuantizedModel qm,
                       std::span<const LPConfig> weight_cfgs,
-                      std::span<const LPConfig> act_cfgs);
+                      std::span<const LPConfig> act_cfgs)
+      LP_REQUIRES(prepare_mu_);
 
   const nn::Model* model_;
   SessionOptions opts_;
   /// Serializes every cache-mutating phase (prepare, set_formats,
   /// load_artifact) so concurrent control-plane callers are safe; the
   /// read paths never take it.
-  std::mutex prepare_mu_;
+  Mutex prepare_mu_;
+  /// Phase-confined, not mutex-guarded: every mutation happens inside the
+  /// *_locked methods above (LP_REQUIRES(prepare_mu_)), but the parallel
+  /// format-build/quantize passes read it lock-free from pool threads —
+  /// a confinement the analysis cannot model, so no LP_GUARDED_BY here.
+  /// The TSan legs and the prepare-phase contract in format_cache.h cover
+  /// it.
   FormatCache formats_;
   WeightCodeCache weights_;
   SnapshotPublisher publisher_;
-  std::uint64_t publish_seq_ = 0;  ///< guarded by prepare_mu_
+  std::uint64_t publish_seq_ LP_GUARDED_BY(prepare_mu_) = 0;
 };
 
 /// Stack inputs along dim 0 ([...] -> [sum_N, ...]).  Dim 0 of each input

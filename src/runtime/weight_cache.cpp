@@ -25,7 +25,7 @@ std::size_t lut_payload_bytes(const DecodeTable& lut) {
 
 WeightPayload WeightCodeCache::find(std::size_t slot, const LPConfig& cfg) {
   Shard& shard = shard_for(slot);
-  const std::lock_guard<std::mutex> lk(shard.mu);
+  const MutexLock lk(shard.mu);
   const auto it = shard.entries.find(SlotKey{slot, FormatKey::of(cfg)});
   if (it == shard.entries.end()) return {};
   it->second.last_used = tick_.load(std::memory_order_relaxed);
@@ -35,7 +35,7 @@ WeightPayload WeightCodeCache::find(std::size_t slot, const LPConfig& cfg) {
 
 bool WeightCodeCache::contains(std::size_t slot, const LPConfig& cfg) const {
   const Shard& shard = shard_for(slot);
-  const std::lock_guard<std::mutex> lk(shard.mu);
+  const MutexLock lk(shard.mu);
   return shard.entries.find(SlotKey{slot, FormatKey::of(cfg)}) !=
          shard.entries.end();
 }
@@ -49,7 +49,7 @@ void WeightCodeCache::insert(std::size_t slot, const LPConfig& cfg,
   const std::size_t log = decoded_bytes(payload);
   const bool packed = payload.packed();
   Shard& shard = shard_for(slot);
-  const std::lock_guard<std::mutex> lk(shard.mu);
+  const MutexLock lk(shard.mu);
   const std::uint64_t tick = tick_.load(std::memory_order_relaxed);
   auto [it, inserted] =
       shard.entries.emplace(key, Entry{std::move(payload), tick, phys, log});
@@ -61,7 +61,7 @@ void WeightCodeCache::insert(std::size_t slot, const LPConfig& cfg,
     // The payload must carry the LUT decode_lut() interned for this
     // format — that is what find() hands to live snapshots and what the
     // byte accounting charged once.
-    const std::lock_guard<std::mutex> llk(lut_mu_);
+    const MutexLock llk(lut_mu_);
     const auto lit = luts_.find(key.fmt);
     LP_CHECK_MSG(lit != luts_.end() &&
                      lit->second.lut == it->second.payload.codes->lut(),
@@ -77,7 +77,7 @@ void WeightCodeCache::insert(std::size_t slot, const LPConfig& cfg,
 std::shared_ptr<const DecodeTable> WeightCodeCache::decode_lut(
     const LPConfig& cfg, const NumberFormat& fmt) {
   const FormatKey key = FormatKey::of(cfg);
-  const std::lock_guard<std::mutex> lk(lut_mu_);
+  const MutexLock lk(lut_mu_);
   const auto it = luts_.find(key);
   if (it != luts_.end()) {
     it->second.last_used = tick_.load(std::memory_order_relaxed);
@@ -96,7 +96,7 @@ std::shared_ptr<const DecodeTable> WeightCodeCache::decode_lut(
 std::shared_ptr<const DecodeTable> WeightCodeCache::act_decode_lut(
     const LPConfig& cfg, const NumberFormat& fmt) {
   const FormatKey key = FormatKey::of(cfg);
-  const std::lock_guard<std::mutex> lk(lut_mu_);
+  const MutexLock lk(lut_mu_);
   const auto it = act_luts_.find(key);
   if (it != act_luts_.end()) {
     it->second.last_used = tick_.load(std::memory_order_relaxed);
@@ -144,7 +144,7 @@ void WeightCodeCache::erase_entry_locked(
                                     std::memory_order_relaxed);
   if (entry.payload.packed()) {
     counters_.packed_entries.fetch_sub(1, std::memory_order_relaxed);
-    const std::lock_guard<std::mutex> llk(lut_mu_);
+    const MutexLock llk(lut_mu_);
     const auto lit = luts_.find(key.fmt);
     if (lit != luts_.end() && --lit->second.refs == 0) {
       // Last entry of this format gone: its decode LUT goes with it.
@@ -171,7 +171,7 @@ void WeightCodeCache::evict_to_budget() {
   const std::uint64_t tick = tick_.load(std::memory_order_relaxed);
   std::vector<std::pair<std::uint64_t, SlotKey>> victims;
   for (Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lk(shard.mu);
+    const MutexLock lk(shard.mu);
     for (const auto& [key, entry] : shard.entries) {
       if (entry.last_used < tick) victims.emplace_back(entry.last_used, key);
     }
@@ -186,7 +186,7 @@ void WeightCodeCache::evict_to_budget() {
       break;
     }
     Shard& shard = shard_for(key.slot);
-    const std::lock_guard<std::mutex> lk(shard.mu);
+    const MutexLock lk(shard.mu);
     const auto it = shard.entries.find(key);
     if (it != shard.entries.end()) erase_entry_locked(shard, key, it);
   }
@@ -198,7 +198,7 @@ void WeightCodeCache::sweep_stale_luts() {
   // against the budget forever.  Null records (formats the packed path
   // cannot serve) cost nothing and stay as a negative cache.
   const std::uint64_t tick = tick_.load(std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lk(lut_mu_);
+  const MutexLock lk(lut_mu_);
   for (auto it = luts_.begin(); it != luts_.end();) {
     if (it->second.refs == 0 && it->second.lut != nullptr &&
         it->second.last_used < tick) {
@@ -217,7 +217,7 @@ void WeightCodeCache::sweep_stale_act_luts() {
   // LUT untouched for a full generation is dropped (live snapshots keep
   // shared ownership); null records stay as a free negative cache.
   const std::uint64_t tick = tick_.load(std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lk(lut_mu_);
+  const MutexLock lk(lut_mu_);
   for (auto it = act_luts_.begin(); it != act_luts_.end();) {
     if (it->second.lut != nullptr && it->second.last_used < tick) {
       const std::size_t b = lut_payload_bytes(*it->second.lut);

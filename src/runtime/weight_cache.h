@@ -44,11 +44,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "core/packed_codes.h"
 #include "runtime/format_cache.h"
 #include "tensor/tensor.h"
+#include "util/thread_annotations.h"
 
 namespace lp::runtime {
 
@@ -161,8 +161,8 @@ class WeightCodeCache {
   /// key order, which makes the set of survivors a pure function of the
   /// lookup/insert history.
   struct Shard {
-    mutable std::mutex mu;
-    std::map<SlotKey, Entry> entries;
+    mutable Mutex mu;
+    std::map<SlotKey, Entry> entries LP_GUARDED_BY(mu);
   };
 
   [[nodiscard]] Shard& shard_for(std::size_t slot) {
@@ -176,14 +176,19 @@ class WeightCodeCache {
   /// Drop one entry; caller holds the shard lock (NOT lut_mu_ — the lock
   /// order is shard.mu then lut_mu_, taken inside for packed payloads).
   void erase_entry_locked(Shard& shard, const SlotKey& key,
-                          std::map<SlotKey, Entry>::iterator it);
-  void sweep_stale_luts();
-  void sweep_stale_act_luts();
+                          std::map<SlotKey, Entry>::iterator it)
+      LP_REQUIRES(shard.mu) LP_EXCLUDES(lut_mu_);
+  void sweep_stale_luts() LP_EXCLUDES(lut_mu_);
+  void sweep_stale_act_luts() LP_EXCLUDES(lut_mu_);
 
   std::array<Shard, kShards> shards_;
-  mutable std::mutex lut_mu_;  ///< guards luts_ + act_luts_
-  std::map<FormatKey, LutRec> luts_;
-  std::map<FormatKey, LutRec> act_luts_;  ///< activation-side LUTs (refs unused)
+  /// Lock order: shard.mu before lut_mu_ (erase_entry_locked); never the
+  /// reverse.  The analysis cannot state an order against an array of
+  /// capabilities, so the order is prose + the EXCLUDES above.
+  mutable Mutex lut_mu_;
+  std::map<FormatKey, LutRec> luts_ LP_GUARDED_BY(lut_mu_);
+  /// Activation-side LUTs (refs unused).
+  std::map<FormatKey, LutRec> act_luts_ LP_GUARDED_BY(lut_mu_);
   std::size_t budget_bytes_;
   std::atomic<std::uint64_t> tick_{0};
 

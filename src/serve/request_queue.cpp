@@ -15,7 +15,7 @@ std::future<Response> RequestQueue::push(Tensor input) {
   req.enqueued = std::chrono::steady_clock::now();
   std::future<Response> fut = req.promise.get_future();
   {
-    const std::lock_guard<std::mutex> lk(mu_);
+    const MutexLock lk(mu_);
     LP_CHECK_MSG(!closed_, "push on a closed RequestQueue");
     q_.push_back(std::move(req));
   }
@@ -27,28 +27,31 @@ std::vector<Request> RequestQueue::pop_batch(
     std::size_t max_batch, std::chrono::microseconds deadline) {
   LP_CHECK(max_batch >= 1);
   std::vector<Request> batch;
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return !q_.empty() || closed_; });
-  if (q_.empty()) return batch;  // closed and drained
+  MutexLock lk(mu_);
+  // Explicit wait loops throughout (not predicate lambdas): the guarded
+  // reads stay in this locked scope, where the analysis can check them.
+  while (q_.empty() && !closed_) cv_.wait(lk);
+  if (q_.empty()) {
+    lk.unlock();
+    return batch;  // closed and drained
+  }
 
-  auto take = [&] {
-    batch.push_back(std::move(q_.front()));
-    q_.pop_front();
-  };
-  take();
+  batch.push_back(std::move(q_.front()));
+  q_.pop_front();
   // Linger for stragglers: up to `deadline` past the first take, refilling
   // from the queue as requests land, until the batch is full.
   const auto cutoff = std::chrono::steady_clock::now() + deadline;
   while (batch.size() < max_batch) {
     if (!q_.empty()) {
-      take();
+      batch.push_back(std::move(q_.front()));
+      q_.pop_front();
       continue;
     }
     if (closed_) break;
-    if (cv_.wait_until(lk, cutoff, [&] { return !q_.empty() || closed_; })) {
-      continue;  // re-check: either more work or closed
+    if (cv_.wait_until(lk, cutoff) == std::cv_status::timeout && q_.empty()) {
+      break;  // deadline expired with a partial batch — dispatch it
     }
-    break;  // deadline expired with a partial batch — dispatch it
+    // Re-check: either more work, a straggler beat the timeout, or closed.
   }
   lk.unlock();
   // More work may remain for sibling workers.
@@ -58,19 +61,19 @@ std::vector<Request> RequestQueue::pop_batch(
 
 void RequestQueue::close() {
   {
-    const std::lock_guard<std::mutex> lk(mu_);
+    const MutexLock lk(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  const std::lock_guard<std::mutex> lk(mu_);
+  const MutexLock lk(mu_);
   return closed_;
 }
 
 std::size_t RequestQueue::depth() const {
-  const std::lock_guard<std::mutex> lk(mu_);
+  const MutexLock lk(mu_);
   return q_.size();
 }
 

@@ -20,14 +20,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/thread_annotations.h"
 
 namespace lp::serve {
 
@@ -57,7 +56,7 @@ class RequestQueue {
  public:
   /// Enqueue an input and return the future its response arrives on.
   /// Throws std::invalid_argument after close().
-  [[nodiscard]] std::future<Response> push(Tensor input);
+  [[nodiscard]] std::future<Response> push(Tensor input) LP_EXCLUDES(mu_);
 
   /// Pop a coalesced batch: blocks until at least one request (or the
   /// queue is closed), takes up to `max_batch` requests, and waits at
@@ -66,21 +65,22 @@ class RequestQueue {
   /// worker's exit signal.  Requests are returned strictly in arrival
   /// order.
   [[nodiscard]] std::vector<Request> pop_batch(
-      std::size_t max_batch, std::chrono::microseconds deadline);
+      std::size_t max_batch, std::chrono::microseconds deadline)
+      LP_EXCLUDES(mu_);
 
   /// Stop accepting pushes and wake every waiting popper.  Requests still
   /// queued remain poppable (shutdown drains, not drops).
-  void close();
+  void close() LP_EXCLUDES(mu_);
 
-  [[nodiscard]] bool closed() const;
+  [[nodiscard]] bool closed() const LP_EXCLUDES(mu_);
   /// Requests currently waiting (diagnostic; racy by nature).
-  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t depth() const LP_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> q_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Request> q_ LP_GUARDED_BY(mu_);
+  bool closed_ LP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lp::serve

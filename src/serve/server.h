@@ -91,6 +91,13 @@ class Server {
   const runtime::SnapshotPublisher* publisher_;
   ServerOptions opts_;
   RequestQueue queue_;
+  /// No mutex of its own: all mutable shared state lives behind the
+  /// queue's capability (request_queue.h) and the publisher's
+  /// (servable_model.h); workers_ is written in the constructor and
+  /// joined in shutdown() only, and the counters below are relaxed
+  /// atomics.  scripts/lint_invariants.py allows raw std::thread in
+  /// exactly this file and thread_pool.cpp — everything else must go
+  /// through the pool.
   std::vector<std::thread> workers_;
 
   std::atomic<std::uint64_t> requests_{0};

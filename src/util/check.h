@@ -3,8 +3,12 @@
 // LP_CHECK / LP_CHECK_MSG throw std::invalid_argument on failure and are
 // always enabled: they guard public API contracts (bad user input must not
 // silently corrupt a simulation).  LP_ASSERT guards internal invariants and
-// throws std::logic_error; it is also always on because the library is a
-// research artifact where debuggability beats the last few percent of speed.
+// throws std::logic_error; it stays on in every build type because most of
+// its call sites run once per call, not once per element.  LP_DCHECK is the
+// hot-path variant: same contract as LP_ASSERT, but compiled out under
+// NDEBUG (Release) so per-element invariants in the codec and datapath
+// inner loops cost nothing in serving builds — Debug builds (and the ASan/
+// TSan CI legs, which build Debug) still evaluate every one.
 #pragma once
 
 #include <sstream>
@@ -60,3 +64,27 @@ namespace lp {
                                  lp_assert_os_.str());                  \
     }                                                                   \
   } while (false)
+
+// Debug-only internal invariant: active exactly when NDEBUG is not
+// defined, so Release serving binaries pay nothing for per-element checks
+// while every Debug/sanitizer CI leg still evaluates them.  The else
+// branch keeps `cond` odr-used (sizeof in an unevaluated context) so a
+// variable referenced only by an LP_DCHECK does not become -Wunused under
+// Release.
+#ifdef NDEBUG
+#define LP_DCHECK(cond) \
+  do {                  \
+    if (false) {        \
+      (void)(cond);     \
+    }                   \
+  } while (false)
+#define LP_DCHECK_MSG(cond, msg) \
+  do {                           \
+    if (false) {                 \
+      (void)(cond);              \
+    }                            \
+  } while (false)
+#else
+#define LP_DCHECK(cond) LP_ASSERT(cond)
+#define LP_DCHECK_MSG(cond, msg) LP_ASSERT_MSG(cond, msg)
+#endif

@@ -1,0 +1,141 @@
+// Clang Thread Safety Analysis for the library's concurrency surface.
+//
+// Every mutex-guarded member and locking function in the runtime and the
+// serving layer is annotated with the macros below, so that clang's
+// -Wthread-safety (the `static-analysis / thread-safety` CI leg, or a
+// local build with -DLOGPOSIT_WERROR_THREAD_SAFETY=ON) proves the locking
+// discipline at compile time: an unguarded access to a guarded member, a
+// *_locked method called without its capability, or a scoped lock that
+// escapes its region all fail the build.  The repo's bit-identity claims
+// depend on that discipline — TSan only catches the interleavings a test
+// happens to hit; the analysis covers every call site on every diff.
+//
+// On compilers without the attribute set (GCC builds every tier-1 leg)
+// all macros expand to nothing and lp::Mutex / lp::MutexLock / lp::CondVar
+// are zero-overhead wrappers over the std primitives they replace, so the
+// annotated code generates the exact same locking behavior everywhere.
+//
+// What the analysis can and cannot express here (see
+// docs/STATIC_ANALYSIS.md for the full catalog):
+//  * GUARDED_BY covers data owned by one mutex for its whole lifetime
+//    (cache shards, queue state, publisher slot).
+//  * Phase-confined data (FormatCache: mutated only in the session's
+//    serialized prepare phase, read lock-free from parallel build passes)
+//    is outside the mutex model — those invariants stay documented at the
+//    member and enforced by scripts/lint_invariants.py + TSan.
+//  * Condition-variable waits must be written as explicit while-loops in
+//    the locked scope, not predicate lambdas: the analysis checks lambda
+//    bodies as separate functions with no lock context, so a predicate
+//    reading guarded state would be (falsely) flagged.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define LP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LP_THREAD_ANNOTATION_(x)  // not clang: annotations compile away
+#endif
+
+/// Type attribute: this class is a lockable capability ("mutex").
+#define LP_CAPABILITY(x) LP_THREAD_ANNOTATION_(capability(x))
+/// Type attribute: RAII object that holds a capability for its lifetime.
+#define LP_SCOPED_CAPABILITY LP_THREAD_ANNOTATION_(scoped_lockable)
+/// Data member readable/writable only with the capability held.
+#define LP_GUARDED_BY(x) LP_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the capability.
+#define LP_PT_GUARDED_BY(x) LP_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Function requires the capability held on entry (and keeps it held).
+#define LP_REQUIRES(...) LP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (held on return, not on entry).
+#define LP_ACQUIRE(...) LP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on return).
+#define LP_RELEASE(...) LP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define LP_TRY_ACQUIRE(...) \
+  LP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/// Function must be entered with the capability NOT held (self-deadlock
+/// guard for public methods that lock internally).
+#define LP_EXCLUDES(...) LP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define LP_RETURN_CAPABILITY(x) LP_THREAD_ANNOTATION_(lock_returned(x))
+/// Escape hatch — must carry a one-line justification at the use site.
+#define LP_NO_THREAD_SAFETY_ANALYSIS \
+  LP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace lp {
+
+class CondVar;
+
+/// std::mutex with the capability attribute, so members can be declared
+/// LP_GUARDED_BY(mu_) and locking helpers LP_REQUIRES(mu_).  Same
+/// semantics, same size class, no extra state.
+class LP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LP_ACQUIRE() { mu_.lock(); }
+  void unlock() LP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() LP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock over lp::Mutex — the annotated replacement for both
+/// std::lock_guard and std::unique_lock.  Internally a
+/// std::unique_lock<std::mutex> on the wrapped mutex, so lp::CondVar can
+/// wait on it and early unlock() (e.g. before a notify) stays supported;
+/// the analysis tracks the held/released state through lock()/unlock().
+class LP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LP_ACQUIRE(mu) : lk_(mu.mu_) {}
+  ~MutexLock() LP_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Re-acquire after an early unlock().
+  void lock() LP_ACQUIRE() { lk_.lock(); }
+  /// Release before scope exit (the destructor then does nothing).
+  void unlock() LP_RELEASE() { lk_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable bound to lp::MutexLock.  Waits take the scoped
+/// lock (which the caller's scope proves is held); the internal
+/// unlock/relock during the wait is invisible to the analysis, which
+/// matches the caller-visible contract — the lock is held before and
+/// after.  Write wait conditions as explicit while-loops in the locked
+/// scope (see the header comment on predicate lambdas).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lk) { cv_.wait(lk.lk_); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      MutexLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk.lk_, tp);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lp

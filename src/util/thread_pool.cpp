@@ -23,6 +23,7 @@ struct NestingScope {
 
 int ThreadPool::resolve_threads(int requested) {
   if (requested > 0) return requested;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before workers spawn
   if (const char* env = std::getenv("LP_THREADS")) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
@@ -44,7 +45,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const MutexLock lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -69,7 +70,7 @@ void ThreadPool::execute_chunks(TaskSet& ts) {
     } catch (...) {
       err = std::current_exception();
     }
-    std::lock_guard<std::mutex> lk(ts.mu);
+    const MutexLock lk(ts.mu);
     if (err && !ts.error) ts.error = err;
     if (++ts.done == ts.total) ts.done_cv.notify_all();
   }
@@ -79,8 +80,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<TaskSet> ts;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] { return stop_ || claimable_locked() != nullptr; });
+      MutexLock lk(mu_);
+      // Explicit wait loop (not a predicate lambda) so the guarded reads
+      // sit in the locked scope the analysis can see.
+      while (!stop_ && claimable_locked() == nullptr) work_cv_.wait(lk);
       if (stop_) return;
       ts = claimable_locked();
     }
@@ -105,28 +108,34 @@ void ThreadPool::run_chunks(std::int64_t num_chunks,
   ts->total = num_chunks;
   ts->fn = &fn;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const MutexLock lk(mu_);
     active_.push_back(ts);
   }
   work_cv_.notify_all();
   execute_chunks(*ts);  // the caller is an executor too
+  std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lk(ts->mu);
-    ts->done_cv.wait(lk, [&] { return ts->done == ts->total; });
+    MutexLock lk(ts->mu);
+    while (ts->done != ts->total) ts->done_cv.wait(lk);
+    // Snapshot the error inside the region: after the last ++done every
+    // writer is gone, but reading it under the same lock keeps the
+    // happens-before chain explicit for the analysis and for TSan alike.
+    err = ts->error;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const MutexLock lk(mu_);
     active_.erase(std::find(active_.begin(), active_.end(), ts));
   }
-  if (ts->error) std::rethrow_exception(ts->error);
+  if (err) std::rethrow_exception(err);
 }
 
 namespace {
 
 // default_pool() sits at the top of every parallel region, so the common
 // path is a single acquire load; the mutex only guards (re)construction.
-std::mutex g_default_pool_mu;
-std::unique_ptr<ThreadPool> g_default_pool;  // NOLINT: intentional singleton
+Mutex g_default_pool_mu;
+std::unique_ptr<ThreadPool> g_default_pool  // NOLINT: intentional singleton
+    LP_GUARDED_BY(g_default_pool_mu);
 std::atomic<ThreadPool*> g_default_pool_ptr{nullptr};
 
 }  // namespace
@@ -135,7 +144,7 @@ ThreadPool& default_pool() {
   if (ThreadPool* p = g_default_pool_ptr.load(std::memory_order_acquire)) {
     return *p;
   }
-  std::lock_guard<std::mutex> lk(g_default_pool_mu);
+  const MutexLock lk(g_default_pool_mu);
   if (!g_default_pool) {
     g_default_pool = std::make_unique<ThreadPool>(0);
     g_default_pool_ptr.store(g_default_pool.get(), std::memory_order_release);
@@ -144,7 +153,7 @@ ThreadPool& default_pool() {
 }
 
 void set_default_pool_threads(int threads) {
-  std::lock_guard<std::mutex> lk(g_default_pool_mu);
+  const MutexLock lk(g_default_pool_mu);
   // Drop the fast-path pointer first: the old pool's destructor joins its
   // workers before the replacement becomes visible.
   g_default_pool_ptr.store(nullptr, std::memory_order_release);

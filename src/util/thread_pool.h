@@ -32,13 +32,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace lp {
 
@@ -84,21 +84,22 @@ class ThreadPool {
     std::int64_t total = 0;
     std::atomic<std::int64_t> next{0};  ///< next unclaimed chunk
     const std::function<void(std::int64_t)>* fn = nullptr;
-    std::mutex mu;                     ///< guards done + error
-    std::condition_variable done_cv;
-    std::int64_t done = 0;             ///< chunks finished executing
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar done_cv;
+    std::int64_t done LP_GUARDED_BY(mu) = 0;  ///< chunks finished executing
+    std::exception_ptr error LP_GUARDED_BY(mu);
   };
 
   void worker_loop();
   static void execute_chunks(TaskSet& ts);
-  [[nodiscard]] std::shared_ptr<TaskSet> claimable_locked() const;
+  [[nodiscard]] std::shared_ptr<TaskSet> claimable_locked() const
+      LP_REQUIRES(mu_);
 
   std::vector<std::thread> workers_;
-  mutable std::mutex mu_;  ///< guards active_ + stop_
-  std::condition_variable work_cv_;
-  std::vector<std::shared_ptr<TaskSet>> active_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  std::vector<std::shared_ptr<TaskSet>> active_ LP_GUARDED_BY(mu_);
+  bool stop_ LP_GUARDED_BY(mu_) = false;
 };
 
 /// The process-wide pool every hot path runs on, created on first use and
