@@ -47,11 +47,16 @@ int main() {
   }
 
   // --- 2. Cold-start a fresh session from the artifact ---
+  // cold_start() is the hardened entry point: a clean artifact loads
+  // with zero quantization work; a corrupt one reports its
+  // ArtifactErrorCode and falls back to re-quantizing from the configs.
   runtime::InferenceSession session(model);
-  const std::uint64_t version = session.load_artifact(path);
+  const runtime::ColdStartResult cs = session.cold_start(path, w4, a4);
   const runtime::CacheStats cold = session.stats();
-  std::printf("cold start: published v%llu, misses=%llu (no re-quantization)\n",
-              static_cast<unsigned long long>(version),
+  std::printf("cold start: published v%llu from %s, misses=%llu\n",
+              static_cast<unsigned long long>(cs.version),
+              cs.loaded ? "artifact (no re-quantization)"
+                        : "re-quantization fallback",
               static_cast<unsigned long long>(cold.misses));
 
   // --- 3. Concurrent clients against the dynamic-batching server ---
@@ -65,6 +70,7 @@ int main() {
   constexpr int kRequests = 24;
   std::mutex mu;
   std::vector<double> lat_us;
+  int not_ok = 0;
   std::vector<std::thread> clients;
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
@@ -73,14 +79,20 @@ int main() {
       for (float& v : x.data()) v = static_cast<float>(rng.gaussian());
       for (int r = 0; r < kRequests; ++r) {
         const auto t0 = std::chrono::steady_clock::now();
+        // Every future resolves with a status — check it before logits.
         const serve::Response resp = server.submit(x).get();
         const double us = std::chrono::duration<double, std::micro>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
         const std::lock_guard<std::mutex> lk(mu);
+        if (!resp.ok()) {
+          ++not_ok;
+          continue;  // kOverloaded / kDeadlineExceeded / ... — no logits
+        }
         lat_us.push_back(us);
         if (r == 0 && c == 0) {
-          std::printf("first response: v%llu, rode a %lld-row fused batch\n",
+          std::printf("first response: %s, v%llu, rode a %lld-row fused batch\n",
+                      serve::to_string(resp.status),
                       static_cast<unsigned long long>(resp.model_version),
                       static_cast<long long>(resp.batch_rows));
         }
@@ -112,7 +124,17 @@ int main() {
                                static_cast<double>(st.batches)
                          : 0.0,
               static_cast<unsigned long long>(st.max_batch_rows));
-  std::printf("latency: p50=%.0fus p99=%.0fus\n", pct(0.50), pct(0.99));
+  std::printf("latency: p50=%.0fus p99=%.0fus (%d non-ok)\n",
+              pct(0.50), pct(0.99), not_ok);
+  const serve::ServerHealth h = server.health();
+  std::printf("health: accepted=%llu shed=%llu expired=%llu "
+              "queue-wait p50=%lldus p99=%lldus degrade-events=%llu\n",
+              static_cast<unsigned long long>(h.accepted),
+              static_cast<unsigned long long>(h.shed),
+              static_cast<unsigned long long>(h.expired),
+              static_cast<long long>(h.wait_p50.count()),
+              static_cast<long long>(h.wait_p99.count()),
+              static_cast<unsigned long long>(h.degrade_events));
   std::remove(path);
   return 0;
 }

@@ -1,0 +1,15 @@
+#include "util/fault_injection.h"
+
+namespace lp {
+
+constexpr const char* kDynamicName = "pool.task";
+
+bool probe() {
+  // Typo'd point: not in the fixture manifest.
+  if (LP_FAULT_POINT("pool.taskk")) return true;
+  // Non-literal name: the lint rule cannot check it statically.
+  if (LP_FAULT_POINT(kDynamicName)) return true;
+  return false;
+}
+
+}  // namespace lp

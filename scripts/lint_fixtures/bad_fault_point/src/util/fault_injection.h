@@ -1,0 +1,14 @@
+// Fixture manifest: only "pool.task" is registered.
+#pragma once
+
+namespace lp::fault {
+
+inline constexpr const char* kRegisteredPoints[] = {
+    "pool.task",
+};
+
+bool should_fail(const char* point);
+
+}  // namespace lp::fault
+
+#define LP_FAULT_POINT(name) (::lp::fault::should_fail(name))

@@ -15,6 +15,10 @@ determinism (docs/STATIC_ANALYSIS.md documents the "why" per rule):
                       LP_THREADS), each resolved once
   nondeterminism      no wall-clock or stdlib-randomness source in library
                       code; all randomness goes through util/rng.h
+  fault-points        every LP_FAULT_POINT call site uses a string-literal
+                      name listed in lp::fault::kRegisteredPoints
+                      (fault_injection.h) — a typo'd point is a fault plan
+                      that silently never fires
   float-accum         kernel inner loops accumulate in double (no float /
                       packed-single accumulators, no *_ps adds or FMAs),
                       and the root build pins -ffp-contract=off
@@ -227,6 +231,7 @@ RAW_THREAD_ALLOWED = {
 GETENV_ALLOWED = {  # file -> max call count
     "src/kernels/dispatch.cpp": 2,  # LP_KERNEL, LP_APPROX
     "src/util/thread_pool.cpp": 1,  # LP_THREADS
+    "src/util/fault_injection.cpp": 2,  # LP_FAULT (lazy load + load_env())
 }
 
 NONDET_TOKENS = (
@@ -265,7 +270,7 @@ def rule_getenv(root: pathlib.Path) -> list[Violation]:
                     "getenv", path, line_of(text, m.start()),
                     "std::getenv outside the approved process-config sites "
                     "(LP_KERNEL/LP_APPROX in dispatch.cpp, LP_THREADS in "
-                    "thread_pool.cpp)"))
+                    "thread_pool.cpp, LP_FAULT in fault_injection.cpp)"))
         elif len(hits) > cap:
             out.append(Violation(
                 "getenv", path, line_of(text, hits[cap].start()),
@@ -285,6 +290,65 @@ def rule_nondeterminism(root: pathlib.Path) -> list[Violation]:
                 "nondeterminism", path, line_of(text, m.start()),
                 f"`{m.group(0)}` is a nondeterminism source; library code "
                 "must use util/rng.h (seeded xoshiro) and steady_clock"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# fault-points
+
+
+FAULT_MANIFEST = "src/util/fault_injection.h"
+# Matched against RAW source text (not the stripped form): the point name
+# lives inside a string literal, which strip_comments_and_strings blanks.
+FAULT_POINT_CALL = re.compile(r"\bLP_FAULT_POINT\s*\(\s*([^)]*?)\s*\)")
+
+
+def registered_fault_points(root: pathlib.Path) -> set[str] | None:
+    """Parse lp::fault::kRegisteredPoints from the manifest header, or
+    None if the header (or the array) is missing."""
+    header = root / FAULT_MANIFEST
+    if not header.is_file():
+        return None
+    text = header.read_text()
+    m = re.search(r"kRegisteredPoints\s*\[\s*\]\s*=\s*\{", text)
+    if not m:
+        return None
+    body = extract_balanced(text, m.end() - 1, "{", "}")
+    return set(re.findall(r'"([^"]*)"', body))
+
+
+def rule_fault_points(root: pathlib.Path) -> list[Violation]:
+    rule = "fault-points"
+    manifest = registered_fault_points(root)
+    out: list[Violation] = []
+    for path in cpp_sources(root):
+        rel = path.relative_to(root).as_posix()
+        if rel == FAULT_MANIFEST:
+            continue  # the macro definition and manifest live here
+        text = path.read_text()
+        for m in FAULT_POINT_CALL.finditer(text):
+            arg = m.group(1)
+            lit = re.fullmatch(r'"([^"]*)"', arg)
+            if lit is None:
+                out.append(Violation(
+                    rule, path, line_of(text, m.start()),
+                    f"LP_FAULT_POINT({arg}) — the point name must be a "
+                    "plain string literal so this rule can check it "
+                    "against lp::fault::kRegisteredPoints"))
+                continue
+            name = lit.group(1)
+            if manifest is None:
+                out.append(Violation(
+                    rule, path, line_of(text, m.start()),
+                    f'LP_FAULT_POINT("{name}") but no kRegisteredPoints '
+                    f"manifest found in {FAULT_MANIFEST}"))
+            elif name not in manifest:
+                out.append(Violation(
+                    rule, path, line_of(text, m.start()),
+                    f'fault point "{name}" is not listed in '
+                    "lp::fault::kRegisteredPoints (fault_injection.h) — "
+                    "unregistered names make set_plan throw and plans "
+                    "silently never fire"))
     return out
 
 
@@ -353,6 +417,7 @@ RULES = (
     rule_raw_thread,
     rule_getenv,
     rule_nondeterminism,
+    rule_fault_points,
     rule_float_accum,
     rule_test_registration,
 )
@@ -375,6 +440,7 @@ BAD_FIXTURES = {
     "bad_raw_thread": "raw-thread",
     "bad_getenv": "getenv",
     "bad_nondeterminism": "nondeterminism",
+    "bad_fault_point": "fault-points",
     "bad_float_accum": "float-accum",
     "bad_unregistered_test": "test-registration",
 }

@@ -3,15 +3,34 @@
 #include <bit>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <unordered_map>
 #include <utility>
 
 #include "runtime/servable_model.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace lp::runtime {
 namespace {
 
 constexpr char kMagic[4] = {'L', 'P', 'A', 'R'};
+
+[[noreturn]] void raise(ArtifactErrorCode code, const std::string& msg) {
+  std::ostringstream os;
+  os << "artifact load failed [" << to_string(code) << "]: " << msg;
+  throw ArtifactLoadError(code, os.str());
+}
+
+/// LP_CHECK_MSG analogue that throws the structured error instead.
+#define LP_ARTIFACT_CHECK(code, cond, msg)      \
+  do {                                          \
+    if (!(cond)) {                              \
+      std::ostringstream lp_art_os_;            \
+      lp_art_os_ << msg;                        \
+      raise((code), lp_art_os_.str());          \
+    }                                           \
+  } while (false)
 
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -56,14 +75,17 @@ struct Reader {
   template <typename T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>);
-    LP_CHECK_MSG(pos + sizeof(T) <= in.size(), "artifact truncated");
+    LP_ARTIFACT_CHECK(ArtifactErrorCode::kTruncated,
+                      pos + sizeof(T) <= in.size(),
+                      "body ends mid-field at offset " << pos);
     T v;
     std::memcpy(&v, in.data() + pos, sizeof(T));
     pos += sizeof(T);
     return v;
   }
   std::span<const std::uint8_t> get_bytes(std::size_t n) {
-    LP_CHECK_MSG(pos + n <= in.size(), "artifact truncated");
+    LP_ARTIFACT_CHECK(ArtifactErrorCode::kTruncated, pos + n <= in.size(),
+                      "body ends mid-field at offset " << pos);
     const auto s = in.subspan(pos, n);
     pos += n;
     return s;
@@ -74,12 +96,31 @@ struct Reader {
     c.es = get<std::int32_t>();
     c.rs = get<std::int32_t>();
     c.sf = std::bit_cast<double>(get<std::uint64_t>());
-    c.validate();
+    try {
+      c.validate();
+    } catch (const std::invalid_argument& e) {
+      raise(ArtifactErrorCode::kMalformed, e.what());
+    }
     return c;
   }
 };
 
 }  // namespace
+
+const char* to_string(ArtifactErrorCode code) {
+  switch (code) {
+    case ArtifactErrorCode::kNone: return "none";
+    case ArtifactErrorCode::kIo: return "io";
+    case ArtifactErrorCode::kBadMagic: return "bad-magic";
+    case ArtifactErrorCode::kVersionSkew: return "version-skew";
+    case ArtifactErrorCode::kTruncated: return "truncated";
+    case ArtifactErrorCode::kChecksum: return "checksum";
+    case ArtifactErrorCode::kMalformed: return "malformed";
+    case ArtifactErrorCode::kLutMismatch: return "lut-mismatch";
+    case ArtifactErrorCode::kModelMismatch: return "model-mismatch";
+  }
+  return "unknown";
+}
 
 void write_artifact(const std::string& path, const ServableModel& m) {
   const QuantizedModel& qm = m.snapshot();
@@ -156,30 +197,45 @@ void write_artifact(const std::string& path, const ServableModel& m) {
 
 Artifact read_artifact(const std::string& path) {
   std::ifstream f(path, std::ios::binary | std::ios::ate);
-  LP_CHECK_MSG(f.good(), "cannot open artifact: " << path);
+  LP_ARTIFACT_CHECK(ArtifactErrorCode::kIo, f.good(),
+                    "cannot open artifact: " << path);
   const std::streamsize size = f.tellg();
   f.seekg(0);
   std::vector<std::uint8_t> raw(static_cast<std::size_t>(size));
   f.read(reinterpret_cast<char*>(raw.data()), size);
-  LP_CHECK_MSG(f.good(), "artifact read failed: " << path);
+  LP_ARTIFACT_CHECK(ArtifactErrorCode::kIo, f.good(),
+                    "artifact read failed: " << path);
+  // Chaos harness: pretend the file system handed us a short file, so the
+  // truncation rejection (and any cold-start fallback above it) runs.
+  if (LP_FAULT_POINT("artifact.read.truncate") && raw.size() > 1) {
+    raw.resize(raw.size() / 2);
+  }
 
   constexpr std::size_t kHeader = sizeof(kMagic) + sizeof(std::uint32_t) +
                                   2 * sizeof(std::uint64_t);
-  LP_CHECK_MSG(raw.size() >= kHeader, "artifact too small: " << path);
-  LP_CHECK_MSG(std::memcmp(raw.data(), kMagic, sizeof(kMagic)) == 0,
-               "not an LP artifact (bad magic): " << path);
+  LP_ARTIFACT_CHECK(ArtifactErrorCode::kTruncated, raw.size() >= kHeader,
+                    "artifact smaller than its header: " << path);
+  LP_ARTIFACT_CHECK(ArtifactErrorCode::kBadMagic,
+                    std::memcmp(raw.data(), kMagic, sizeof(kMagic)) == 0,
+                    "not an LP artifact: " << path);
   Reader head{std::span<const std::uint8_t>(raw).subspan(sizeof(kMagic)), 0};
   const auto version = head.get<std::uint32_t>();
-  LP_CHECK_MSG(version == kArtifactVersion,
-               "artifact format version " << version << " != supported "
-                                          << kArtifactVersion);
+  LP_ARTIFACT_CHECK(ArtifactErrorCode::kVersionSkew,
+                    version == kArtifactVersion,
+                    "on-disk format version " << version << " != supported "
+                                              << kArtifactVersion);
   const auto checksum = head.get<std::uint64_t>();
   const auto body_size = head.get<std::uint64_t>();
-  LP_CHECK_MSG(raw.size() == kHeader + body_size,
-               "artifact size mismatch: " << path);
+  LP_ARTIFACT_CHECK(ArtifactErrorCode::kTruncated,
+                    raw.size() == kHeader + body_size,
+                    "size field says " << body_size << " body bytes, file has "
+                                       << raw.size() - kHeader);
   const auto body_bytes = std::span<const std::uint8_t>(raw).subspan(kHeader);
-  LP_CHECK_MSG(fnv1a64(body_bytes) == checksum,
-               "artifact checksum mismatch (corrupt file): " << path);
+  // Chaos harness: force the checksum comparison down its failure arm.
+  const bool checksum_ok = fnv1a64(body_bytes) == checksum &&
+                           !LP_FAULT_POINT("artifact.read.checksum");
+  LP_ARTIFACT_CHECK(ArtifactErrorCode::kChecksum, checksum_ok,
+                    "body checksum mismatch (corrupt file): " << path);
 
   Reader r{body_bytes, 0};
   Artifact art;
@@ -205,8 +261,9 @@ Artifact read_artifact(const std::string& path) {
   art.luts.reserve(num_luts);
   for (std::uint64_t l = 0; l < num_luts; ++l) {
     const auto lut_size = r.get<std::uint64_t>();
-    LP_CHECK_MSG(lut_size <= PackedCodes::kMaxLutSize,
-                 "artifact LUT larger than the packed path serves");
+    LP_ARTIFACT_CHECK(ArtifactErrorCode::kMalformed,
+                      lut_size <= PackedCodes::kMaxLutSize,
+                      "LUT larger than the packed path serves");
     DecodeTable lut;
     lut.reserve(lut_size);
     for (std::uint64_t i = 0; i < lut_size; ++i) {
@@ -223,27 +280,32 @@ Artifact read_artifact(const std::string& path) {
     std::int64_t numel = 1;
     for (std::uint32_t d = 0; d < rank; ++d) {
       slot.shape.push_back(r.get<std::int64_t>());
-      LP_CHECK_MSG(slot.shape.back() >= 0, "artifact negative dimension");
+      LP_ARTIFACT_CHECK(ArtifactErrorCode::kMalformed, slot.shape.back() >= 0,
+                        "negative dimension at slot " << s);
       numel *= slot.shape.back();
     }
     if (slot.packed) {
       slot.code_bits = r.get<std::int32_t>();
-      LP_CHECK_MSG(slot.code_bits == 4 || slot.code_bits == 8 ||
-                       slot.code_bits == 16,
-                   "artifact code width " << slot.code_bits);
+      LP_ARTIFACT_CHECK(ArtifactErrorCode::kMalformed,
+                        slot.code_bits == 4 || slot.code_bits == 8 ||
+                            slot.code_bits == 16,
+                        "unsupported code width " << slot.code_bits);
       slot.lut_index = r.get<std::uint64_t>();
-      LP_CHECK_MSG(slot.lut_index < art.luts.size(),
-                   "artifact LUT index out of range");
+      LP_ARTIFACT_CHECK(ArtifactErrorCode::kMalformed,
+                        slot.lut_index < art.luts.size(),
+                        "LUT index out of range at slot " << s);
       const auto nbytes = r.get<std::uint64_t>();
-      LP_CHECK_MSG(nbytes ==
-                       PackedCodes::stream_bytes(numel, slot.code_bits),
-                   "artifact code stream size mismatch at slot " << s);
+      LP_ARTIFACT_CHECK(ArtifactErrorCode::kMalformed,
+                        nbytes ==
+                            PackedCodes::stream_bytes(numel, slot.code_bits),
+                        "code stream size mismatch at slot " << s);
       const auto bytes = r.get_bytes(nbytes);
       slot.codes.assign(bytes.begin(), bytes.end());
     } else {
       const auto count = r.get<std::uint64_t>();
-      LP_CHECK_MSG(count == static_cast<std::uint64_t>(numel),
-                   "artifact float payload size mismatch at slot " << s);
+      LP_ARTIFACT_CHECK(ArtifactErrorCode::kMalformed,
+                        count == static_cast<std::uint64_t>(numel),
+                        "float payload size mismatch at slot " << s);
       slot.floats.reserve(count);
       for (std::uint64_t i = 0; i < count; ++i) {
         slot.floats.push_back(std::bit_cast<float>(r.get<std::uint32_t>()));
@@ -251,7 +313,8 @@ Artifact read_artifact(const std::string& path) {
     }
     art.slots.push_back(std::move(slot));
   }
-  LP_CHECK_MSG(r.pos == r.in.size(), "artifact has trailing bytes");
+  LP_ARTIFACT_CHECK(ArtifactErrorCode::kMalformed, r.pos == r.in.size(),
+                    "trailing bytes after last slot");
   return art;
 }
 

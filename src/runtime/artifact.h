@@ -31,9 +31,17 @@
 // cross-check against the decode tables this build computes for the same
 // configs: a mismatch means the format implementation changed since the
 // artifact was written, which must fail loudly, not serve stale values.
+//
+// Failure is structured: every load-path rejection throws
+// ArtifactLoadError carrying an ArtifactErrorCode, so a cold-start
+// supervisor can distinguish "file is torn, re-quantize from configs"
+// (InferenceSession::cold_start) from "this artifact was never for this
+// model" without parsing exception text.  ArtifactLoadError derives from
+// std::invalid_argument, so pre-existing catch sites keep working.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -46,6 +54,35 @@ class ServableModel;
 
 /// Current on-disk format version; bumped on any layout change.
 inline constexpr std::uint32_t kArtifactVersion = 1;
+
+/// Why an artifact failed to load.  kNone is the "no error" value used by
+/// cold-start results; everything else names one rejection class the
+/// corruption-matrix tests in tests/test_chaos.cpp cover.
+enum class ArtifactErrorCode {
+  kNone = 0,
+  kIo,             ///< file missing / unreadable / short read
+  kBadMagic,       ///< first four bytes are not "LPAR"
+  kVersionSkew,    ///< on-disk format_version != kArtifactVersion
+  kTruncated,      ///< header or body ends mid-field
+  kChecksum,       ///< body bytes fail the stored FNV-1a checksum
+  kMalformed,      ///< body parses but violates a structural invariant
+  kLutMismatch,    ///< stored decode LUT != the table this build derives
+  kModelMismatch,  ///< artifact names/shapes a different model
+};
+
+[[nodiscard]] const char* to_string(ArtifactErrorCode code);
+
+/// Structured artifact rejection.  Subclass of std::invalid_argument so
+/// legacy `catch (const std::invalid_argument&)` sites still catch it.
+class ArtifactLoadError : public std::invalid_argument {
+ public:
+  ArtifactLoadError(ArtifactErrorCode code, const std::string& what)
+      : std::invalid_argument(what), code_(code) {}
+  [[nodiscard]] ArtifactErrorCode code() const { return code_; }
+
+ private:
+  ArtifactErrorCode code_;
+};
 
 /// One slot's deserialized payload (raw bytes — not yet bound to a model
 /// or a decode-LUT instance; InferenceSession::load_artifact does that).
@@ -73,7 +110,8 @@ struct Artifact {
 void write_artifact(const std::string& path, const ServableModel& m);
 
 /// Parse `path`, validating magic, version, size, and checksum.  Throws
-/// std::invalid_argument on any mismatch or truncation.
+/// ArtifactLoadError (an std::invalid_argument) with the precise
+/// ArtifactErrorCode on any mismatch or truncation.
 [[nodiscard]] Artifact read_artifact(const std::string& path);
 
 }  // namespace lp::runtime

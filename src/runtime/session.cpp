@@ -2,15 +2,34 @@
 
 #include <algorithm>
 #include <bit>
+#include <sstream>
 #include <unordered_set>
 #include <utility>
 
 #include "runtime/artifact.h"
 #include "tensor/ops.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace lp::runtime {
 namespace {
+
+[[noreturn]] void raise_artifact(ArtifactErrorCode code,
+                                 const std::string& msg) {
+  std::ostringstream os;
+  os << "artifact load failed [" << to_string(code) << "]: " << msg;
+  throw ArtifactLoadError(code, os.str());
+}
+
+/// LP_CHECK_MSG analogue for the load path's model/LUT cross-checks.
+#define LP_ARTIFACT_CHECK(code, cond, msg)      \
+  do {                                          \
+    if (!(cond)) {                              \
+      std::ostringstream lp_art_os_;            \
+      lp_art_os_ << msg;                        \
+      raise_artifact((code), lp_art_os_.str()); \
+    }                                           \
+  } while (false)
 
 /// (slot, format) pair key for the per-prepare missing set.
 struct PairKey {
@@ -235,6 +254,13 @@ std::vector<QuantizedModel> InferenceSession::prepare_all(
 void InferenceSession::publish_locked(QuantizedModel qm,
                                       std::span<const LPConfig> weight_cfgs,
                                       std::span<const LPConfig> act_cfgs) {
+  // Chaos harness: fault before the sequence increment, so a failed
+  // publish never consumes a version number — the retry that succeeds
+  // publishes the next consecutive version and serving threads keep the
+  // previous snapshot throughout.
+  if (LP_FAULT_POINT("snapshot.publish")) {
+    throw fault::InjectedFault("snapshot.publish");
+  }
   publisher_.publish(std::make_shared<const ServableModel>(
       std::move(qm),
       std::vector<LPConfig>(weight_cfgs.begin(), weight_cfgs.end()),
@@ -280,14 +306,17 @@ void InferenceSession::save_artifact(const std::string& path) const {
 std::uint64_t InferenceSession::load_artifact(const std::string& path) {
   Artifact art = read_artifact(path);
   const std::size_t n = model_->num_slots();
-  LP_CHECK_MSG(art.model_name == model_->name(),
-               "artifact built for model '" << art.model_name
-                                            << "' loaded into '"
-                                            << model_->name() << "'");
-  LP_CHECK_MSG(art.weight_cfgs.size() == n,
-               "artifact has " << art.weight_cfgs.size()
-                               << " slots but model has " << n);
-  LP_CHECK(art.slots.size() == n);
+  LP_ARTIFACT_CHECK(ArtifactErrorCode::kModelMismatch,
+                    art.model_name == model_->name(),
+                    "built for model '" << art.model_name << "', loaded into '"
+                                        << model_->name() << "'");
+  LP_ARTIFACT_CHECK(ArtifactErrorCode::kModelMismatch,
+                    art.weight_cfgs.size() == n,
+                    "has " << art.weight_cfgs.size()
+                           << " slots but model has " << n);
+  LP_ARTIFACT_CHECK(ArtifactErrorCode::kModelMismatch, art.slots.size() == n,
+                    "slot payload count " << art.slots.size()
+                                          << " != model slots " << n);
   const auto& slots = model_->slot_list();
 
   const MutexLock lk(prepare_mu_);
@@ -296,32 +325,35 @@ std::uint64_t InferenceSession::load_artifact(const std::string& path) {
   for (std::size_t s = 0; s < n; ++s) {
     const LPConfig& cfg = art.weight_cfgs[s];
     ArtifactSlot& as = art.slots[s];
-    LP_CHECK_MSG(as.shape == slots[s]->weight.shape(),
-                 "artifact slot " << s << " shape mismatch against model '"
-                                  << model_->name() << "'");
+    LP_ARTIFACT_CHECK(ArtifactErrorCode::kModelMismatch,
+                      as.shape == slots[s]->weight.shape(),
+                      "slot " << s << " shape mismatch against model '"
+                              << model_->name() << "'");
     if (weights_.contains(s, cfg)) continue;  // keep the cached bits
     const std::shared_ptr<const LPFormat> fmt = formats_.get(cfg);
     WeightPayload payload;
     if (as.packed) {
       std::shared_ptr<const DecodeTable> lut = weights_.decode_lut(cfg, *fmt);
-      LP_CHECK_MSG(lut != nullptr,
-                   "artifact slot " << s
-                                    << " is packed but the format has no "
-                                       "decode table in this build");
+      LP_ARTIFACT_CHECK(ArtifactErrorCode::kLutMismatch, lut != nullptr,
+                        "slot " << s
+                                << " is packed but the format has no decode "
+                                   "table in this build");
       if (!lut_verified[as.lut_index]) {
         // The artifact's table must be bit-equal to the one this build
         // derives for the config — otherwise the stored codes would decode
         // to different values than a fresh quantization.
         const DecodeTable& stored = art.luts[as.lut_index];
-        LP_CHECK_MSG(stored.size() == lut->size(),
-                     "artifact decode LUT size mismatch (format tables "
-                     "changed since the artifact was written)");
+        LP_ARTIFACT_CHECK(ArtifactErrorCode::kLutMismatch,
+                          stored.size() == lut->size(),
+                          "decode LUT size mismatch (format tables changed "
+                          "since the artifact was written)");
         for (std::size_t i = 0; i < stored.size(); ++i) {
-          LP_CHECK_MSG(std::bit_cast<std::uint32_t>(stored[i]) ==
-                           std::bit_cast<std::uint32_t>((*lut)[i]),
-                       "artifact decode LUT entry " << i
-                           << " mismatch (format tables changed since the "
-                              "artifact was written)");
+          LP_ARTIFACT_CHECK(ArtifactErrorCode::kLutMismatch,
+                            std::bit_cast<std::uint32_t>(stored[i]) ==
+                                std::bit_cast<std::uint32_t>((*lut)[i]),
+                            "decode LUT entry " << i
+                                << " mismatch (format tables changed since "
+                                   "the artifact was written)");
         }
         lut_verified[as.lut_index] = true;
       }
@@ -340,6 +372,29 @@ std::uint64_t InferenceSession::load_artifact(const std::string& path) {
   publish_locked(prepare_locked(art.weight_cfgs, art.act_cfgs),
                  art.weight_cfgs, art.act_cfgs);
   return publish_seq_;
+}
+
+ColdStartResult InferenceSession::cold_start(
+    const std::string& path, std::span<const LPConfig> weight_cfgs,
+    std::span<const LPConfig> act_cfgs, const ColdStartOptions& opts) {
+  ColdStartResult res;
+  try {
+    res.version = load_artifact(path);
+    res.loaded = true;
+    return res;
+  } catch (const ArtifactLoadError& e) {
+    res.error = e.code();
+    res.error_message = e.what();
+  }
+  if (!opts.fallback_requantize) return res;
+  // Degraded path: quantize everything from the caller's configs.  The
+  // result is what a fresh set_formats publishes — bit-identical to a
+  // never-had-an-artifact start; only the cold-start latency differs.
+  set_formats(weight_cfgs, act_cfgs);
+  res.requantized = true;
+  const MutexLock lk(prepare_mu_);
+  res.version = publish_seq_;
+  return res;
 }
 
 Tensor stack_batches(std::span<const Tensor> inputs) {

@@ -42,17 +42,38 @@
 // combination (tests/test_runtime.cpp pins this).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "runtime/artifact.h"
 #include "runtime/quantized_model.h"
 #include "runtime/servable_model.h"
 #include "runtime/weight_cache.h"
 #include "util/thread_annotations.h"
 
 namespace lp::runtime {
+
+/// Knobs for InferenceSession::cold_start.
+struct ColdStartOptions {
+  /// When the artifact is unusable, fall back to quantizing from the given
+  /// configs (slow but alive) instead of reporting a dead start.
+  bool fallback_requantize = true;
+};
+
+/// What a cold start did.  Exactly one of `loaded` / `requantized` is true
+/// on success; both false means the artifact failed and fallback was off
+/// (or itself not attempted) — `error` then says why the artifact was
+/// rejected.
+struct ColdStartResult {
+  bool loaded = false;       ///< artifact accepted, no re-quantization ran
+  bool requantized = false;  ///< fell back to quantizing from configs
+  std::uint64_t version = 0; ///< published snapshot version (if any)
+  ArtifactErrorCode error = ArtifactErrorCode::kNone;
+  std::string error_message;
+};
 
 struct SessionOptions {
   /// Byte budget for cached quantized weight copies.
@@ -145,9 +166,20 @@ class InferenceSession {
   /// re-quantized (stats().misses stays 0 for the load).  The artifact
   /// must match this session's model (name and per-slot weight shapes),
   /// and its stored decode LUTs must equal the tables this build derives
-  /// for the same configs; any mismatch throws.  Returns the published
-  /// version stamp.
+  /// for the same configs; any mismatch throws ArtifactLoadError with the
+  /// precise ArtifactErrorCode.  Returns the published version stamp.
   std::uint64_t load_artifact(const std::string& path);
+
+  /// Supervised cold start: try load_artifact(path); if the artifact is
+  /// rejected for any reason and `opts.fallback_requantize` is set,
+  /// degrade to a from-scratch set_formats over the caller's configs —
+  /// slow instead of dead.  The fallback publishes exactly what a fresh
+  /// quantization of the same configs would (bit-identical logits).
+  /// Never throws ArtifactLoadError; the result carries the rejection.
+  ColdStartResult cold_start(const std::string& path,
+                             std::span<const LPConfig> weight_cfgs,
+                             std::span<const LPConfig> act_cfgs,
+                             const ColdStartOptions& opts = {});
 
   [[nodiscard]] const nn::Model& model() const { return *model_; }
   /// Weight-cache counter snapshot (hits/misses/evictions/bytes).

@@ -1,0 +1,90 @@
+#include "serve/overload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lp::serve {
+
+OverloadController::OverloadController(std::size_t base_max_batch,
+                                       std::chrono::microseconds base_linger,
+                                       OverloadPolicy policy)
+    : base_max_batch_(base_max_batch),
+      base_linger_(base_linger),
+      policy_(policy) {
+  LP_CHECK(base_max_batch_ >= 1);
+  LP_CHECK(base_linger_.count() >= 0);
+  LP_CHECK_MSG(policy_.backlog_low < policy_.backlog_high,
+               "overload watermarks must satisfy low < high");
+  LP_CHECK(policy_.trip_after >= 1);
+  LP_CHECK(policy_.restore_after >= 1);
+  LP_CHECK(policy_.max_batch_scale >= 1.0);
+  LP_CHECK(policy_.linger_scale >= 1.0);
+}
+
+OverloadController::Knobs OverloadController::knobs_locked() const {
+  Knobs k;
+  k.degraded = degraded_;
+  if (!degraded_) {
+    k.max_batch = base_max_batch_;
+    k.batch_deadline = base_linger_;
+    return k;
+  }
+  k.max_batch = std::max<std::size_t>(
+      base_max_batch_ + 1,
+      static_cast<std::size_t>(
+          std::llround(static_cast<double>(base_max_batch_) *
+                       policy_.max_batch_scale)));
+  k.batch_deadline = std::chrono::microseconds{
+      std::llround(static_cast<double>(base_linger_.count()) *
+                   policy_.linger_scale)};
+  return k;
+}
+
+OverloadController::Knobs OverloadController::observe(std::size_t queue_depth) {
+  const MutexLock lk(mu_);
+  if (queue_depth >= policy_.backlog_high) {
+    clear_streak_ = 0;
+    if (!degraded_ && ++pressure_streak_ >= policy_.trip_after) {
+      degraded_ = true;
+      pressure_streak_ = 0;
+      ++degrade_events_;
+    }
+  } else if (queue_depth <= policy_.backlog_low) {
+    pressure_streak_ = 0;
+    if (degraded_ && ++clear_streak_ >= policy_.restore_after) {
+      degraded_ = false;
+      clear_streak_ = 0;
+      ++restore_events_;
+    }
+  } else {
+    // Hysteresis band: neither pressure nor clear accumulates here, so a
+    // depth hovering between the watermarks holds the current state.
+    pressure_streak_ = 0;
+    clear_streak_ = 0;
+  }
+  return knobs_locked();
+}
+
+OverloadController::Knobs OverloadController::knobs() const {
+  const MutexLock lk(mu_);
+  return knobs_locked();
+}
+
+bool OverloadController::degraded() const {
+  const MutexLock lk(mu_);
+  return degraded_;
+}
+
+std::uint64_t OverloadController::degrade_events() const {
+  const MutexLock lk(mu_);
+  return degrade_events_;
+}
+
+std::uint64_t OverloadController::restore_events() const {
+  const MutexLock lk(mu_);
+  return restore_events_;
+}
+
+}  // namespace lp::serve

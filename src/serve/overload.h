@@ -1,0 +1,86 @@
+// OverloadController — graceful degradation for the dynamic-batching
+// server.
+//
+// Shedding (request_queue.h) bounds the queue; this controller changes
+// *how* the server works through what it admits.  Under sustained
+// backlog it widens the batching knobs — a larger max_batch and a longer
+// straggler linger — so each fused forward amortizes per-layer work over
+// more rows: per-request latency degrades, aggregate throughput rises,
+// and the backlog drains faster than it would at the latency-tuned
+// settings.  When pressure clears it restores the base knobs.
+//
+// Both transitions are streak-gated (N consecutive observations past the
+// watermark), with separate high/low depth watermarks, so a single bursty
+// batch neither trips degradation nor flaps it off mid-drain.  The
+// controller is deliberately standalone — depth observations in, knobs
+// out, no clock, no queue reference — so tests drive it with synthetic
+// depth sequences (tests/test_serve.cpp) without a real server.
+//
+// Thread-safe: workers call observe() concurrently; state sits behind an
+// internal mutex (one uncontended lock per batch pop — noise next to a
+// fused forward).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace lp::serve {
+
+struct OverloadPolicy {
+  /// Queue depth at/above which an observation counts as pressure.
+  std::size_t backlog_high = 32;
+  /// Queue depth at/below which an observation counts as clear.  Depths
+  /// between the two watermarks reset both streaks (hysteresis band).
+  std::size_t backlog_low = 4;
+  /// Consecutive pressure observations before degrading.
+  int trip_after = 3;
+  /// Consecutive clear observations before restoring.
+  int restore_after = 8;
+  /// Degraded max_batch = base * this (throughput over latency).
+  double max_batch_scale = 4.0;
+  /// Degraded batch_deadline = base * this (linger longer, fuse more).
+  double linger_scale = 4.0;
+};
+
+class OverloadController {
+ public:
+  /// The batching knobs a worker should pop with right now.
+  struct Knobs {
+    std::size_t max_batch = 1;
+    std::chrono::microseconds batch_deadline{0};
+    bool degraded = false;
+  };
+
+  OverloadController(std::size_t base_max_batch,
+                     std::chrono::microseconds base_linger,
+                     OverloadPolicy policy = {});
+
+  /// Feed one queue-depth observation (a worker, just before popping) and
+  /// get the knobs for the next batch.
+  [[nodiscard]] Knobs observe(std::size_t queue_depth) LP_EXCLUDES(mu_);
+
+  /// Current knobs without feeding an observation.
+  [[nodiscard]] Knobs knobs() const LP_EXCLUDES(mu_);
+  [[nodiscard]] bool degraded() const LP_EXCLUDES(mu_);
+  /// Times the controller entered / left the degraded state.
+  [[nodiscard]] std::uint64_t degrade_events() const LP_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t restore_events() const LP_EXCLUDES(mu_);
+
+ private:
+  [[nodiscard]] Knobs knobs_locked() const LP_REQUIRES(mu_);
+
+  const std::size_t base_max_batch_;
+  const std::chrono::microseconds base_linger_;
+  const OverloadPolicy policy_;
+
+  mutable Mutex mu_;
+  bool degraded_ LP_GUARDED_BY(mu_) = false;
+  int pressure_streak_ LP_GUARDED_BY(mu_) = 0;
+  int clear_streak_ LP_GUARDED_BY(mu_) = 0;
+  std::uint64_t degrade_events_ LP_GUARDED_BY(mu_) = 0;
+  std::uint64_t restore_events_ LP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace lp::serve

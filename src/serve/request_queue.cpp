@@ -1,55 +1,155 @@
 #include "serve/request_queue.h"
 
+#include <algorithm>
+#include <bit>
+#include <sstream>
 #include <utility>
 
 #include "util/check.h"
 
 namespace lp::serve {
+namespace {
 
-std::future<Response> RequestQueue::push(Tensor input) {
-  LP_CHECK_MSG(input.rank() >= 2,
-               "serve requests are [rows, ...] tensors; shape a single "
-               "sample [1, ...]");
+using Clock = std::chrono::steady_clock;
+
+/// A future already resolved with a failure Response — what push()
+/// returns when the request never enters the queue.
+std::future<Response> resolved_failure(ServeStatus status,
+                                       const std::string& error) {
+  std::promise<Response> p;
+  Response resp;
+  resp.status = status;
+  resp.error = error;
+  p.set_value(std::move(resp));
+  return p.get_future();
+}
+
+}  // namespace
+
+const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case ServeStatus::kOverloaded: return "overloaded";
+    case ServeStatus::kInvalidRequest: return "invalid-request";
+    case ServeStatus::kInternal: return "internal";
+    case ServeStatus::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+void fail_request(Request& req, ServeStatus status, const std::string& error) {
+  Response resp;
+  resp.status = status;
+  resp.error = error;
+  resp.queue_wait = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - req.enqueued);
+  req.promise.set_value(std::move(resp));
+}
+
+RequestQueue::RequestQueue(QueueOptions opts) : opts_(opts) {
+  LP_CHECK(opts_.max_estimated_wait.count() >= 0);
+}
+
+void RequestQueue::note_wait_locked(std::chrono::microseconds wait) {
+  const auto us = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(wait).count()));
+  // EWMA with alpha = 1/8: new = old + (sample - old) / 8, in integer µs.
+  // Signed intermediate so samples below the average pull it down.
+  const auto old = static_cast<std::int64_t>(ewma_wait_us_);
+  ewma_wait_us_ = static_cast<std::uint64_t>(
+      old + (static_cast<std::int64_t>(us) - old) / 8);
+  const auto bucket = std::min<std::size_t>(
+      kWaitBuckets - 1, static_cast<std::size_t>(std::bit_width(us)));
+  ++wait_hist_[bucket];
+}
+
+std::future<Response> RequestQueue::push(Tensor input,
+                                         std::chrono::microseconds deadline) {
+  if (input.rank() < 2) {
+    std::ostringstream os;
+    os << "serve requests are [rows, ...] tensors (shape a single sample "
+          "[1, ...]); got rank "
+       << input.rank();
+    return resolved_failure(ServeStatus::kInvalidRequest, os.str());
+  }
+  const auto now = Clock::now();
   Request req;
   req.input = std::move(input);
-  req.enqueued = std::chrono::steady_clock::now();
+  req.enqueued = now;
+  if (deadline.count() > 0) req.deadline = now + deadline;
   std::future<Response> fut = req.promise.get_future();
   {
     const MutexLock lk(mu_);
-    LP_CHECK_MSG(!closed_, "push on a closed RequestQueue");
+    if (closed_) {
+      return resolved_failure(ServeStatus::kShutdown,
+                              "push on a closed RequestQueue");
+    }
+    if (deadline.count() < 0) {
+      ++counters_.expired;
+      return resolved_failure(ServeStatus::kDeadlineExceeded,
+                              "deadline expired before admission");
+    }
+    if (opts_.max_depth > 0 && q_.size() >= opts_.max_depth) {
+      ++counters_.shed;
+      std::ostringstream os;
+      os << "queue depth bound " << opts_.max_depth << " reached";
+      return resolved_failure(ServeStatus::kOverloaded, os.str());
+    }
+    if (opts_.max_estimated_wait.count() > 0 && !q_.empty() &&
+        ewma_wait_us_ >
+            static_cast<std::uint64_t>(opts_.max_estimated_wait.count())) {
+      ++counters_.shed;
+      std::ostringstream os;
+      os << "estimated queue wait " << ewma_wait_us_
+         << "us exceeds admission watermark "
+         << opts_.max_estimated_wait.count() << "us";
+      return resolved_failure(ServeStatus::kOverloaded, os.str());
+    }
+    ++counters_.accepted;
     q_.push_back(std::move(req));
   }
   cv_.notify_one();
   return fut;
 }
 
-std::vector<Request> RequestQueue::pop_batch(
-    std::size_t max_batch, std::chrono::microseconds deadline) {
+std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
+                                             std::chrono::microseconds linger) {
   LP_CHECK(max_batch >= 1);
   std::vector<Request> batch;
   MutexLock lk(mu_);
   // Explicit wait loops throughout (not predicate lambdas): the guarded
   // reads stay in this locked scope, where the analysis can check them.
-  while (q_.empty() && !closed_) cv_.wait(lk);
-  if (q_.empty()) {
-    lk.unlock();
-    return batch;  // closed and drained
-  }
-
-  batch.push_back(std::move(q_.front()));
-  q_.pop_front();
-  // Linger for stragglers: up to `deadline` past the first take, refilling
-  // from the queue as requests land, until the batch is full.
-  const auto cutoff = std::chrono::steady_clock::now() + deadline;
+  Clock::time_point cutoff{};  // set when the first live request is taken
   while (batch.size() < max_batch) {
     if (!q_.empty()) {
-      batch.push_back(std::move(q_.front()));
+      Request r = std::move(q_.front());
       q_.pop_front();
+      const auto now = Clock::now();
+      note_wait_locked(std::chrono::duration_cast<std::chrono::microseconds>(
+          now - r.enqueued));
+      if (r.deadline <= now) {
+        // Fail fast under the lock — an expired request never occupies a
+        // batch slot or a compute cycle.  set_value only stores + wakes
+        // the submitter; it cannot call back into the queue.
+        ++counters_.expired;
+        fail_request(r, ServeStatus::kDeadlineExceeded,
+                     "deadline expired while queued");
+        continue;
+      }
+      if (batch.empty()) cutoff = now + linger;
+      batch.push_back(std::move(r));
       continue;
     }
     if (closed_) break;
+    if (batch.empty()) {
+      cv_.wait(lk);  // nothing taken yet — no linger clock to run down
+      continue;
+    }
+    // Linger for stragglers: up to `linger` past the first take, refilling
+    // from the queue as requests land, until the batch is full.
     if (cv_.wait_until(lk, cutoff) == std::cv_status::timeout && q_.empty()) {
-      break;  // deadline expired with a partial batch — dispatch it
+      break;  // linger expired with a partial batch — dispatch it
     }
     // Re-check: either more work, a straggler beat the timeout, or closed.
   }
@@ -67,6 +167,20 @@ void RequestQueue::close() {
   cv_.notify_all();
 }
 
+void RequestQueue::cancel() {
+  std::deque<Request> dropped;
+  {
+    const MutexLock lk(mu_);
+    closed_ = true;
+    dropped.swap(q_);
+    counters_.cancelled += dropped.size();
+  }
+  cv_.notify_all();
+  for (Request& r : dropped) {
+    fail_request(r, ServeStatus::kShutdown, "request cancelled at shutdown");
+  }
+}
+
 bool RequestQueue::closed() const {
   const MutexLock lk(mu_);
   return closed_;
@@ -75,6 +189,39 @@ bool RequestQueue::closed() const {
 std::size_t RequestQueue::depth() const {
   const MutexLock lk(mu_);
   return q_.size();
+}
+
+QueueCounters RequestQueue::counters() const {
+  const MutexLock lk(mu_);
+  return counters_;
+}
+
+std::chrono::microseconds RequestQueue::estimated_wait() const {
+  const MutexLock lk(mu_);
+  return std::chrono::microseconds{
+      static_cast<std::int64_t>(ewma_wait_us_)};
+}
+
+std::chrono::microseconds RequestQueue::wait_quantile(double q) const {
+  LP_CHECK(q >= 0.0 && q <= 1.0);
+  const MutexLock lk(mu_);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : wait_hist_) total += c;
+  if (total == 0) return std::chrono::microseconds{0};
+  // Rank of the quantile sample, 1-based: the smallest bucket whose
+  // cumulative count reaches it holds the answer.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kWaitBuckets; ++b) {
+    seen += wait_hist_[b];
+    if (seen >= target) {
+      // Upper bound of bucket b: waits with bit_width == b, i.e. < 2^b µs.
+      return std::chrono::microseconds{
+          b == 0 ? 0 : (std::int64_t{1} << b) - 1};
+    }
+  }
+  return std::chrono::microseconds{(std::int64_t{1} << (kWaitBuckets - 1))};
 }
 
 }  // namespace lp::serve

@@ -1,4 +1,5 @@
-// RequestQueue — the per-request layer's front door.
+// RequestQueue — the per-request layer's front door, with admission
+// control.
 //
 // Single-sample inference requests arrive one at a time, but the LPQ
 // datapath amortizes per-layer format-table lookups and activation
@@ -9,6 +10,21 @@
 // size.  That deadline is the classic latency/throughput knob — zero
 // degenerates to batch-per-request, larger values trade p50 latency for
 // fused-GEMM throughput.
+//
+// Overload hardening (this layer's second job): an unbounded queue turns
+// overload into unbounded latency — every request eventually computes,
+// long after its caller stopped caring.  This queue instead *sheds*: a
+// push past the configured depth bound, or while the observed queue wait
+// exceeds the admission watermark, resolves immediately with
+// ServeStatus::kOverloaded and costs no compute.  Requests may also carry
+// a deadline; one that expires while queued is failed with
+// kDeadlineExceeded at pop time — fast, and never computed.
+//
+// Failure is a value, not an exception: every future from push()
+// resolves with a Response whose `status` says what happened.  A bad
+// request, a shed, an expired deadline, or a shutdown each fail exactly
+// that request's future; nothing hangs and nothing throws across the
+// queue boundary.
 //
 // Each request carries a promise; the popped worker fulfills it with the
 // logits rows belonging to that request plus serving metadata (which
@@ -23,6 +39,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -30,18 +47,39 @@
 
 namespace lp::serve {
 
-/// What a client's future resolves to.
+/// How a request's future resolved.  Mirrors the usual RPC taxonomy so a
+/// client can switch on the class of failure without parsing text.
+enum class ServeStatus {
+  kOk = 0,
+  kDeadlineExceeded,  ///< request deadline passed while queued
+  kOverloaded,        ///< shed at admission: queue full or wait watermark
+  kInvalidRequest,    ///< bad shape (this request only — batch unaffected)
+  kInternal,          ///< server-side failure (no model, injected fault)
+  kShutdown,          ///< queue closed/cancelled before this request ran
+};
+
+[[nodiscard]] const char* to_string(ServeStatus status);
+
+/// What a client's future resolves to.  `status` is the first thing to
+/// check: on anything but kOk, `logits` is empty and `error` says why.
 struct Response {
-  Tensor logits;  ///< [rows, classes] — this request's rows only
+  ServeStatus status = ServeStatus::kOk;
+  std::string error;  ///< non-empty iff status != kOk
+  Tensor logits;      ///< [rows, classes] — this request's rows only
   /// ServableModel::version() of the snapshot that served the request —
   /// lets clients correlate results with hot-swapped assignments.
   std::uint64_t model_version = 0;
   /// Total rows in the fused batch this request rode in.
   std::int64_t batch_rows = 0;
+  /// True when the batch ran under widened (overload-degraded) batching
+  /// knobs — see serve/overload.h.
+  bool degraded = false;
   /// Time spent queued before a worker popped the request.
   std::chrono::microseconds queue_wait{0};
   /// Wall time of the fused forward that produced the logits.
   std::chrono::microseconds compute{0};
+
+  [[nodiscard]] bool ok() const { return status == ServeStatus::kOk; }
 };
 
 /// One queued request: the input tensor plus the promise its submitter
@@ -50,37 +88,96 @@ struct Request {
   Tensor input;  ///< [rows, ...]; dim 0 is this request's row count
   std::promise<Response> promise;
   std::chrono::steady_clock::time_point enqueued;
+  /// Absolute expiry; time_point::max() = no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// Resolve `req` with a failure Response (status + error text).  The
+/// queue wait is stamped from `req.enqueued`.  Exposed for the server,
+/// which owns popped requests.
+void fail_request(Request& req, ServeStatus status, const std::string& error);
+
+struct QueueOptions {
+  /// Depth bound: a push that would make the queue deeper than this sheds
+  /// with kOverloaded.  0 = unbounded (the pre-hardening behavior).
+  std::size_t max_depth = 0;
+  /// Admission watermark: while the exponentially-weighted average of
+  /// recently observed queue waits exceeds this, new pushes shed with
+  /// kOverloaded (the queue is already serving requests later than this
+  /// bound — adding more only makes every wait worse).  0 = disabled.
+  std::chrono::microseconds max_estimated_wait{0};
+};
+
+/// Monotonic admission/expiry counters (snapshot, not invariant).
+struct QueueCounters {
+  std::uint64_t accepted = 0;   ///< pushes that entered the queue
+  std::uint64_t shed = 0;       ///< pushes rejected kOverloaded
+  std::uint64_t expired = 0;    ///< requests failed kDeadlineExceeded
+  std::uint64_t cancelled = 0;  ///< pending requests failed by cancel()
 };
 
 class RequestQueue {
  public:
-  /// Enqueue an input and return the future its response arrives on.
-  /// Throws std::invalid_argument after close().
-  [[nodiscard]] std::future<Response> push(Tensor input) LP_EXCLUDES(mu_);
+  explicit RequestQueue(QueueOptions opts = {});
 
-  /// Pop a coalesced batch: blocks until at least one request (or the
-  /// queue is closed), takes up to `max_batch` requests, and waits at
-  /// most `deadline` past the first take for more to arrive.  Returns an
-  /// empty vector only when the queue is closed and fully drained — the
-  /// worker's exit signal.  Requests are returned strictly in arrival
-  /// order.
+  /// Enqueue an input and return the future its response arrives on.
+  /// Never throws for per-request conditions: a rank-<2 input, a closed
+  /// queue, an already-expired deadline, or an admission rejection each
+  /// return an immediately-resolved future carrying the matching
+  /// ServeStatus.  `deadline` is relative to now; 0 = no deadline.
+  [[nodiscard]] std::future<Response> push(
+      Tensor input, std::chrono::microseconds deadline =
+                        std::chrono::microseconds{0}) LP_EXCLUDES(mu_);
+
+  /// Pop a coalesced batch: blocks until at least one live request (or
+  /// the queue is closed), takes up to `max_batch` requests, and waits at
+  /// most `linger` past the first take for more to arrive.  Requests
+  /// whose deadline has passed are failed kDeadlineExceeded right here —
+  /// they never occupy a batch slot.  Returns an empty vector only when
+  /// the queue is closed and fully drained — the worker's exit signal.
+  /// Live requests are returned strictly in arrival order.
   [[nodiscard]] std::vector<Request> pop_batch(
-      std::size_t max_batch, std::chrono::microseconds deadline)
+      std::size_t max_batch, std::chrono::microseconds linger)
       LP_EXCLUDES(mu_);
 
   /// Stop accepting pushes and wake every waiting popper.  Requests still
   /// queued remain poppable (shutdown drains, not drops).
   void close() LP_EXCLUDES(mu_);
 
+  /// close() plus: fail every still-queued request with kShutdown.  For
+  /// aborting a backlog that no longer matters; close() is the graceful
+  /// variant.
+  void cancel() LP_EXCLUDES(mu_);
+
   [[nodiscard]] bool closed() const LP_EXCLUDES(mu_);
   /// Requests currently waiting (diagnostic; racy by nature).
   [[nodiscard]] std::size_t depth() const LP_EXCLUDES(mu_);
+  [[nodiscard]] QueueCounters counters() const LP_EXCLUDES(mu_);
+  /// Current EWMA of observed queue waits — the admission estimate.
+  [[nodiscard]] std::chrono::microseconds estimated_wait() const
+      LP_EXCLUDES(mu_);
+  /// Approximate quantile (q in [0,1]) of all observed queue waits, from
+  /// a log2-bucketed histogram — upper bucket bound, so p50/p99 are
+  /// conservative to within 2x.
+  [[nodiscard]] std::chrono::microseconds wait_quantile(double q) const
+      LP_EXCLUDES(mu_);
 
  private:
+  /// Record one observed wait into the EWMA + histogram.
+  void note_wait_locked(std::chrono::microseconds wait) LP_REQUIRES(mu_);
+
+  static constexpr std::size_t kWaitBuckets = 40;  ///< log2 µs buckets
+
+  const QueueOptions opts_;
   mutable Mutex mu_;
   CondVar cv_;
   std::deque<Request> q_ LP_GUARDED_BY(mu_);
   bool closed_ LP_GUARDED_BY(mu_) = false;
+  QueueCounters counters_ LP_GUARDED_BY(mu_);
+  /// EWMA (alpha = 1/8) of queue waits observed at pop, in µs.
+  std::uint64_t ewma_wait_us_ LP_GUARDED_BY(mu_) = 0;
+  std::uint64_t wait_hist_[kWaitBuckets] LP_GUARDED_BY(mu_) = {};
 };
 
 }  // namespace lp::serve

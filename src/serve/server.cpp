@@ -1,17 +1,39 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "runtime/session.h"
 #include "util/check.h"
 
 namespace lp::serve {
+namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Map the exception in flight to a response status.  Shape/validation
+/// failures (LP_CHECK throws std::invalid_argument) are the client's
+/// fault; everything else — injected faults included — is the server's.
+std::pair<ServeStatus, std::string> classify_current_exception() {
+  try {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    return {ServeStatus::kInvalidRequest, e.what()};
+  } catch (const std::exception& e) {
+    return {ServeStatus::kInternal, e.what()};
+  } catch (...) {
+    return {ServeStatus::kInternal, "unknown serving error"};
+  }
+}
+
+}  // namespace
+
 Server::Server(const runtime::SnapshotPublisher& publisher, ServerOptions opts)
-    : publisher_(&publisher), opts_(opts) {
+    : publisher_(&publisher),
+      opts_(opts),
+      queue_(QueueOptions{opts.queue_depth, opts.admission_wait}),
+      overload_(opts.max_batch, opts.batch_deadline, opts.overload) {
   LP_CHECK(opts_.workers >= 1);
   LP_CHECK(opts_.max_batch >= 1);
   LP_CHECK(opts_.batch_deadline.count() >= 0);
@@ -23,8 +45,9 @@ Server::Server(const runtime::SnapshotPublisher& publisher, ServerOptions opts)
 
 Server::~Server() { shutdown(); }
 
-std::future<Response> Server::submit(Tensor input) {
-  std::future<Response> fut = queue_.push(std::move(input));
+std::future<Response> Server::submit(Tensor input,
+                                     std::chrono::microseconds deadline) {
+  std::future<Response> fut = queue_.push(std::move(input), deadline);
   requests_.fetch_add(1, std::memory_order_relaxed);
   return fut;
 }
@@ -36,80 +59,200 @@ void Server::shutdown() {
   }
 }
 
+void Server::cancel() {
+  queue_.cancel();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
 ServerStats Server::stats() const {
   ServerStats st;
   st.requests = requests_.load(std::memory_order_relaxed);
   st.responses = responses_.load(std::memory_order_relaxed);
+  st.failures = failures_.load(std::memory_order_relaxed);
   st.batches = batches_.load(std::memory_order_relaxed);
   st.batched_rows = batched_rows_.load(std::memory_order_relaxed);
   st.max_batch_rows = max_batch_rows_.load(std::memory_order_relaxed);
   return st;
 }
 
+ServerHealth Server::health() const {
+  ServerHealth h;
+  h.queue_depth = queue_.depth();
+  h.degraded = overload_.degraded();
+  const QueueCounters qc = queue_.counters();
+  h.accepted = qc.accepted;
+  h.shed = qc.shed;
+  h.expired = qc.expired;
+  h.cancelled = qc.cancelled;
+  h.degrade_events = overload_.degrade_events();
+  h.restore_events = overload_.restore_events();
+  h.estimated_wait = queue_.estimated_wait();
+  h.wait_p50 = queue_.wait_quantile(0.5);
+  h.wait_p99 = queue_.wait_quantile(0.99);
+  return h;
+}
+
 void Server::worker_loop() {
   for (;;) {
+    OverloadController::Knobs knobs;
+    if (opts_.degrade) {
+      knobs = overload_.observe(queue_.depth());
+    } else {
+      knobs.max_batch = opts_.max_batch;
+      knobs.batch_deadline = opts_.batch_deadline;
+    }
     std::vector<Request> batch =
-        queue_.pop_batch(opts_.max_batch, opts_.batch_deadline);
+        queue_.pop_batch(knobs.max_batch, knobs.batch_deadline);
     if (batch.empty()) return;  // closed and drained
-    serve_batch(std::move(batch));
+    serve_batch(std::move(batch), knobs.degraded);
   }
 }
 
-void Server::serve_batch(std::vector<Request> batch) {
+void Server::resolve(Request& req, Response resp) {
+  if (!resp.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+  req.promise.set_value(std::move(resp));
+  responses_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::serve_batch(std::vector<Request> batch, bool degraded) {
   const auto popped = Clock::now();
-  try {
-    // Acquire once per batch: this pins the snapshot for the whole fused
-    // forward, so a concurrent hot-swap cannot tear it.
-    const runtime::ServablePtr m = publisher_->acquire();
-    LP_CHECK_MSG(m != nullptr, "no model published — set_formats() first");
+  // Acquire once per batch: this pins the snapshot for the whole fused
+  // forward, so a concurrent hot-swap cannot tear it.
+  const runtime::ServablePtr m = publisher_->acquire();
+  if (m == nullptr) {
+    for (Request& r : batch) {
+      Response resp;
+      resp.status = ServeStatus::kInternal;
+      resp.error = "no model published — set_formats() first";
+      resp.degraded = degraded;
+      resp.queue_wait = std::chrono::duration_cast<std::chrono::microseconds>(
+          popped - r.enqueued);
+      resolve(r, std::move(resp));
+    }
+    return;
+  }
 
-    std::vector<Tensor> inputs;
-    inputs.reserve(batch.size());
-    for (Request& r : batch) inputs.push_back(std::move(r.input));
-    const Tensor stacked = runtime::stack_batches(inputs);
-    const std::int64_t total_rows = stacked.dim(0);
+  std::vector<Tensor> inputs;
+  inputs.reserve(batch.size());
+  for (Request& r : batch) inputs.push_back(std::move(r.input));
 
-    const Tensor logits = m->run(stacked).logits;
-    const auto done = Clock::now();
-    const auto compute =
-        std::chrono::duration_cast<std::chrono::microseconds>(done - popped);
-    LP_CHECK(logits.dim(0) == total_rows);
+  // Partition into stackable groups by trailing shape (everything after
+  // the row dim), preserving arrival order within a group and
+  // first-arrival order across groups.  In the common case this is one
+  // group spanning the whole batch; a request with an odd shape lands in
+  // its own group, so it can only fail itself.
+  std::map<std::vector<std::int64_t>, std::size_t> group_of;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::vector<std::int64_t> tail(inputs[i].shape().begin() + 1,
+                                   inputs[i].shape().end());
+    const auto [it, fresh] = group_of.emplace(std::move(tail), groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  for (const std::vector<std::size_t>& idx : groups) {
+    serve_group(*m, batch, idx, inputs, popped, degraded);
+  }
+}
+
+void Server::serve_group(const runtime::ServableModel& m,
+                         std::vector<Request>& batch,
+                         const std::vector<std::size_t>& idx,
+                         std::vector<Tensor>& inputs,
+                         Clock::time_point popped, bool degraded) {
+  // Move this group's tensors out of the batch-wide list; on a fused
+  // failure the serial retry below reuses them.
+  std::vector<Tensor> gin;
+  gin.reserve(idx.size());
+  for (const std::size_t i : idx) gin.push_back(std::move(inputs[i]));
+
+  const auto note_forward = [this](std::int64_t rows) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_rows_.fetch_add(static_cast<std::uint64_t>(rows),
+                            std::memory_order_relaxed);
+    std::uint64_t prev = max_batch_rows_.load(std::memory_order_relaxed);
+    while (prev < static_cast<std::uint64_t>(rows) &&
+           !max_batch_rows_.compare_exchange_weak(
+               prev, static_cast<std::uint64_t>(rows),
+               std::memory_order_relaxed)) {
+    }
+  };
+  const auto ok_response = [&](const Tensor& logits, std::int64_t row,
+                               std::int64_t rows_i, std::int64_t total_rows,
+                               std::chrono::microseconds compute,
+                               const Request& req) {
     const std::int64_t classes = logits.numel() / total_rows;
+    Response resp;
+    resp.logits = Tensor({rows_i, classes});
+    std::copy_n(logits.raw() + row * classes, rows_i * classes,
+                resp.logits.raw());
+    resp.model_version = m.version();
+    resp.batch_rows = total_rows;
+    resp.degraded = degraded;
+    resp.queue_wait = std::chrono::duration_cast<std::chrono::microseconds>(
+        popped - req.enqueued);
+    resp.compute = compute;
+    return resp;
+  };
+  const auto fail_current = [&](Request& req) {
+    const auto [status, what] = classify_current_exception();
+    Response resp;
+    resp.status = status;
+    resp.error = what;
+    resp.degraded = degraded;
+    resp.queue_wait = std::chrono::duration_cast<std::chrono::microseconds>(
+        popped - req.enqueued);
+    resolve(req, std::move(resp));
+  };
+
+  try {
+    const Tensor stacked = runtime::stack_batches(gin);
+    const std::int64_t total_rows = stacked.dim(0);
+    const auto started = Clock::now();
+    const Tensor logits = m.run(stacked).logits;
+    const auto compute = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - started);
+    LP_CHECK(logits.dim(0) == total_rows);
 
     // Split the stacked logits back into per-request row slices, in the
     // same arrival order stack_batches packed them.
     std::int64_t row = 0;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const std::int64_t rows_i = inputs[i].dim(0);
-      Response resp;
-      resp.logits = Tensor({rows_i, classes});
-      std::copy_n(logits.raw() + row * classes, rows_i * classes,
-                  resp.logits.raw());
-      row += rows_i;
-      resp.model_version = m->version();
-      resp.batch_rows = total_rows;
-      resp.queue_wait = std::chrono::duration_cast<std::chrono::microseconds>(
-          popped - batch[i].enqueued);
-      resp.compute = compute;
-      batch[i].promise.set_value(std::move(resp));
-      responses_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      const std::int64_t rows_j = gin[j].dim(0);
+      resolve(batch[idx[j]], ok_response(logits, row, rows_j, total_rows,
+                                         compute, batch[idx[j]]));
+      row += rows_j;
     }
-
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    batched_rows_.fetch_add(static_cast<std::uint64_t>(total_rows),
-                            std::memory_order_relaxed);
-    std::uint64_t prev = max_batch_rows_.load(std::memory_order_relaxed);
-    while (prev < static_cast<std::uint64_t>(total_rows) &&
-           !max_batch_rows_.compare_exchange_weak(
-               prev, static_cast<std::uint64_t>(total_rows),
-               std::memory_order_relaxed)) {
-    }
+    note_forward(total_rows);
+    return;
   } catch (...) {
-    // A bad request (shape mismatch in the stack) or missing model fails
-    // the whole batch — every submitter sees the error, none hangs.
-    for (Request& r : batch) {
-      r.promise.set_exception(std::current_exception());
-      responses_.fetch_add(1, std::memory_order_relaxed);
+    if (idx.size() == 1) {
+      fail_current(batch[idx[0]]);
+      return;
+    }
+  }
+
+  // The fused forward failed with more than one request aboard.  Retry
+  // each serially: the row-independence contract makes a lone re-run
+  // bit-identical to the rows it would have produced in the fused batch,
+  // so innocents still get exactly their answer — only the request whose
+  // input (or whose turn at an injected fault) caused the failure fails.
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    Request& req = batch[idx[j]];
+    try {
+      const std::int64_t rows_j = gin[j].dim(0);
+      const auto started = Clock::now();
+      const Tensor logits = m.run(gin[j]).logits;
+      const auto compute =
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                started);
+      LP_CHECK(logits.dim(0) == rows_j);
+      resolve(req, ok_response(logits, 0, rows_j, rows_j, compute, req));
+      note_forward(rows_j);
+    } catch (...) {
+      fail_current(req);
     }
   }
 }

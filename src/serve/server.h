@@ -16,12 +16,30 @@
 // acquired, the next batch picks up the replacement, and every response
 // carries the version that served it.
 //
+// Overload hardening (docs/ROBUSTNESS.md):
+//
+//   * every future resolves with a Response whose ServeStatus says what
+//     happened — no exception crosses the serving boundary, and no
+//     future hangs, under any fault the chaos harness injects;
+//   * admission control sheds at the queue (depth bound + estimated-wait
+//     watermark) and per-request deadlines fail fast at pop, so overload
+//     costs O(1) per rejected request instead of unbounded latency for
+//     every request;
+//   * an OverloadController widens the batching knobs under sustained
+//     backlog (throughput over latency) and restores them when pressure
+//     clears — responses served degraded say so;
+//   * one bad request fails only its own future: requests are grouped by
+//     stackable shape, and a group whose fused forward throws is retried
+//     per-request serially, which is bit-identical for the innocent rows
+//     (the runtime's row-independence contract).
+//
 // Determinism: batch composition is timing-dependent (that is the point
 // of dynamic batching), but responses are not — each request's logits
 // rows are bit-identical to a serial session.run() of the same input
 // against the same published version, because the batched forward is
 // row-independent (tests/test_serve.cpp pins this under 8+ concurrent
-// clients across a mid-serve hot-swap).
+// clients across a mid-serve hot-swap; tests/test_chaos.cpp re-pins it
+// with faults firing).
 #pragma once
 
 #include <atomic>
@@ -32,6 +50,7 @@
 #include <vector>
 
 #include "runtime/servable_model.h"
+#include "serve/overload.h"
 #include "serve/request_queue.h"
 
 namespace lp::serve {
@@ -41,28 +60,53 @@ struct ServerOptions {
   /// out across the shared compute pool, so one worker saturates compute;
   /// more workers overlap queue/stacking latency with compute.
   int workers = 1;
-  /// Row cap per fused batch.
+  /// Row cap per fused batch (base knob; see `overload`).
   std::size_t max_batch = 8;
   /// How long a worker lingers for stragglers after popping the first
   /// request of a batch.  0 = dispatch immediately (batch-per-request
-  /// unless a backlog already formed).
+  /// unless a backlog already formed).  Base knob; see `overload`.
   std::chrono::microseconds batch_deadline{200};
+  /// Admission control: queue depth bound (0 = unbounded) and
+  /// estimated-wait watermark (0 = disabled) — see QueueOptions.
+  std::size_t queue_depth = 1024;
+  std::chrono::microseconds admission_wait{0};
+  /// Graceful degradation under sustained backlog.  nullopt-free design:
+  /// `degrade` switches the controller; the policy tunes it.
+  bool degrade = true;
+  OverloadPolicy overload;
 };
 
 /// Monotonic serving counters (relaxed atomics — snapshot, not invariant).
 struct ServerStats {
-  std::uint64_t requests = 0;      ///< submitted
-  std::uint64_t responses = 0;     ///< fulfilled (incl. exceptional)
+  std::uint64_t requests = 0;      ///< submitted (incl. shed at admission)
+  std::uint64_t responses = 0;     ///< futures resolved by workers
+  std::uint64_t failures = 0;      ///< of those, status != kOk
   std::uint64_t batches = 0;       ///< fused forwards executed
   std::uint64_t batched_rows = 0;  ///< total rows across those forwards
   std::uint64_t max_batch_rows = 0;  ///< largest single fused batch
 };
 
+/// One coherent liveness snapshot for monitoring — queue pressure,
+/// admission outcomes, and degradation state in a single read.
+struct ServerHealth {
+  std::size_t queue_depth = 0;
+  bool degraded = false;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;       ///< rejected kOverloaded at admission
+  std::uint64_t expired = 0;    ///< failed kDeadlineExceeded
+  std::uint64_t cancelled = 0;  ///< failed kShutdown by cancel()
+  std::uint64_t degrade_events = 0;
+  std::uint64_t restore_events = 0;
+  std::chrono::microseconds estimated_wait{0};  ///< EWMA queue wait
+  std::chrono::microseconds wait_p50{0};
+  std::chrono::microseconds wait_p99{0};
+};
+
 class Server {
  public:
   /// `publisher` must outlive the server (it is owned by the session).
-  /// Workers start immediately; submits before the first publish fail
-  /// with an exception on the future, not a crash.
+  /// Workers start immediately; submits before the first publish resolve
+  /// with ServeStatus::kInternal, not a crash.
   explicit Server(const runtime::SnapshotPublisher& publisher,
                   ServerOptions opts = {});
   /// Drains and joins (shutdown()).
@@ -72,36 +116,56 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Enqueue one request.  `input` is [rows, ...] — shape single samples
-  /// [1, ...].  The future resolves to this request's logits rows plus
-  /// serving metadata, or to an exception if the batch failed (bad shape,
-  /// no published model).
-  [[nodiscard]] std::future<Response> submit(Tensor input);
+  /// [1, ...].  `deadline` is relative; 0 = none.  The future always
+  /// resolves with a Response; check `Response::status` (admission
+  /// rejections resolve immediately, kOk carries this request's logits
+  /// rows plus serving metadata).
+  [[nodiscard]] std::future<Response> submit(
+      Tensor input, std::chrono::microseconds deadline =
+                        std::chrono::microseconds{0});
 
   /// Stop accepting requests, serve everything already queued, join the
   /// workers.  Idempotent.
   void shutdown();
 
+  /// Stop accepting requests and fail everything still queued with
+  /// kShutdown (in-flight batches finish), then join.  Idempotent;
+  /// shutdown() after cancel() is a no-op.
+  void cancel();
+
   [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] ServerHealth health() const;
   [[nodiscard]] const ServerOptions& options() const { return opts_; }
 
  private:
   void worker_loop();
-  void serve_batch(std::vector<Request> batch);
+  void serve_batch(std::vector<Request> batch, bool degraded);
+  /// Fused-forward one stackable group; on failure, retry each request
+  /// serially so exactly the culpable ones fail.
+  void serve_group(const runtime::ServableModel& m,
+                   std::vector<Request>& batch,
+                   const std::vector<std::size_t>& idx,
+                   std::vector<Tensor>& inputs,
+                   std::chrono::steady_clock::time_point popped,
+                   bool degraded);
+  void resolve(Request& req, Response resp);
 
   const runtime::SnapshotPublisher* publisher_;
   ServerOptions opts_;
   RequestQueue queue_;
+  OverloadController overload_;
   /// No mutex of its own: all mutable shared state lives behind the
-  /// queue's capability (request_queue.h) and the publisher's
-  /// (servable_model.h); workers_ is written in the constructor and
-  /// joined in shutdown() only, and the counters below are relaxed
-  /// atomics.  scripts/lint_invariants.py allows raw std::thread in
-  /// exactly this file and thread_pool.cpp — everything else must go
-  /// through the pool.
+  /// queue's capability (request_queue.h), the controller's (overload.h),
+  /// and the publisher's (servable_model.h); workers_ is written in the
+  /// constructor and joined in shutdown() only, and the counters below
+  /// are relaxed atomics.  scripts/lint_invariants.py allows raw
+  /// std::thread in exactly this file and thread_pool.cpp — everything
+  /// else must go through the pool.
   std::vector<std::thread> workers_;
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_rows_{0};
   std::atomic<std::uint64_t> max_batch_rows_{0};

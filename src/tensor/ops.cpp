@@ -9,6 +9,7 @@
 #include "core/packed_codes.h"
 #include "kernels/kernels.h"
 #include "kernels/kernels_internal.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace lp {
@@ -124,6 +125,12 @@ bool gemm_codes_nt_parallel(const float* a, const kernels::PackedCodesView& b,
     }
   };
   for_nt_row_blocks(m, k, n, body);
+  // Chaos harness: pretend the epilogue saw a non-finite output, so the
+  // caller exercises the real escape hatch (discard the coded stream,
+  // re-run the edge unfused — bit-identical by the fusion contract).
+  if (ep != nullptr && LP_FAULT_POINT("kernel.epilogue.nonfinite")) {
+    return false;
+  }
   return ok.load(std::memory_order_relaxed);
 }
 
@@ -149,6 +156,10 @@ bool gemm_codes_codes_nt_parallel(const kernels::PackedCodesView& a,
     }
   };
   for_nt_row_blocks(m, k, n, body);
+  // Same escape-hatch injection as gemm_codes_nt_parallel above.
+  if (ep != nullptr && LP_FAULT_POINT("kernel.epilogue.nonfinite")) {
+    return false;
+  }
   return ok.load(std::memory_order_relaxed);
 }
 

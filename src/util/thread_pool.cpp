@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace lp {
 namespace {
@@ -65,6 +66,12 @@ void ThreadPool::execute_chunks(TaskSet& ts) {
     if (c >= ts.total) return;
     std::exception_ptr err;
     try {
+      // Chaos harness: a task-execution fault fails this chunk exactly as
+      // a throwing chunk body would — first error wins, the set still
+      // drains, run_chunks rethrows at the submitter.
+      if (LP_FAULT_POINT("pool.task")) {
+        throw fault::InjectedFault("pool.task");
+      }
       const NestingScope nest;
       (*ts.fn)(c);
     } catch (...) {
@@ -101,7 +108,14 @@ void ThreadPool::run_chunks(std::int64_t num_chunks,
   if (workers_.empty() || num_chunks == 1 ||
       t_nesting_depth >= kMaxNestingDepth) {
     const NestingScope nest;
-    for (std::int64_t c = 0; c < num_chunks; ++c) fn(c);
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      // Same injection point as the pooled path, so single-threaded runs
+      // (and the serial nesting fallback) fault identically.
+      if (LP_FAULT_POINT("pool.task")) {
+        throw fault::InjectedFault("pool.task");
+      }
+      fn(c);
+    }
     return;
   }
   auto ts = std::make_shared<TaskSet>();
@@ -117,10 +131,14 @@ void ThreadPool::run_chunks(std::int64_t num_chunks,
   {
     MutexLock lk(ts->mu);
     while (ts->done != ts->total) ts->done_cv.wait(lk);
-    // Snapshot the error inside the region: after the last ++done every
-    // writer is gone, but reading it under the same lock keeps the
-    // happens-before chain explicit for the analysis and for TSan alike.
-    err = ts->error;
+    // MOVE the error out (don't copy): the task set must not keep a
+    // reference, or the exception's final release — and the teardown of
+    // its what() string, possibly mid-read in a catch handler — would
+    // happen on whichever pool worker drops the last TaskSet ref.
+    // Taking sole ownership here confines the exception's lifetime to
+    // the submitting thread, with this mutex as the handoff edge.
+    err = std::move(ts->error);
+    ts->error = nullptr;
   }
   {
     const MutexLock lk(mu_);

@@ -113,7 +113,11 @@ TEST(RequestQueue, CloseDrainsThenSignalsShutdown) {
   auto f1 = q.push(Tensor({1, 3}));
   auto f2 = q.push(Tensor({1, 3}));
   q.close();
-  EXPECT_THROW((void)q.push(Tensor({1, 3})), std::invalid_argument);
+  // A post-close push resolves immediately with kShutdown — failure is a
+  // value, never a hung future or a throw.
+  Response late = q.push(Tensor({1, 3})).get();
+  EXPECT_EQ(late.status, ServeStatus::kShutdown);
+  EXPECT_FALSE(late.error.empty());
   // Queued work survives close() — shutdown drains, not drops.
   EXPECT_EQ(q.pop_batch(2, std::chrono::microseconds{0}).size(), 2U);
   EXPECT_EQ(q.pop_batch(8, std::chrono::microseconds{0}).size(), 1U);
@@ -126,7 +130,118 @@ TEST(RequestQueue, RejectsRankOneInputs) {
   // A uniform-rank list is interpreted as batches by stack_batches, so a
   // bare rank-1 sample would be misread as C rows; the queue rejects it
   // at the door with the [1, ...] shaping rule.
-  EXPECT_THROW((void)q.push(Tensor({3})), std::invalid_argument);
+  const Response resp = q.push(Tensor({3})).get();
+  EXPECT_EQ(resp.status, ServeStatus::kInvalidRequest);
+  EXPECT_EQ(q.depth(), 0U);
+}
+
+TEST(RequestQueue, DepthBoundShedsWithOverloaded) {
+  QueueOptions qo;
+  qo.max_depth = 3;
+  RequestQueue q(qo);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 3; ++i) futs.push_back(q.push(Tensor({1, 3})));
+  // The 4th and 5th pushes shed immediately: O(1) rejection, no compute.
+  for (int i = 0; i < 2; ++i) {
+    const Response resp = q.push(Tensor({1, 3})).get();
+    EXPECT_EQ(resp.status, ServeStatus::kOverloaded);
+  }
+  EXPECT_EQ(q.depth(), 3U);
+  const QueueCounters c = q.counters();
+  EXPECT_EQ(c.accepted, 3U);
+  EXPECT_EQ(c.shed, 2U);
+  // Draining frees capacity: admission works again.
+  (void)q.pop_batch(8, std::chrono::microseconds{0});
+  futs.push_back(q.push(Tensor({1, 3})));
+  EXPECT_EQ(q.counters().accepted, 4U);
+}
+
+TEST(RequestQueue, EstimatedWaitWatermarkShedsUnderBacklog) {
+  QueueOptions qo;
+  qo.max_estimated_wait = std::chrono::microseconds{50};
+  RequestQueue q(qo);
+  auto f0 = q.push(Tensor({1, 3}));
+  auto f1 = q.push(Tensor({1, 3}));
+  // Let both requests age well past the watermark before the pop records
+  // their waits into the EWMA.
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  EXPECT_EQ(q.pop_batch(8, std::chrono::microseconds{0}).size(), 2U);
+  EXPECT_GT(q.estimated_wait().count(), 50);
+  // First push into the empty queue is always admitted (someone has to
+  // bring the wait back down); the next one sheds on the stale estimate.
+  auto f2 = q.push(Tensor({1, 3}));
+  const Response shed = q.push(Tensor({1, 3})).get();
+  EXPECT_EQ(shed.status, ServeStatus::kOverloaded);
+  EXPECT_EQ(q.counters().shed, 1U);
+  // The wait histogram saw both recorded waits.
+  EXPECT_GT(q.wait_quantile(0.99).count(), q.wait_quantile(0.0).count() - 1);
+}
+
+TEST(RequestQueue, ExpiredDeadlinesFailFastAtPop) {
+  RequestQueue q;
+  auto doomed = q.push(Tensor({1, 3}), std::chrono::microseconds{100});
+  auto alive = q.push(Tensor({1, 3}));
+  std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  // The expired request is failed inside pop_batch and never occupies a
+  // batch slot; the live one comes out alone.
+  const auto batch = q.pop_batch(8, std::chrono::microseconds{0});
+  EXPECT_EQ(batch.size(), 1U);
+  const Response dead = doomed.get();
+  EXPECT_EQ(dead.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_GE(dead.queue_wait.count(), 100);
+  EXPECT_EQ(q.counters().expired, 1U);
+}
+
+TEST(RequestQueue, CancelFailsPendingWithShutdown) {
+  RequestQueue q;
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(q.push(Tensor({1, 3})));
+  q.cancel();
+  for (auto& f : futs) {
+    EXPECT_EQ(f.get().status, ServeStatus::kShutdown);
+  }
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.depth(), 0U);
+  EXPECT_EQ(q.counters().cancelled, 4U);
+  // Cancelled + closed = immediate worker exit signal.
+  EXPECT_TRUE(q.pop_batch(8, std::chrono::microseconds{0}).empty());
+}
+
+TEST(OverloadController, TripsAfterStreakAndRestoresWithHysteresis) {
+  OverloadPolicy policy;
+  policy.backlog_high = 8;
+  policy.backlog_low = 2;
+  policy.trip_after = 3;
+  policy.restore_after = 2;
+  policy.max_batch_scale = 4.0;
+  policy.linger_scale = 2.0;
+  OverloadController ctl(4, std::chrono::microseconds{100}, policy);
+
+  // Two pressure ticks then a clear tick: streak resets, no trip.
+  (void)ctl.observe(10);
+  (void)ctl.observe(12);
+  (void)ctl.observe(0);
+  EXPECT_FALSE(ctl.degraded());
+  // Three consecutive: trips, knobs widen.
+  (void)ctl.observe(9);
+  (void)ctl.observe(9);
+  const auto k = ctl.observe(9);
+  EXPECT_TRUE(k.degraded);
+  EXPECT_EQ(k.max_batch, 16U);
+  EXPECT_EQ(k.batch_deadline.count(), 200);
+  EXPECT_EQ(ctl.degrade_events(), 1U);
+  // Hysteresis band (between low and high) holds the degraded state and
+  // resets the clear streak.
+  (void)ctl.observe(1);
+  (void)ctl.observe(5);
+  (void)ctl.observe(1);
+  EXPECT_TRUE(ctl.degraded());
+  // Two consecutive clears restore the base knobs.
+  const auto k2 = ctl.observe(0);
+  EXPECT_FALSE(k2.degraded);
+  EXPECT_EQ(k2.max_batch, 4U);
+  EXPECT_EQ(k2.batch_deadline.count(), 100);
+  EXPECT_EQ(ctl.restore_events(), 1U);
 }
 
 TEST(Server, CoalescesConcurrentRequestsIntoFusedBatches) {
@@ -150,6 +265,7 @@ TEST(Server, CoalescesConcurrentRequestsIntoFusedBatches) {
   }
   for (int i = 0; i < 4; ++i) {
     Response resp = futs[static_cast<std::size_t>(i)].get();
+    ASSERT_TRUE(resp.ok()) << resp.error;
     EXPECT_EQ(resp.model_version, 1U);
     EXPECT_EQ(resp.logits.dim(0), 1);
     // Bit-identical to a serial run of the same sample — batching is
@@ -221,7 +337,7 @@ TEST(Server, ConcurrentClientsBitIdenticalAcrossHotSwap) {
         for (int it = 0; it < kItersPerPhase; ++it) {
           Response resp =
               server.submit(inputs[static_cast<std::size_t>(c)]).get();
-          if (resp.model_version < min_version ||
+          if (!resp.ok() || resp.model_version < min_version ||
               resp.model_version > max_version) {
             failures.fetch_add(1);
             continue;
@@ -266,10 +382,132 @@ TEST(Server, FailsFuturesInsteadOfHangingWhenNoModelPublished) {
   const nn::Model m = nn::build_tiny_cnn(small_opts());
   InferenceSession session(m);  // no set_formats: nothing published
   Server server(session.publisher(), ServerOptions{});
-  auto fut = server.submit(random_batch(1, 3, 16, 42));
-  EXPECT_THROW((void)fut.get(), std::invalid_argument);
+  const Response resp = server.submit(random_batch(1, 3, 16, 42)).get();
+  EXPECT_EQ(resp.status, ServeStatus::kInternal);
+  EXPECT_NE(resp.error.find("no model published"), std::string::npos);
   server.shutdown();
   EXPECT_EQ(server.stats().responses, 1U);
+  EXPECT_EQ(server.stats().failures, 1U);
+}
+
+TEST(Server, BadRequestFailsOnlyItsOwnFuture) {
+  const nn::Model m = nn::build_tiny_cnn(small_opts());
+  InferenceSession session(m);
+  const auto w = varied_weight_cfgs(m);
+  session.set_formats(w, {});
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 4;
+  opts.batch_deadline = std::chrono::milliseconds{250};
+  Server server(session.publisher(), opts);
+
+  // Three requests land in one pop: two valid, one with a shape the model
+  // cannot take.  Stackable-shape grouping puts the bad one in its own
+  // group, so only its future fails.
+  const Tensor good0 = random_batch(1, 3, 16, 81);
+  const Tensor good1 = random_batch(1, 3, 16, 82);
+  auto f0 = server.submit(good0);
+  auto fbad = server.submit(Tensor({1, 5}));
+  auto f1 = server.submit(good1);
+
+  Response r0 = f0.get();
+  Response rbad = fbad.get();
+  Response r1 = f1.get();
+  ASSERT_TRUE(r0.ok()) << r0.error;
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  EXPECT_EQ(rbad.status, ServeStatus::kInvalidRequest);
+  // The innocents are still bit-identical to serial runs — isolation does
+  // not perturb the numbers.
+  EXPECT_EQ(logit_bits(r0.logits), logit_bits(session.run(good0).logits));
+  EXPECT_EQ(logit_bits(r1.logits), logit_bits(session.run(good1).logits));
+  server.shutdown();
+  EXPECT_EQ(server.stats().failures, 1U);
+  EXPECT_EQ(server.stats().responses, 3U);
+}
+
+TEST(Server, CancelFailsBacklogButFinishesInFlight) {
+  const nn::Model m = nn::build_tiny_cnn(small_opts());
+  InferenceSession session(m);
+  session.set_formats(varied_weight_cfgs(m), {});
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;  // one request per forward: a backlog must form
+  opts.batch_deadline = std::chrono::microseconds{0};
+  Server server(session.publisher(), opts);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(server.submit(random_batch(1, 3, 16, 300 + i)));
+  }
+  server.cancel();
+  // Every future resolves — served before the cancel, or kShutdown.
+  std::uint64_t served = 0;
+  std::uint64_t cancelled = 0;
+  for (auto& f : futs) {
+    const Response resp = f.get();
+    if (resp.ok()) {
+      ++served;
+    } else {
+      EXPECT_EQ(resp.status, ServeStatus::kShutdown);
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(served + cancelled, 32U);
+  EXPECT_EQ(server.health().cancelled, cancelled);
+  // Post-cancel submits resolve kShutdown instead of hanging.
+  EXPECT_EQ(server.submit(random_batch(1, 3, 16, 999)).get().status,
+            ServeStatus::kShutdown);
+}
+
+TEST(Server, DegradesBatchingUnderBacklogAndReportsHealth) {
+  const nn::Model m = nn::build_tiny_cnn(small_opts());
+  InferenceSession session(m);
+  const auto w = varied_weight_cfgs(m);
+  session.set_formats(w, {});
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;  // base knob: batch-per-request
+  opts.batch_deadline = std::chrono::microseconds{0};
+  // Any observed backlog trips degradation immediately and nothing
+  // restores it (the restore transition is pinned by the controller unit
+  // test) — so the assertion below is deterministic: with 40 requests
+  // pushed faster than forwards complete, some pop observes depth >= 1.
+  opts.overload.backlog_low = 0;
+  opts.overload.backlog_high = 1;
+  opts.overload.trip_after = 1;
+  opts.overload.restore_after = 1 << 20;
+  opts.overload.max_batch_scale = 8.0;
+  Server server(session.publisher(), opts);
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 40; ++i) {
+    inputs.push_back(random_batch(1, 3, 16, 2000 + i));
+  }
+  for (const Tensor& x : inputs) futs.push_back(server.submit(x));
+  bool any_degraded = false;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const Response resp = futs[i].get();
+    ASSERT_TRUE(resp.ok()) << resp.error;
+    any_degraded = any_degraded || resp.degraded;
+    // Degraded batching stays invisible in the numbers.
+    EXPECT_EQ(logit_bits(resp.logits),
+              logit_bits(session.run(inputs[i]).logits));
+  }
+  server.shutdown();
+  const ServerHealth h = server.health();
+  EXPECT_TRUE(any_degraded);
+  EXPECT_GE(h.degrade_events, 1U);
+  EXPECT_TRUE(h.degraded);  // restore_after is unreachable in this test
+  EXPECT_EQ(h.accepted, 40U);
+  EXPECT_EQ(h.shed, 0U);
+  // The widened max_batch (1 * 8) actually coalesced: some fused batch
+  // carried more rows than the base knob allows.
+  EXPECT_GT(server.stats().max_batch_rows, 1U);
+  EXPECT_GT(h.wait_p99.count(), 0);
+  EXPECT_GE(h.wait_p99.count(), h.wait_p50.count());
 }
 
 TEST(Server, ShutdownDrainsQueuedRequests) {
